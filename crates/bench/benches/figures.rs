@@ -1,0 +1,125 @@
+//! One Criterion bench group per paper figure: each measures the
+//! simulation workload behind one point of that figure at reduced scale
+//! (the full regeneration lives in `mbts-experiments`; these benches
+//! track the *cost* of each experiment's inner loop so regressions in
+//! the scheduler show up in CI timings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbts_core::{AdmissionPolicy, Policy};
+use mbts_site::{Site, SiteConfig};
+use mbts_workload::{fig3_mix, fig45_mix, fig67_mix, generate_trace, Trace};
+use std::hint::black_box;
+
+const TASKS: usize = 400;
+const PROCS: usize = 8;
+
+fn trace_for(mix: mbts_workload::MixConfig) -> Trace {
+    generate_trace(&mix.with_tasks(TASKS).with_processors(PROCS), 42)
+}
+
+/// Figure 3: PV vs FirstPrice on the Millennium batch mix, preemption on.
+fn fig3_pv_vs_firstprice(c: &mut Criterion) {
+    let trace = trace_for(fig3_mix(4.0));
+    let mut g = c.benchmark_group("fig3_pv_vs_firstprice");
+    for (label, policy) in [
+        ("FirstPrice", Policy::FirstPrice),
+        ("PV(1%)", Policy::pv(0.01)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(label), &policy, |b, &p| {
+            b.iter(|| {
+                let site = Site::new(SiteConfig::new(PROCS).with_policy(p).with_preemption(true));
+                black_box(site.run_trace(black_box(&trace)).metrics.total_yield)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 4: FirstReward α sweep under bounded penalties.
+fn fig4_alpha_bounded(c: &mut Criterion) {
+    let trace = trace_for(fig45_mix(5.0, true));
+    let mut g = c.benchmark_group("fig4_alpha_bounded");
+    for alpha in [0.0, 0.3, 0.9] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
+            b.iter(|| {
+                let site =
+                    Site::new(SiteConfig::new(PROCS).with_policy(Policy::first_reward(a, 0.01)));
+                black_box(site.run_trace(black_box(&trace)).metrics.total_yield)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: the same sweep with unbounded penalties (exercises the
+/// Eq. 5 aggregate-decay fast path of the cost model).
+fn fig5_alpha_unbounded(c: &mut Criterion) {
+    let trace = trace_for(fig45_mix(5.0, false));
+    let mut g = c.benchmark_group("fig5_alpha_unbounded");
+    for alpha in [0.0, 0.3, 0.9] {
+        g.bench_with_input(BenchmarkId::from_parameter(alpha), &alpha, |b, &a| {
+            b.iter(|| {
+                let site =
+                    Site::new(SiteConfig::new(PROCS).with_policy(Policy::first_reward(a, 0.01)));
+                black_box(site.run_trace(black_box(&trace)).metrics.total_yield)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6: admission-controlled FirstReward vs uncontrolled FirstPrice
+/// at a heavy load point (exercises the per-arrival candidate-schedule
+/// build).
+fn fig6_admission_load(c: &mut Criterion) {
+    let trace = trace_for(fig67_mix(3.0));
+    let mut g = c.benchmark_group("fig6_admission_load");
+    g.bench_function("FirstReward+slack180", |b| {
+        b.iter(|| {
+            let site = Site::new(
+                SiteConfig::new(PROCS)
+                    .with_policy(Policy::first_reward(0.2, 0.01))
+                    .with_admission(AdmissionPolicy::SlackThreshold { threshold: 180.0 }),
+            );
+            black_box(site.run_trace(black_box(&trace)).metrics.yield_rate())
+        })
+    });
+    g.bench_function("FirstPrice_no_admission", |b| {
+        b.iter(|| {
+            let site = Site::new(SiteConfig::new(PROCS).with_policy(Policy::FirstPrice));
+            black_box(site.run_trace(black_box(&trace)).metrics.yield_rate())
+        })
+    });
+    g.finish();
+}
+
+/// Figure 7: the slack-threshold sweep's inner run at three thresholds.
+fn fig7_slack_threshold(c: &mut Criterion) {
+    let trace = trace_for(fig67_mix(2.0));
+    let mut g = c.benchmark_group("fig7_slack_threshold");
+    for threshold in [-200.0, 180.0, 700.0] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(threshold),
+            &threshold,
+            |b, &t| {
+                b.iter(|| {
+                    let site = Site::new(
+                        SiteConfig::new(PROCS)
+                            .with_policy(Policy::first_reward(0.2, 0.01))
+                            .with_admission(AdmissionPolicy::SlackThreshold { threshold: t }),
+                    );
+                    black_box(site.run_trace(black_box(&trace)).metrics.yield_rate())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_pv_vs_firstprice, fig4_alpha_bounded, fig5_alpha_unbounded,
+              fig6_admission_load, fig7_slack_threshold
+}
+criterion_main!(figures);

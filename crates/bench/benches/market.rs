@@ -1,0 +1,127 @@
+//! Market-layer benchmarks: the Figure-1 negotiation loop, elastic
+//! provisioning, and SWF parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbts_core::{AdmissionPolicy, Policy};
+use mbts_market::{
+    run_elastic, ClientSelection, Economy, EconomyConfig, ElasticConfig, MigrationConfig,
+    ProvisioningPolicy,
+};
+use mbts_site::SiteConfig;
+use mbts_workload::{generate_trace, parse_swf, MixConfig, SwfOptions};
+use std::hint::black_box;
+
+fn trace(tasks: usize) -> mbts_workload::Trace {
+    generate_trace(
+        &MixConfig::millennium_default()
+            .with_tasks(tasks)
+            .with_processors(8)
+            .with_load_factor(1.5)
+            .with_mean_decay(0.05),
+        42,
+    )
+}
+
+/// Whole-economy negotiation across site counts.
+fn economy_negotiation(c: &mut Criterion) {
+    let t = trace(300);
+    let mut g = c.benchmark_group("economy_negotiation");
+    for sites in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(sites), &sites, |b, &n| {
+            let mut cfg = EconomyConfig::uniform(
+                n,
+                SiteConfig::new(8 / n)
+                    .with_policy(Policy::first_reward(0.2, 0.01))
+                    .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 }),
+            );
+            cfg.selection = ClientSelection::EarliestCompletion;
+            b.iter(|| black_box(Economy::new(cfg.clone()).run_trace(black_box(&t)).placed))
+        });
+    }
+    g.finish();
+}
+
+/// Contract enforcement + migration overhead.
+fn economy_migration(c: &mut Criterion) {
+    let t = trace(300);
+    let mut g = c.benchmark_group("economy_migration");
+    for (label, migration) in [
+        ("off", None),
+        (
+            "on",
+            Some(MigrationConfig {
+                grace: 100.0,
+                max_attempts: 3,
+            }),
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            let mut cfg = EconomyConfig::uniform(2, SiteConfig::new(4).with_policy(Policy::FirstPrice));
+            cfg.migration = migration;
+            b.iter(|| black_box(Economy::new(cfg.clone()).run_trace(black_box(&t)).placed))
+        });
+    }
+    g.finish();
+}
+
+/// The elastic reseller loop across provisioning policies.
+fn elastic_provisioning(c: &mut Criterion) {
+    let t = trace(300);
+    let mut g = c.benchmark_group("elastic_provisioning");
+    for (label, policy) in [
+        ("static", ProvisioningPolicy::Static),
+        (
+            "queue_pressure",
+            ProvisioningPolicy::QueuePressure {
+                target_backlog: 100.0,
+                step: 2,
+            },
+        ),
+        (
+            "marginal_gain",
+            ProvisioningPolicy::MarginalGain {
+                margin: 2.0,
+                step: 4,
+            },
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            let cfg = ElasticConfig {
+                site: SiteConfig::new(4).with_policy(Policy::FirstPrice),
+                pool_total: 32,
+                rent: 0.05,
+                policy,
+                review_interval: 50.0,
+            };
+            b.iter(|| black_box(run_elastic(&cfg, black_box(&t)).profit()))
+        });
+    }
+    g.finish();
+}
+
+/// SWF parsing throughput.
+fn swf_parse(c: &mut Criterion) {
+    let mut text = String::from("; generated log\n");
+    for i in 0..5000 {
+        text.push_str(&format!(
+            "{} {} 0 {} {} -1 -1 {} {} -1 1 1 1 1 1 -1 -1 -1\n",
+            i + 1,
+            i * 10,
+            60 + i % 240,
+            1 << (i % 4),
+            1 << (i % 4),
+            120 + i % 240,
+        ));
+    }
+    let opts = SwfOptions::new(MixConfig::millennium_default(), 7);
+    c.bench_function("swf_parse_5k_jobs", |b| {
+        b.iter(|| black_box(parse_swf(black_box(&text), &opts).unwrap().len()))
+    });
+}
+
+criterion_group! {
+    name = market;
+    config = Criterion::default().sample_size(10);
+    targets = economy_negotiation, economy_migration, elastic_provisioning, swf_parse
+}
+criterion_main!(market);

@@ -1,0 +1,159 @@
+//! Scheduler micro-benchmarks and the ablation benches DESIGN.md calls
+//! out:
+//!
+//! * `dispatch_select` — argmax dispatch per policy across queue sizes,
+//! * `cost_modes` — Eq. 4 via the prefix-sum [`CostModel`] vs the naive
+//!   O(n) reference vs the Eq. 5 aggregate fast path,
+//! * `schedule_modes` — static vs dynamic candidate-schedule builds,
+//! * `event_queue` — pending-event-set throughput,
+//! * `decay_sum` — the incremental aggregate-decay accumulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbts_core::{build_candidate, cost, CostModel, DecaySum, Job, Policy, ScheduleMode, ScoreCtx};
+use mbts_sim::{EventQueue, Time};
+use mbts_workload::{generate_trace, BoundPolicy, MixConfig};
+use std::hint::black_box;
+
+fn queue_of(n: usize, bound: BoundPolicy) -> Vec<Job> {
+    let mix = MixConfig::millennium_default()
+        .with_tasks(n)
+        .with_processors(8)
+        .with_bound(bound);
+    generate_trace(&mix, 7)
+        .tasks
+        .into_iter()
+        .map(Job::new)
+        .collect()
+}
+
+fn dispatch_select(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch_select");
+    for n in [16usize, 128, 1024] {
+        let jobs = queue_of(n, BoundPolicy::ZeroFloor);
+        let now = Time::from(50.0);
+        for (label, policy) in [
+            ("FirstPrice", Policy::FirstPrice),
+            ("FirstReward", Policy::first_reward(0.3, 0.01)),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(&jobs, policy),
+                |b, (jobs, policy)| {
+                    b.iter(|| {
+                        let model = policy
+                            .needs_cost_model()
+                            .then(|| CostModel::build(now, jobs.iter()));
+                        let ctx = match &model {
+                            Some(m) => ScoreCtx::with_cost(now, m),
+                            None => ScoreCtx::simple(now),
+                        };
+                        black_box(policy.select(jobs.iter(), &ctx))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn cost_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_modes");
+    for n in [64usize, 512, 4096] {
+        let bounded = queue_of(n, BoundPolicy::ZeroFloor);
+        let unbounded = queue_of(n, BoundPolicy::Unbounded);
+        let now = Time::from(50.0);
+        // Prefix-sum model: one build + n queries (a full dispatch step).
+        g.bench_with_input(BenchmarkId::new("prefix_sum", n), &bounded, |b, jobs| {
+            b.iter(|| {
+                let model = CostModel::build(now, jobs.iter());
+                let total: f64 = jobs.iter().map(|j| model.cost_of(j, now)).sum();
+                black_box(total)
+            })
+        });
+        // Naive Eq. 4: O(n) per candidate, O(n²) per step.
+        g.bench_with_input(BenchmarkId::new("naive", n), &bounded, |b, jobs| {
+            b.iter(|| {
+                let total: f64 = jobs
+                    .iter()
+                    .map(|j| cost::cost_naive(now, j, jobs))
+                    .sum();
+                black_box(total)
+            })
+        });
+        // Eq. 5 aggregate fast path (valid for all-unbounded queues).
+        g.bench_with_input(BenchmarkId::new("aggregate", n), &unbounded, |b, jobs| {
+            b.iter(|| {
+                let total_decay: f64 = jobs.iter().map(|j| j.spec.decay).sum();
+                let model = CostModel::unbounded(total_decay);
+                let total: f64 = jobs.iter().map(|j| model.cost_of(j, now)).sum();
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn schedule_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_modes");
+    let free = vec![Time::ZERO; 8];
+    for n in [32usize, 256] {
+        let jobs = queue_of(n, BoundPolicy::Unbounded);
+        for (label, mode) in [
+            ("static", ScheduleMode::Static),
+            ("dynamic", ScheduleMode::Dynamic),
+        ] {
+            g.bench_with_input(BenchmarkId::new(label, n), &jobs, |b, jobs| {
+                b.iter(|| {
+                    black_box(build_candidate(
+                        &Policy::first_reward(0.3, 0.01),
+                        mode,
+                        Time::ZERO,
+                        &free,
+                        jobs,
+                    ))
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(10_000);
+            for i in 0..10_000u64 {
+                // Scatter timestamps without a stdlib RNG dependency.
+                let t = ((i.wrapping_mul(2654435761)) % 100_000) as f64;
+                q.schedule(Time::from(t), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn decay_sum(c: &mut Criterion) {
+    c.bench_function("decay_sum_add_remove_10k", |b| {
+        b.iter(|| {
+            let mut s = DecaySum::new();
+            for i in 0..10_000 {
+                s.add(0.1 + (i % 13) as f64 * 0.01);
+            }
+            for i in 0..10_000 {
+                s.remove(0.1 + (i % 13) as f64 * 0.01);
+            }
+            black_box(s.total())
+        })
+    });
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(10);
+    targets = dispatch_select, cost_modes, schedule_modes, event_queue, decay_sum
+}
+criterion_main!(micro);

@@ -1,0 +1,53 @@
+//! # mbts-core — value-based scheduling: risk/reward heuristics
+//!
+//! The paper's primary contribution (§3–§6), as a library:
+//!
+//! * [`value`] — value functions: the linear-decay form of §3 (Figure 2)
+//!   as a first-class type, plus the piecewise-linear generalization the
+//!   paper mentions as future work.
+//! * [`job`] — mutable per-task scheduling state: remaining processing
+//!   time (RPT), preemption bookkeeping, expected yield.
+//! * [`cost`] — **opportunity cost** (§5.2): the exact Eq. 4 form with
+//!   per-task expiry windows in `O(log n)` per candidate via a
+//!   sorted-prefix-sum [`cost::CostModel`], degrading gracefully to the
+//!   Eq. 5 aggregate-decay `O(1)` form when all penalties are unbounded.
+//! * [`heuristics`] — the scheduling policies: FCFS and SRPT baselines,
+//!   SWPT, Millennium's **FirstPrice** (unit gain `yield/RPT`), **PV**
+//!   (§5.1, discounted unit gain), and **FirstReward** (§5.3,
+//!   `(α·PV − (1−α)·cost)/RPT`).
+//! * [`schedule`] — candidate schedules over a pool of processors, used
+//!   for negotiation (expected completion times) and admission control.
+//! * [`admission`] — the slack computation of Eq. 7/8 and the
+//!   slack-threshold acceptance heuristic of §6.
+//!
+//! ```
+//! use mbts_core::{CostModel, Job, Policy, ScoreCtx};
+//! use mbts_sim::Time;
+//! use mbts_workload::{PenaltyBound, TaskSpec};
+//!
+//! // Two queued tasks: a long valuable one and a short urgent one.
+//! let calm = Job::new(TaskSpec::new(0, 0.0, 50.0, 500.0, 0.1, PenaltyBound::Unbounded));
+//! let urgent = Job::new(TaskSpec::new(1, 0.0, 5.0, 20.0, 5.0, PenaltyBound::Unbounded));
+//! let queue = vec![calm, urgent];
+//!
+//! // FirstPrice chases unit gain; FirstReward(α=0) weighs opportunity cost.
+//! let now = Time::ZERO;
+//! let model = CostModel::build(now, &queue);
+//! let ctx = ScoreCtx::with_cost(now, &model);
+//! assert_eq!(Policy::FirstPrice.select(&queue, &ctx), Some(0));
+//! assert_eq!(Policy::first_reward(0.0, 0.01).select(&queue, &ctx), Some(1));
+//! ```
+
+pub mod admission;
+pub mod cost;
+pub mod heuristics;
+pub mod job;
+pub mod schedule;
+pub mod value;
+
+pub use admission::{evaluate_admission, AdmissionDecision, AdmissionPolicy};
+pub use cost::{CostModel, DecaySum};
+pub use heuristics::{Policy, ScoreCtx};
+pub use job::Job;
+pub use schedule::{build_candidate, CandidateSchedule, ScheduleEntry, ScheduleMode};
+pub use value::{LinearDecay, PiecewiseLinear, ValueFunction};

@@ -1,0 +1,114 @@
+//! Figure 3: yield improvement of Present Value over FirstPrice as the
+//! discount rate varies, one series per value skew ratio.
+//!
+//! Workload (§5.1): the Millennium-comparison mix — normal inter-arrival
+//! gaps with 16 jobs per batch, normal durations, uniform decay across
+//! tasks, penalties bounded at zero, load factor 1, preemption enabled.
+//! At discount rate 0, PV ≡ FirstPrice; the paper reports modest (up to
+//! ~8 %) gains at intermediate rates, larger for higher value skews.
+
+use crate::figures::{improvement_pct, run_site, sized};
+use crate::harness::{parallel_map, ExpParams};
+use crate::report::{FigureResult, Point, Series};
+use mbts_core::Policy;
+use mbts_sim::OnlineStats;
+use mbts_site::SiteConfig;
+use mbts_workload::fig3_mix;
+
+/// Value skew ratios, as in the paper's legend.
+pub const VALUE_SKEWS: [f64; 5] = [1.0, 1.5, 2.15, 4.0, 9.0];
+
+/// Discount rates swept (fractions; the paper's x-axis is in %,
+/// log-scaled 0.001 %–10 %).
+pub const DISCOUNT_RATES: [f64; 6] = [1e-5, 1e-4, 1e-3, 1e-2, 5e-2, 1e-1];
+
+fn site(policy: Policy, processors: usize) -> SiteConfig {
+    SiteConfig::new(processors)
+        .with_policy(policy)
+        .with_preemption(true)
+}
+
+/// Regenerates Figure 3.
+pub fn fig3(params: &ExpParams) -> FigureResult {
+    let seeds = params.seed_list();
+    let mut series = Vec::new();
+    for &skew in &VALUE_SKEWS {
+        let mix = sized(fig3_mix(skew), params);
+        // Per-seed FirstPrice baselines (common random numbers).
+        let baselines: Vec<f64> = parallel_map(&seeds, |&seed| {
+            run_site(&mix, seed, site(Policy::FirstPrice, params.processors))
+                .metrics
+                .total_yield
+        });
+        // All (rate, seed) PV runs in one parallel batch.
+        let work: Vec<(usize, u64)> = DISCOUNT_RATES
+            .iter()
+            .enumerate()
+            .flat_map(|(ri, _)| seeds.iter().map(move |&s| (ri, s)))
+            .collect();
+        let yields: Vec<f64> = parallel_map(&work, |&(ri, seed)| {
+            run_site(
+                &mix,
+                seed,
+                site(Policy::pv(DISCOUNT_RATES[ri]), params.processors),
+            )
+            .metrics
+            .total_yield
+        });
+        let mut points = Vec::new();
+        for (ri, &rate) in DISCOUNT_RATES.iter().enumerate() {
+            let mut stats = OnlineStats::new();
+            for (si, _) in seeds.iter().enumerate() {
+                let y = yields[ri * seeds.len() + si];
+                stats.push(improvement_pct(y, baselines[si]));
+            }
+            points.push(Point {
+                x: rate * 100.0, // report in %, like the paper's axis
+                y: stats.summary(),
+            });
+        }
+        series.push(Series::new(format!("Value Skew Ratio={skew}"), points));
+    }
+    FigureResult {
+        id: "fig3".into(),
+        title: "PV vs FirstPrice across discount rates (Millennium mix)".into(),
+        x_label: "discount rate (%)".into(),
+        y_label: "improvement over FirstPrice (%)".into(),
+        series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Shape check at smoke scale: the skew-9 series should dominate the
+    /// skew-1 series somewhere, and no point should be a catastrophic
+    /// regression.
+    #[test]
+    fn smoke_shape() {
+        let params = ExpParams {
+            tasks: 600,
+            seeds: 2,
+            base_seed: 2000,
+            processors: 8,
+        };
+        let fig = fig3(&params);
+        assert_eq!(fig.series.len(), VALUE_SKEWS.len());
+        for s in &fig.series {
+            assert_eq!(s.points.len(), DISCOUNT_RATES.len());
+        }
+        let skew1_best: f64 = fig.series[0]
+            .means()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let skew9_best: f64 = fig.series[4]
+            .means()
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(
+            skew9_best >= skew1_best - 1.0,
+            "high skew should benefit at least as much: skew9 {skew9_best} vs skew1 {skew1_best}"
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Figure 4: FirstReward improvement over FirstPrice as α varies, with
+//! **bounded** (at zero) penalties, one series per decay skew ratio.
+//!
+//! Workload (§5.3): exponential arrivals/durations, value skew 2, load 1,
+//! discount rate 1 %. The paper finds cost (low α) more important than
+//! gains, a hybrid optimum around α ≈ 0.3, and stronger effects at higher
+//! decay skews.
+
+use crate::figures::{improvement_pct, run_site, sized};
+use crate::harness::{parallel_map, ExpParams};
+use crate::report::{FigureResult, Point, Series};
+use mbts_core::Policy;
+use mbts_sim::OnlineStats;
+use mbts_site::SiteConfig;
+use mbts_workload::fig45_mix;
+
+/// Decay skew ratios, as in the paper's legend.
+pub const DECAY_SKEWS: [f64; 3] = [3.0, 5.0, 7.0];
+
+/// α grid (the paper sweeps 0–0.9).
+pub const ALPHAS: [f64; 10] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+/// Discount rate used by the paper for these experiments.
+pub const DISCOUNT: f64 = 0.01;
+
+/// Shared α-sweep engine for Figures 4 and 5 (they differ only in the
+/// penalty bound).
+pub(crate) fn alpha_sweep(params: &ExpParams, bounded: bool, id: &str, title: &str) -> FigureResult {
+    let seeds = params.seed_list();
+    let mut series = Vec::new();
+    for &skew in &DECAY_SKEWS {
+        let mix = sized(fig45_mix(skew, bounded), params);
+        let baselines: Vec<f64> = parallel_map(&seeds, |&seed| {
+            run_site(
+                &mix,
+                seed,
+                SiteConfig::new(params.processors).with_policy(Policy::FirstPrice),
+            )
+            .metrics
+            .total_yield
+        });
+        let work: Vec<(usize, u64)> = ALPHAS
+            .iter()
+            .enumerate()
+            .flat_map(|(ai, _)| seeds.iter().map(move |&s| (ai, s)))
+            .collect();
+        let yields: Vec<f64> = parallel_map(&work, |&(ai, seed)| {
+            run_site(
+                &mix,
+                seed,
+                SiteConfig::new(params.processors)
+                    .with_policy(Policy::first_reward(ALPHAS[ai], DISCOUNT)),
+            )
+            .metrics
+            .total_yield
+        });
+        let mut points = Vec::new();
+        for (ai, &alpha) in ALPHAS.iter().enumerate() {
+            let mut stats = OnlineStats::new();
+            for (si, _) in seeds.iter().enumerate() {
+                stats.push(improvement_pct(
+                    yields[ai * seeds.len() + si],
+                    baselines[si],
+                ));
+            }
+            points.push(Point {
+                x: alpha,
+                y: stats.summary(),
+            });
+        }
+        series.push(Series::new(format!("Decay Skew Ratio={skew}"), points));
+    }
+    FigureResult {
+        id: id.into(),
+        title: title.into(),
+        x_label: "risk vs reward weight (alpha)".into(),
+        y_label: "improvement over FirstPrice (%)".into(),
+        series,
+    }
+}
+
+/// Regenerates Figure 4.
+pub fn fig4(params: &ExpParams) -> FigureResult {
+    alpha_sweep(
+        params,
+        true,
+        "fig4",
+        "FirstReward vs FirstPrice across alpha (bounded penalties)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_shape() {
+        let params = ExpParams {
+            tasks: 600,
+            seeds: 2,
+            base_seed: 3000,
+            processors: 8,
+        };
+        let fig = fig4(&params);
+        assert_eq!(fig.series.len(), DECAY_SKEWS.len());
+        for s in &fig.series {
+            assert_eq!(s.points.len(), ALPHAS.len());
+            // Some cost-aware setting should not lose badly to FirstPrice.
+            let best = s.means().into_iter().fold(f64::NEG_INFINITY, f64::max);
+            assert!(best > -20.0, "series {} best {best}", s.label);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 5: the Figure-4 α sweep with **unbounded** penalties.
+//!
+//! With unbounded penalties the site is fully exposed to every queued
+//! task's decay forever; the paper finds gains are never worth
+//! considering (α = 0 — pure cost, i.e. SWPT-like — is best) and the
+//! improvement over FirstPrice is an order of magnitude larger than in
+//! the bounded case.
+
+use crate::figures::fig4::alpha_sweep;
+use crate::harness::ExpParams;
+use crate::report::FigureResult;
+
+/// Regenerates Figure 5.
+pub fn fig5(params: &ExpParams) -> FigureResult {
+    alpha_sweep(
+        params,
+        false,
+        "fig5",
+        "FirstReward vs FirstPrice across alpha (unbounded penalties)",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::fig4::ALPHAS;
+
+    #[test]
+    fn smoke_shape_cost_dominates() {
+        let params = ExpParams {
+            tasks: 600,
+            seeds: 2,
+            base_seed: 4000,
+            processors: 8,
+        };
+        let fig = fig5(&params);
+        for s in &fig.series {
+            let means = s.means();
+            assert_eq!(means.len(), ALPHAS.len());
+            // The cost-only end (α = 0) should beat the gain-only end
+            // (α = 0.9) under unbounded penalties.
+            assert!(
+                means[0] > *means.last().unwrap() - 1.0,
+                "{}: α=0 {} vs α=0.9 {}",
+                s.label,
+                means[0],
+                means.last().unwrap()
+            );
+        }
+    }
+}

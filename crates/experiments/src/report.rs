@@ -1,0 +1,335 @@
+//! Experiment results: tables, ASCII plots, CSV/JSON serialization.
+
+use mbts_sim::Summary;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One (x, aggregated-y) sample of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// The swept parameter value.
+    pub x: f64,
+    /// Mean ± CI of the metric across seeds.
+    pub y: Summary,
+}
+
+/// One line of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Samples in ascending x.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// A series from `(x, summary)` pairs.
+    pub fn new(label: impl Into<String>, points: Vec<Point>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+
+    /// y-means in x order.
+    pub fn means(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y.mean).collect()
+    }
+
+    /// The x whose mean y is largest.
+    pub fn argmax_x(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .max_by(|a, b| a.y.mean.total_cmp(&b.y.mean))
+            .map(|p| p.x)
+    }
+}
+
+/// A regenerated figure: everything needed to print or export it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Stable id, e.g. `"fig3"`.
+    pub id: String,
+    /// Human title (matches the paper's caption subject).
+    pub title: String,
+    /// x-axis label.
+    pub x_label: String,
+    /// y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureResult {
+    /// Renders a fixed-width table: one row per x, one column per series.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "  {:>22}", truncate(&s.label, 22));
+        }
+        let _ = writeln!(out);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.x).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:>12.4}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        let _ = write!(out, "  {:>13.3} ±{:>6.3}", p.y.mean, p.y.ci95);
+                    }
+                    None => {
+                        let _ = write!(out, "  {:>22}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders an ASCII line plot (y means only), one glyph per series.
+    pub fn render_plot(&self, width: usize, height: usize) -> String {
+        const GLYPHS: &[char] = &['*', 'o', '+', 'x', '#', '@', '%', '&'];
+        let mut grid = vec![vec![' '; width]; height];
+        let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+        for s in &self.series {
+            for p in &s.points {
+                xmin = xmin.min(p.x);
+                xmax = xmax.max(p.x);
+                ymin = ymin.min(p.y.mean);
+                ymax = ymax.max(p.y.mean);
+            }
+        }
+        if !xmin.is_finite() || xmax <= xmin {
+            return String::from("(empty plot)\n");
+        }
+        if ymax <= ymin {
+            ymax = ymin + 1.0;
+        }
+        for (si, s) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for p in &s.points {
+                let cx = ((p.x - xmin) / (xmax - xmin) * (width - 1) as f64).round() as usize;
+                let cy = ((p.y.mean - ymin) / (ymax - ymin) * (height - 1) as f64).round() as usize;
+                grid[height - 1 - cy][cx] = glyph;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{} — {} (y: {})", self.id, self.title, self.y_label);
+        let _ = writeln!(out, "y∈[{ymin:.2}, {ymax:.2}]");
+        for row in grid {
+            let _ = writeln!(out, "|{}", row.into_iter().collect::<String>());
+        }
+        let _ = writeln!(out, "+{}", "-".repeat(width));
+        let _ = writeln!(out, " x∈[{xmin:.3}, {xmax:.3}] ({})", self.x_label);
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "   {} = {}", GLYPHS[si % GLYPHS.len()], s.label);
+        }
+        out
+    }
+
+    /// GitHub-flavoured Markdown table: one row per x, one column per
+    /// series (`mean ± ci`).
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let _ = writeln!(out);
+        let _ = write!(out, "| {} |", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {} |", s.label);
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "|---|");
+        for _ in &self.series {
+            let _ = write!(out, "---|");
+        }
+        let _ = writeln!(out);
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|p| p.x).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "| {x} |");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(p) => {
+                        let _ = write!(out, " {:.3} ± {:.3} |", p.y.mean, p.y.ci95);
+                    }
+                    None => {
+                        let _ = write!(out, " – |");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// CSV export: `series,x,mean,ci95,std_dev,count` rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("series,x,mean,ci95,std_dev,count\n");
+        for s in &self.series {
+            for p in &s.points {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{}",
+                    escape_csv(&s.label),
+                    p.x,
+                    p.y.mean,
+                    p.y.ci95,
+                    p.y.std_dev,
+                    p.y.count
+                );
+            }
+        }
+        out
+    }
+
+    /// JSON export of the full structure.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("figure serialization cannot fail")
+    }
+
+    /// Finds a series by label.
+    pub fn series_by_label(&self, label: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.label == label)
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        s.chars().take(n - 1).chain(std::iter::once('…')).collect()
+    }
+}
+
+fn escape_csv(s: &str) -> String {
+    if s.contains(',') || s.contains('"') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn summary(mean: f64) -> Summary {
+        Summary {
+            count: 5,
+            mean,
+            std_dev: 0.5,
+            ci95: 0.44,
+            min: mean - 1.0,
+            max: mean + 1.0,
+        }
+    }
+
+    fn fig() -> FigureResult {
+        FigureResult {
+            id: "figX".into(),
+            title: "test figure".into(),
+            x_label: "load".into(),
+            y_label: "yield".into(),
+            series: vec![
+                Series::new(
+                    "a",
+                    vec![
+                        Point { x: 1.0, y: summary(10.0) },
+                        Point { x: 2.0, y: summary(20.0) },
+                    ],
+                ),
+                Series::new(
+                    "b",
+                    vec![
+                        Point { x: 1.0, y: summary(5.0) },
+                        Point { x: 2.0, y: summary(2.0) },
+                    ],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_cells() {
+        let t = fig().render_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("10.000"));
+        assert!(t.contains("20.000"));
+        assert!(t.contains("±"));
+        assert!(t.lines().count() >= 4);
+    }
+
+    #[test]
+    fn plot_renders_with_legend() {
+        let p = fig().render_plot(40, 10);
+        assert!(p.contains("* = a"));
+        assert!(p.contains("o = b"));
+        assert!(p.contains('*'));
+        assert!(p.lines().count() > 10);
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let f = FigureResult {
+            id: "e".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![],
+        };
+        assert_eq!(f.render_plot(10, 5), "(empty plot)\n");
+    }
+
+    #[test]
+    fn markdown_table_is_well_formed() {
+        let md = fig().to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert!(lines[0].starts_with("### figX"));
+        assert_eq!(lines[2], "| load | a | b |");
+        assert_eq!(lines[3], "|---|---|---|");
+        assert!(lines[4].contains("10.000 ± 0.440"));
+        assert_eq!(lines.len(), 6);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = fig().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,mean,ci95,std_dev,count");
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("a,1,10"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        assert_eq!(escape_csv("a,b"), "\"a,b\"");
+        assert_eq!(escape_csv("plain"), "plain");
+        assert_eq!(escape_csv("q\"q"), "\"q\"\"q\"");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let f = fig();
+        let back: FigureResult = serde_json::from_str(&f.to_json()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn series_helpers() {
+        let f = fig();
+        assert_eq!(f.series_by_label("a").unwrap().means(), vec![10.0, 20.0]);
+        assert_eq!(f.series_by_label("a").unwrap().argmax_x(), Some(2.0));
+        assert_eq!(f.series_by_label("b").unwrap().argmax_x(), Some(1.0));
+        assert!(f.series_by_label("zzz").is_none());
+    }
+}

@@ -1,0 +1,222 @@
+//! Task bids and server bids (§6, Figure 1).
+
+use mbts_core::AdmissionDecision;
+use mbts_sim::Time;
+use mbts_workload::{PenaltyBound, TaskSpec};
+use serde::{Deserialize, Serialize};
+
+/// A client's bid for task service: exactly the §6 tuple
+/// `(runtime_i, value_i, decay_i, bound_i)`, i.e. a [`TaskSpec`] minus its
+/// site-assigned arrival bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskBid {
+    /// Client-side task identifier.
+    pub task: u64,
+    /// Requested service demand (runtime estimate).
+    pub runtime: f64,
+    /// Maximum value / price offered.
+    pub value: f64,
+    /// Decay rate of the offer with completion delay.
+    pub decay: f64,
+    /// Penalty bound.
+    pub bound: PenaltyBound,
+}
+
+impl TaskBid {
+    /// Extracts the bid carried by a task spec.
+    pub fn from_spec(spec: &TaskSpec) -> Self {
+        TaskBid {
+            task: spec.id.0,
+            runtime: spec.runtime.as_f64(),
+            value: spec.value,
+            decay: spec.decay,
+            bound: spec.bound,
+        }
+    }
+
+    /// Materializes the bid as a spec submitted at `now`.
+    pub fn into_spec(self, now: Time) -> TaskSpec {
+        TaskSpec::new(
+            self.task,
+            now.as_f64(),
+            self.runtime,
+            self.value,
+            self.decay,
+            self.bound,
+        )
+    }
+
+    /// Returns a copy with the offered value capped (used when a client's
+    /// budget cannot cover the full bid).
+    pub fn capped(mut self, max_value: f64) -> Self {
+        self.value = self.value.min(max_value);
+        self
+    }
+}
+
+/// A site's answer to a task bid it is willing to accept: the expected
+/// completion time in its candidate schedule and the expected price
+/// (§6: "client bid value and price are equivalent" under pay-bid).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerBid {
+    /// Responding site.
+    pub site: usize,
+    /// Expected completion time in the site's candidate schedule.
+    pub expected_completion: Time,
+    /// Expected price (the value function at that completion).
+    pub price: f64,
+    /// The slack the site computed — exposed so brokers can prefer
+    /// lower-risk placements.
+    pub slack: f64,
+}
+
+impl ServerBid {
+    /// Builds a server bid from a site's admission evaluation (only
+    /// meaningful if the decision was an accept).
+    pub fn from_decision(site: usize, d: &AdmissionDecision) -> Self {
+        ServerBid {
+            site,
+            expected_completion: d.expected_completion,
+            price: d.expected_yield,
+            slack: d.slack,
+        }
+    }
+}
+
+/// How a client (or broker) chooses among the server bids it receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ClientSelection {
+    /// Pick the earliest expected completion — the best service quality,
+    /// and (since value functions decay) the highest-value placement.
+    #[default]
+    EarliestCompletion,
+    /// Pick the bid with the most slack — the placement least likely to
+    /// be disrupted by future arrivals.
+    MaxSlack,
+    /// Pick uniformly at random among responders (baseline).
+    Random,
+    /// Pick the lowest-indexed responding site (baseline; models a client
+    /// with a static site preference list).
+    FirstResponder,
+}
+
+impl ClientSelection {
+    /// Applies the selection rule. `coin` supplies randomness for
+    /// [`ClientSelection::Random`] (pass any u64; it is reduced modulo the
+    /// number of bids so the economy stays deterministic).
+    pub fn choose(&self, bids: &[ServerBid], coin: u64) -> Option<ServerBid> {
+        if bids.is_empty() {
+            return None;
+        }
+        let pick = match self {
+            ClientSelection::EarliestCompletion => bids
+                .iter()
+                .min_by(|a, b| {
+                    a.expected_completion
+                        .cmp(&b.expected_completion)
+                        .then(a.site.cmp(&b.site))
+                })
+                .unwrap(),
+            ClientSelection::MaxSlack => bids
+                .iter()
+                .max_by(|a, b| a.slack.total_cmp(&b.slack).then(b.site.cmp(&a.site)))
+                .unwrap(),
+            ClientSelection::Random => &bids[(coin % bids.len() as u64) as usize],
+            ClientSelection::FirstResponder => {
+                bids.iter().min_by_key(|b| b.site).unwrap()
+            }
+        };
+        Some(*pick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid(site: usize, completion: f64, price: f64, slack: f64) -> ServerBid {
+        ServerBid {
+            site,
+            expected_completion: Time::from(completion),
+            price,
+            slack,
+        }
+    }
+
+    #[test]
+    fn task_bid_roundtrips_through_spec() {
+        let spec = TaskSpec::new(7, 3.0, 10.0, 100.0, 2.0, PenaltyBound::ZERO);
+        let b = TaskBid::from_spec(&spec);
+        assert_eq!(b.task, 7);
+        assert_eq!(b.runtime, 10.0);
+        let spec2 = b.into_spec(Time::from(50.0));
+        assert_eq!(spec2.arrival, Time::from(50.0));
+        assert_eq!(spec2.value, 100.0);
+        assert_eq!(spec2.decay, 2.0);
+        assert_eq!(spec2.bound, PenaltyBound::ZERO);
+    }
+
+    #[test]
+    fn capping_lowers_value_only_downward() {
+        let b = TaskBid {
+            task: 0,
+            runtime: 1.0,
+            value: 100.0,
+            decay: 1.0,
+            bound: PenaltyBound::Unbounded,
+        };
+        assert_eq!(b.capped(40.0).value, 40.0);
+        assert_eq!(b.capped(400.0).value, 100.0);
+    }
+
+    #[test]
+    fn earliest_completion_wins() {
+        let bids = vec![bid(0, 30.0, 90.0, 5.0), bid(1, 10.0, 99.0, 1.0), bid(2, 20.0, 95.0, 9.0)];
+        let chosen = ClientSelection::EarliestCompletion.choose(&bids, 0).unwrap();
+        assert_eq!(chosen.site, 1);
+    }
+
+    #[test]
+    fn earliest_completion_tie_breaks_by_site() {
+        let bids = vec![bid(2, 10.0, 90.0, 5.0), bid(0, 10.0, 90.0, 5.0)];
+        let chosen = ClientSelection::EarliestCompletion.choose(&bids, 0).unwrap();
+        assert_eq!(chosen.site, 0);
+    }
+
+    #[test]
+    fn max_slack_wins() {
+        let bids = vec![bid(0, 10.0, 90.0, 5.0), bid(1, 30.0, 70.0, 50.0)];
+        let chosen = ClientSelection::MaxSlack.choose(&bids, 0).unwrap();
+        assert_eq!(chosen.site, 1);
+    }
+
+    #[test]
+    fn random_is_deterministic_in_coin() {
+        let bids = vec![bid(0, 1.0, 1.0, 1.0), bid(1, 1.0, 1.0, 1.0), bid(2, 1.0, 1.0, 1.0)];
+        let a = ClientSelection::Random.choose(&bids, 4).unwrap();
+        let b = ClientSelection::Random.choose(&bids, 4).unwrap();
+        assert_eq!(a.site, b.site);
+        assert_eq!(a.site, 1); // 4 % 3
+    }
+
+    #[test]
+    fn first_responder_picks_lowest_site() {
+        let bids = vec![bid(5, 1.0, 1.0, 1.0), bid(2, 9.0, 1.0, 1.0)];
+        assert_eq!(
+            ClientSelection::FirstResponder.choose(&bids, 0).unwrap().site,
+            2
+        );
+    }
+
+    #[test]
+    fn empty_bids_yield_none() {
+        for sel in [
+            ClientSelection::EarliestCompletion,
+            ClientSelection::MaxSlack,
+            ClientSelection::Random,
+            ClientSelection::FirstResponder,
+        ] {
+            assert!(sel.choose(&[], 0).is_none());
+        }
+    }
+}

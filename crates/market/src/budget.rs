@@ -1,0 +1,131 @@
+//! Client budgets (§2).
+//!
+//! The paper premises that "each user or group is assigned a budget to
+//! spend on computing service over each time interval". We model each
+//! client as a replenishing account: balance grows at `replenish_rate`
+//! per time unit up to `cap`, and settlements debit it. A bid whose value
+//! exceeds the available balance is *capped* to what the client can fund
+//! (capping to zero means the task goes unfunded and is not submitted).
+
+use mbts_sim::Time;
+use serde::{Deserialize, Serialize};
+
+/// Budget parameters shared by every client in an economy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetConfig {
+    /// Number of client accounts; task `t` belongs to client
+    /// `t mod num_clients`.
+    pub num_clients: usize,
+    /// Opening balance per client.
+    pub initial: f64,
+    /// Currency accrued per time unit.
+    pub replenish_rate: f64,
+    /// Balance ceiling (accrual pauses at the cap).
+    pub cap: f64,
+}
+
+impl BudgetConfig {
+    /// A generous default: effectively-unconstrained clients.
+    pub fn unconstrained(num_clients: usize) -> Self {
+        BudgetConfig {
+            num_clients,
+            initial: f64::MAX / 4.0,
+            replenish_rate: 0.0,
+            cap: f64::MAX / 2.0,
+        }
+    }
+}
+
+/// One client's account.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Account {
+    balance: f64,
+    last_accrual: Time,
+    rate: f64,
+    cap: f64,
+    /// Total debited over the run.
+    pub spent: f64,
+}
+
+impl Account {
+    /// Opens an account per `config`.
+    pub fn new(config: &BudgetConfig) -> Self {
+        Account {
+            balance: config.initial,
+            last_accrual: Time::ZERO,
+            rate: config.replenish_rate,
+            cap: config.cap,
+            spent: 0.0,
+        }
+    }
+
+    /// Accrues replenishment up to `now` and returns the balance.
+    pub fn available(&mut self, now: Time) -> f64 {
+        if now > self.last_accrual {
+            let dt = (now - self.last_accrual).as_f64();
+            self.balance = (self.balance + dt * self.rate).min(self.cap);
+            self.last_accrual = now;
+        }
+        self.balance
+    }
+
+    /// Debits a settlement (negative settlements — penalties paid *to*
+    /// the client — credit the account).
+    pub fn debit(&mut self, amount: f64) {
+        self.balance -= amount;
+        self.spent += amount;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BudgetConfig {
+        BudgetConfig {
+            num_clients: 2,
+            initial: 100.0,
+            replenish_rate: 2.0,
+            cap: 150.0,
+        }
+    }
+
+    #[test]
+    fn accrues_over_time_up_to_cap() {
+        let mut a = Account::new(&cfg());
+        assert_eq!(a.available(Time::ZERO), 100.0);
+        assert_eq!(a.available(Time::from(10.0)), 120.0);
+        // 100 + 2·100 = 300 → capped at 150.
+        assert_eq!(a.available(Time::from(100.0)), 150.0);
+    }
+
+    #[test]
+    fn accrual_is_idempotent_at_fixed_time() {
+        let mut a = Account::new(&cfg());
+        assert_eq!(a.available(Time::from(5.0)), 110.0);
+        assert_eq!(a.available(Time::from(5.0)), 110.0);
+        // Time never runs backwards in the engine; a stale query is a no-op.
+        assert_eq!(a.available(Time::from(1.0)), 110.0);
+    }
+
+    #[test]
+    fn debits_and_credits() {
+        let mut a = Account::new(&cfg());
+        a.debit(30.0);
+        assert_eq!(a.available(Time::ZERO), 70.0);
+        assert_eq!(a.spent, 30.0);
+        // Penalty paid to the client: credit.
+        a.debit(-10.0);
+        assert_eq!(a.available(Time::ZERO), 80.0);
+        assert_eq!(a.spent, 20.0);
+    }
+
+    #[test]
+    fn unconstrained_never_binds() {
+        let mut a = Account::new(&BudgetConfig::unconstrained(1));
+        for _ in 0..1000 {
+            a.debit(1e12);
+        }
+        assert!(a.available(Time::from(1.0)) > 1e15);
+    }
+}

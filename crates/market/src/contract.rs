@@ -1,0 +1,321 @@
+//! Contracts and settlement (§2, §3).
+//!
+//! Once a client accepts a server bid, a contract records the negotiated
+//! expected completion time and price. The *settled* price at actual
+//! completion is determined by the task's value function: completing on
+//! (or before) the negotiated time collects the negotiated price; a late
+//! completion collects the decayed value — possibly a penalty the site
+//! pays the client (§3).
+
+use mbts_core::{PiecewiseLinear, ValueFunction};
+use mbts_sim::{Duration, Time};
+use mbts_workload::TaskSpec;
+use serde::{Deserialize, Serialize};
+
+/// How late completions are priced (an extension past the paper's pure
+/// value-function settlement, exercising the §3 "variable rates"
+/// generalization).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum ContractTerms {
+    /// The paper's model: settle on the task's own linear value function.
+    #[default]
+    ValueFunction,
+    /// Service-level-agreement style: the negotiated price holds for a
+    /// grace period past the negotiated completion, then decays at
+    /// `rate_multiplier ×` the task's decay rate (still floored at the
+    /// task's penalty bound). Steeper-than-1 multipliers penalize sites
+    /// that blow through the grace window.
+    GracePeriod {
+        /// Length of the full-price window after the negotiated time.
+        grace: f64,
+        /// Post-grace decay rate as a multiple of the task's own decay.
+        rate_multiplier: f64,
+    },
+}
+
+/// Where a contract stands.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ContractStatus {
+    /// Accepted; work not yet finished.
+    Open,
+    /// Finished; records the settlement.
+    Settled {
+        /// Actual completion time.
+        completed_at: Time,
+        /// Price actually collected (≤ negotiated price; may be negative).
+        settled_price: f64,
+        /// Whether the completion violated the negotiated time.
+        violated: bool,
+    },
+}
+
+/// A formed contract between a client and a site.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Contract {
+    /// The contracted task (carries the value function).
+    pub spec: TaskSpec,
+    /// The site that won the bid.
+    pub site: usize,
+    /// The client on whose behalf the task was placed.
+    pub client: usize,
+    /// When the contract was formed.
+    pub formed_at: Time,
+    /// The completion time the server bid promised.
+    pub negotiated_completion: Time,
+    /// The price the server bid quoted (expected yield at that time).
+    pub negotiated_price: f64,
+    /// How late completions are priced.
+    pub terms: ContractTerms,
+    /// Current status.
+    pub status: ContractStatus,
+}
+
+impl Contract {
+    /// Forms a contract from an accepted bid.
+    pub fn new(
+        spec: TaskSpec,
+        site: usize,
+        client: usize,
+        formed_at: Time,
+        negotiated_completion: Time,
+        negotiated_price: f64,
+    ) -> Self {
+        Contract {
+            spec,
+            site,
+            client,
+            formed_at,
+            negotiated_completion,
+            negotiated_price,
+            terms: ContractTerms::ValueFunction,
+            status: ContractStatus::Open,
+        }
+    }
+
+    /// Sets the settlement terms.
+    pub fn with_terms(mut self, terms: ContractTerms) -> Self {
+        self.terms = terms;
+        self
+    }
+
+    /// The settlement curve value at `at`, per the contract terms.
+    pub fn price_at(&self, at: Time) -> f64 {
+        match self.terms {
+            ContractTerms::ValueFunction => self.spec.yield_at(at),
+            ContractTerms::GracePeriod {
+                grace,
+                rate_multiplier,
+            } => {
+                // Full negotiated price through the grace window, then a
+                // piecewise-linear decay at the scaled rate.
+                let curve = PiecewiseLinear::new(
+                    self.negotiated_completion,
+                    self.negotiated_price,
+                    vec![
+                        (Duration::new(grace), 0.0),
+                        (Duration::INFINITY, self.spec.decay * rate_multiplier),
+                    ],
+                    self.spec.bound,
+                );
+                curve.value_at(at)
+            }
+        }
+    }
+
+    /// Settles the contract at the actual completion time. The collected
+    /// price is the value function at the actual completion — equal to
+    /// the negotiated price when on time, decayed (possibly into penalty)
+    /// when late. Returns the settled price.
+    pub fn settle(&mut self, completed_at: Time) -> f64 {
+        debug_assert!(
+            matches!(self.status, ContractStatus::Open),
+            "settling a non-open contract"
+        );
+        let settled_price = self.price_at(completed_at);
+        // Guard against float dust around the negotiated instant.
+        let violated = completed_at > self.negotiated_completion
+            && !completed_at.approx_eq(self.negotiated_completion);
+        self.status = ContractStatus::Settled {
+            completed_at,
+            settled_price,
+            violated,
+        };
+        settled_price
+    }
+
+    /// Cancels the contract before completion (§3: a site discarding an
+    /// accepted task). The site collects nothing; if the value function
+    /// has already decayed negative, the site pays that accrued penalty.
+    /// Returns the (≤ 0) breach settlement.
+    pub fn cancel(&mut self, at: Time) -> f64 {
+        debug_assert!(
+            matches!(self.status, ContractStatus::Open),
+            "cancelling a non-open contract"
+        );
+        let settled_price = self.price_at(at).min(0.0);
+        self.status = ContractStatus::Settled {
+            completed_at: at,
+            settled_price,
+            violated: true,
+        };
+        settled_price
+    }
+
+    /// `true` once settled.
+    pub fn is_settled(&self) -> bool {
+        matches!(self.status, ContractStatus::Settled { .. })
+    }
+
+    /// `true` if settled late.
+    pub fn was_violated(&self) -> bool {
+        matches!(
+            self.status,
+            ContractStatus::Settled { violated: true, .. }
+        )
+    }
+
+    /// The settled price, if settled.
+    pub fn settled_price(&self) -> Option<f64> {
+        match self.status {
+            ContractStatus::Settled { settled_price, .. } => Some(settled_price),
+            ContractStatus::Open => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbts_workload::PenaltyBound;
+
+    fn contract(bound: PenaltyBound) -> Contract {
+        // Task: arrival 0, runtime 10, value 100, decay 2.
+        let spec = TaskSpec::new(0, 0.0, 10.0, 100.0, 2.0, bound);
+        // Negotiated to complete at t = 20 (queueing delay 10 → price 80).
+        Contract::new(spec, 0, 0, Time::ZERO, Time::from(20.0), 80.0)
+    }
+
+    #[test]
+    fn on_time_settlement_collects_negotiated_price() {
+        let mut c = contract(PenaltyBound::Unbounded);
+        let p = c.settle(Time::from(20.0));
+        assert_eq!(p, 80.0);
+        assert!(c.is_settled());
+        assert!(!c.was_violated());
+        assert_eq!(c.settled_price(), Some(80.0));
+    }
+
+    #[test]
+    fn early_settlement_collects_more() {
+        let mut c = contract(PenaltyBound::Unbounded);
+        let p = c.settle(Time::from(12.0));
+        assert_eq!(p, 96.0);
+        assert!(!c.was_violated());
+    }
+
+    #[test]
+    fn late_settlement_decays_the_price() {
+        let mut c = contract(PenaltyBound::Unbounded);
+        let p = c.settle(Time::from(40.0));
+        // delay 30 → 100 − 60 = 40.
+        assert_eq!(p, 40.0);
+        assert!(c.was_violated());
+    }
+
+    #[test]
+    fn very_late_settlement_is_a_penalty() {
+        let mut c = contract(PenaltyBound::Unbounded);
+        let p = c.settle(Time::from(100.0));
+        // delay 90 → 100 − 180 = −80: the site pays the client.
+        assert_eq!(p, -80.0);
+        assert!(c.was_violated());
+    }
+
+    #[test]
+    fn bounded_penalty_floors_settlement() {
+        let mut c = contract(PenaltyBound::Bounded { max_penalty: 25.0 });
+        let p = c.settle(Time::from(1000.0));
+        assert_eq!(p, -25.0);
+    }
+
+    #[test]
+    fn open_contract_has_no_settled_price() {
+        let c = contract(PenaltyBound::Unbounded);
+        assert!(!c.is_settled());
+        assert!(!c.was_violated());
+        assert_eq!(c.settled_price(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut c = contract(PenaltyBound::ZERO);
+        c.settle(Time::from(30.0));
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Contract = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}
+
+#[cfg(test)]
+mod terms_tests {
+    use super::*;
+    use mbts_workload::PenaltyBound;
+
+    fn sla_contract(bound: PenaltyBound) -> Contract {
+        // Task: arrival 0, runtime 10, value 100, decay 2.
+        // Negotiated completion 20 at price 80; grace 15; 3× post-grace decay.
+        let spec = TaskSpec::new(0, 0.0, 10.0, 100.0, 2.0, bound);
+        Contract::new(spec, 0, 0, Time::ZERO, Time::from(20.0), 80.0).with_terms(
+            ContractTerms::GracePeriod {
+                grace: 15.0,
+                rate_multiplier: 3.0,
+            },
+        )
+    }
+
+    #[test]
+    fn grace_window_holds_the_full_price() {
+        let mut c = sla_contract(PenaltyBound::Unbounded);
+        // Anywhere inside [20, 35]: full negotiated price.
+        assert_eq!(c.price_at(Time::from(20.0)), 80.0);
+        assert_eq!(c.price_at(Time::from(34.9)), 80.0);
+        // Early completion also just collects the negotiated price
+        // (SLA semantics: the quote is the quote).
+        assert_eq!(c.price_at(Time::from(12.0)), 80.0);
+        let p = c.settle(Time::from(30.0));
+        assert_eq!(p, 80.0);
+        // Still marked violated (past the negotiated instant)…
+        assert!(c.was_violated());
+    }
+
+    #[test]
+    fn post_grace_decay_is_steeper() {
+        let c = sla_contract(PenaltyBound::Unbounded);
+        // 10 t.u. past the grace end (t = 45): 80 − 10·(2·3) = 20.
+        assert_eq!(c.price_at(Time::from(45.0)), 20.0);
+        // vs the plain value function at 45: 100 − 35·2 = 30.
+        assert_eq!(c.spec.yield_at(Time::from(45.0)), 30.0);
+    }
+
+    #[test]
+    fn sla_floors_at_the_task_bound() {
+        let c = sla_contract(PenaltyBound::Bounded { max_penalty: 10.0 });
+        assert_eq!(c.price_at(Time::from(1e6)), -10.0);
+    }
+
+    #[test]
+    fn default_terms_are_the_paper_model() {
+        let spec = TaskSpec::new(0, 0.0, 10.0, 100.0, 2.0, PenaltyBound::Unbounded);
+        let c = Contract::new(spec, 0, 0, Time::ZERO, Time::from(20.0), 80.0);
+        assert_eq!(c.terms, ContractTerms::ValueFunction);
+        assert_eq!(c.price_at(Time::from(40.0)), spec.yield_at(Time::from(40.0)));
+    }
+
+    #[test]
+    fn sla_cancellation_penalty_uses_the_sla_curve() {
+        let mut c = sla_contract(PenaltyBound::Unbounded);
+        // Inside the grace window a cancellation costs the site nothing
+        // (the curve is still positive → min(0, ·) = 0).
+        assert_eq!(c.cancel(Time::from(30.0)), 0.0);
+    }
+}

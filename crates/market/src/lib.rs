@@ -1,0 +1,64 @@
+//! # mbts-market — the service-market layer
+//!
+//! Implements the negotiation setting of §2 and §6 and Figure 1 of the
+//! paper: clients (or a broker acting for them) submit **task bids** —
+//! value-function tuples `(runtime, value, decay, bound)` — to a set of
+//! task-service sites; each site either rejects the bid or answers with a
+//! **server bid** (expected completion time and price) derived from its
+//! candidate schedule; the client picks a site; a **contract** is formed.
+//! If the site later completes the task past the negotiated time, the
+//! value function determines the reduced price or penalty it actually
+//! collects.
+//!
+//! Modules:
+//!
+//! * [`bid`] — task bids and server bids.
+//! * [`bidding`] — client bidding strategies: the truthful-vs-shaded
+//!   experiment behind §2's second-pricing motivation.
+//! * [`contract`] — contracts and their settlement at completion time.
+//! * [`pricing`] — settlement strategies (§2 notes pricing is orthogonal:
+//!   pay-bid by default, with a second-price hook).
+//! * [`budget`] — per-client replenishing budgets (§2's premise that
+//!   buyers hold budgeted currency).
+//! * [`economy`] — a multi-site discrete-event economy tying it together.
+//! * [`resource`] — the §7 reseller model: sites renting elastic capacity
+//!   from a shared resource pool, provisioning on queue pressure or
+//!   marginal gain, accounting profit = yield − rent.
+//!
+//! ```
+//! use mbts_core::{AdmissionPolicy, Policy};
+//! use mbts_market::{Economy, EconomyConfig};
+//! use mbts_site::SiteConfig;
+//! use mbts_workload::{generate_trace, MixConfig};
+//!
+//! let trace = generate_trace(
+//!     &MixConfig::millennium_default().with_tasks(100).with_processors(8),
+//!     7,
+//! );
+//! // Two sites compete for the stream; clients take the earliest bid.
+//! let economy = EconomyConfig::uniform(
+//!     2,
+//!     SiteConfig::new(4)
+//!         .with_policy(Policy::first_reward(0.2, 0.01))
+//!         .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 }),
+//! );
+//! let outcome = Economy::new(economy).run_trace(&trace);
+//! assert_eq!(outcome.placed + outcome.unplaced, 100);
+//! assert!(outcome.contracts.iter().all(|c| c.is_settled()));
+//! ```
+
+pub mod bid;
+pub mod bidding;
+pub mod budget;
+pub mod contract;
+pub mod economy;
+pub mod pricing;
+pub mod resource;
+
+pub use bid::{ClientSelection, ServerBid, TaskBid};
+pub use bidding::{run_shading_experiment, PopulationReport, ShadingReport};
+pub use budget::BudgetConfig;
+pub use contract::{Contract, ContractStatus, ContractTerms};
+pub use economy::{Economy, EconomyConfig, EconomyOutcome, MigrationConfig, RetryConfig, SiteId};
+pub use pricing::PricingStrategy;
+pub use resource::{run_elastic, ElasticConfig, ElasticOutcome, ProvisioningPolicy, ResourcePool};

@@ -1,0 +1,357 @@
+//! Simulation time.
+//!
+//! The paper's model is continuous-time (exponential inter-arrival times,
+//! fractional runtimes), so [`Time`] wraps an `f64` measured in abstract
+//! *time units* (t.u.). The wrapper exists to
+//!
+//! * give time a **total order** (`NaN` is rejected at construction, so
+//!   `Ord` is sound),
+//! * keep absolute instants ([`Time`]) and spans ([`Duration`]) from being
+//!   mixed up in scheduler arithmetic, and
+//! * centralize the tolerance used when comparing derived instants.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// An absolute instant in simulation time, in abstract time units.
+///
+/// Construction panics on `NaN`, which makes the manual `Ord` impl total.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[serde(transparent)]
+pub struct Time(f64);
+
+/// A span of simulation time (always a difference of two [`Time`]s or an
+/// explicitly constructed length). May be negative: slack computations in
+/// the admission controller legitimately produce negative spans.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[serde(transparent)]
+pub struct Duration(f64);
+
+/// Comparison tolerance for derived instants (e.g. two completion times
+/// computed along different arithmetic paths).
+pub const TIME_EPSILON: f64 = 1e-9;
+
+impl Time {
+    /// The origin of simulation time.
+    pub const ZERO: Time = Time(0.0);
+    /// A time later than any reachable instant; useful as a sentinel.
+    pub const INFINITY: Time = Time(f64::INFINITY);
+
+    /// Creates a time from raw units. Panics on `NaN`.
+    #[inline]
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "Time must not be NaN");
+        Time(t)
+    }
+
+    /// Raw value in time units.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// `true` if within [`TIME_EPSILON`] of `other`.
+    #[inline]
+    pub fn approx_eq(self, other: Time) -> bool {
+        (self.0 - other.0).abs() <= TIME_EPSILON
+    }
+
+    /// Later of two instants.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Earlier of two instants.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0.0);
+    /// An unbounded span; useful as a sentinel for "never expires".
+    pub const INFINITY: Duration = Duration(f64::INFINITY);
+
+    /// Creates a duration from raw units. Panics on `NaN`.
+    #[inline]
+    pub fn new(d: f64) -> Self {
+        assert!(!d.is_nan(), "Duration must not be NaN");
+        Duration(d)
+    }
+
+    /// Raw value in time units.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// `true` for spans of negative length.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0.0
+    }
+
+    /// Clamps negative spans to zero (used when converting a signed delay
+    /// into queueing delay, which cannot be negative).
+    #[inline]
+    pub fn max_zero(self) -> Duration {
+        if self.0 > 0.0 {
+            self
+        } else {
+            Duration::ZERO
+        }
+    }
+
+    /// Smaller of two spans.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two spans.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<f64> for Time {
+    #[inline]
+    fn from(t: f64) -> Self {
+        Time::new(t)
+    }
+}
+
+impl From<f64> for Duration {
+    #[inline]
+    fn from(d: f64) -> Self {
+        Duration::new(d)
+    }
+}
+
+impl Eq for Time {}
+impl Eq for Duration {}
+
+impl PartialOrd for Time {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Sound: NaN is rejected at construction.
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl PartialOrd for Duration {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Duration {
+    #[inline]
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+        assert!(!self.0.is_nan(), "Time must not be NaN");
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Time {
+        Time::new(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        Duration::new(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::new(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+        assert!(!self.0.is_nan(), "Duration must not be NaN");
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration::new(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+        assert!(!self.0.is_nan(), "Duration must not be NaN");
+    }
+}
+
+impl Mul<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: f64) -> Duration {
+        Duration::new(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: f64) -> Duration {
+        Duration::new(self.0 / rhs)
+    }
+}
+
+impl Div for Duration {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Duration) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Neg for Duration {
+    type Output = Duration;
+    #[inline]
+    fn neg(self) -> Duration {
+        Duration::new(-self.0)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.4}", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Δ{:.4}", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total_and_sane() {
+        assert!(Time::ZERO < Time::from(1.0));
+        assert!(Time::from(1.0) < Time::INFINITY);
+        assert_eq!(Time::from(2.0).max(Time::from(3.0)), Time::from(3.0));
+        assert_eq!(Time::from(2.0).min(Time::from(3.0)), Time::from(2.0));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = Time::from(10.0);
+        let d = Duration::from(2.5);
+        assert_eq!(t + d - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d * 2.0, Duration::from(5.0));
+        assert_eq!(d / 2.5, Duration::from(1.0));
+        assert!((Duration::from(5.0) / Duration::from(2.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_durations_are_legal_and_clampable() {
+        let d = Time::from(1.0) - Time::from(4.0);
+        assert!(d.is_negative());
+        assert_eq!(d.max_zero(), Duration::ZERO);
+        assert_eq!(-d, Duration::from(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    fn approx_eq_tolerance() {
+        let a = Time::from(1.0);
+        let b = Time::from(1.0 + 1e-12);
+        assert!(a.approx_eq(b));
+        assert!(!a.approx_eq(Time::from(1.1)));
+    }
+
+    #[test]
+    fn serde_roundtrip_is_transparent() {
+        let t = Time::from(42.5);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(json, "42.5");
+        let back: Time = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,162 @@
+//! Execution-segment recording and ASCII Gantt rendering.
+//!
+//! With [`SiteConfig::with_record_segments`](crate::SiteConfig::with_record_segments)
+//! enabled, the site records one [`Segment`] per contiguous run of each
+//! task (preemption splits a task into several segments). The renderer
+//! lays segments out into lanes (a greedy interval coloring — processors
+//! are interchangeable, so lanes are equivalent to processors up to
+//! relabeling) and draws a fixed-width ASCII chart, which the `gantt`
+//! example uses to make preemption and backfilling visible.
+
+use mbts_sim::Time;
+use mbts_workload::TaskId;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One contiguous execution interval of a task on one gang of processors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// The task.
+    pub id: TaskId,
+    /// Gang width (the segment occupies this many lanes' worth of
+    /// capacity; rendering shows it once with a width annotation).
+    pub width: usize,
+    /// Segment start.
+    pub start: Time,
+    /// Segment end (completion or preemption instant).
+    pub end: Time,
+    /// `true` if the segment ended in preemption rather than completion.
+    pub preempted: bool,
+}
+
+/// Renders segments as an ASCII Gantt chart, `cols` characters wide.
+/// Lanes are assigned greedily by start time; a segment of width `w`
+/// consumes `w` lanes.
+pub fn render_gantt(segments: &[Segment], cols: usize) -> String {
+    if segments.is_empty() {
+        return String::from("(no segments)\n");
+    }
+    let t0 = segments.iter().map(|s| s.start).min().unwrap();
+    let t1 = segments.iter().map(|s| s.end).max().unwrap();
+    let span = (t1 - t0).as_f64().max(1e-9);
+    let col_of = |t: Time| -> usize {
+        (((t - t0).as_f64() / span) * (cols.saturating_sub(1)) as f64).round() as usize
+    };
+
+    // Greedy lane assignment: earliest-starting segment first; each takes
+    // the first `width` lanes that are free at its start.
+    let mut order: Vec<usize> = (0..segments.len()).collect();
+    order.sort_by(|&a, &b| {
+        segments[a]
+            .start
+            .cmp(&segments[b].start)
+            .then(segments[a].id.cmp(&segments[b].id))
+    });
+    let mut lane_busy_until: Vec<Time> = Vec::new();
+    let mut placement: Vec<(usize, Vec<usize>)> = Vec::new(); // (segment, lanes)
+    for &si in &order {
+        let seg = &segments[si];
+        let mut lanes = Vec::with_capacity(seg.width);
+        for (li, busy) in lane_busy_until.iter().enumerate() {
+            if lanes.len() == seg.width {
+                break;
+            }
+            if *busy <= seg.start {
+                lanes.push(li);
+            }
+        }
+        while lanes.len() < seg.width {
+            lane_busy_until.push(Time::ZERO);
+            lanes.push(lane_busy_until.len() - 1);
+        }
+        for &li in &lanes {
+            lane_busy_until[li] = seg.end;
+        }
+        placement.push((si, lanes));
+    }
+
+    let num_lanes = lane_busy_until.len();
+    let mut grid = vec![vec![' '; cols]; num_lanes];
+    for (si, lanes) in &placement {
+        let seg = &segments[*si];
+        let c0 = col_of(seg.start);
+        let c1 = col_of(seg.end).max(c0);
+        let glyph = glyph_for(seg.id);
+        for &lane in lanes {
+            for c in c0..=c1.min(cols - 1) {
+                grid[lane][c] = glyph;
+            }
+            // Mark a preempted segment's end.
+            if seg.preempted && c1 < cols {
+                grid[lane][c1] = '>';
+            }
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "t ∈ [{t0}, {t1}] — one row per lane (≈ processor)");
+    for (li, row) in grid.iter().enumerate() {
+        let _ = writeln!(out, "{li:>3} |{}|", row.iter().collect::<String>());
+    }
+    let _ = writeln!(out, "legend: a–z0–9 = task id mod 36, '>' = preempted here");
+    out
+}
+
+fn glyph_for(id: TaskId) -> char {
+    const GLYPHS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+    GLYPHS[(id.0 % GLYPHS.len() as u64) as usize] as char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(id: u64, width: usize, start: f64, end: f64, preempted: bool) -> Segment {
+        Segment {
+            id: TaskId(id),
+            width,
+            start: Time::from(start),
+            end: Time::from(end),
+            preempted,
+        }
+    }
+
+    #[test]
+    fn empty_render() {
+        assert_eq!(render_gantt(&[], 40), "(no segments)\n");
+    }
+
+    #[test]
+    fn non_overlapping_segments_share_a_lane() {
+        let segs = vec![seg(0, 1, 0.0, 10.0, false), seg(1, 1, 10.0, 20.0, false)];
+        let out = render_gantt(&segs, 40);
+        // Exactly one lane row (plus header + legend).
+        assert_eq!(out.lines().count(), 3);
+        assert!(out.contains("  0 |"));
+        assert!(out.contains('a'));
+        assert!(out.contains('b'));
+    }
+
+    #[test]
+    fn overlapping_segments_get_distinct_lanes() {
+        let segs = vec![seg(0, 1, 0.0, 10.0, false), seg(1, 1, 5.0, 15.0, false)];
+        let out = render_gantt(&segs, 40);
+        assert_eq!(out.lines().count(), 4); // header + 2 lanes + legend
+    }
+
+    #[test]
+    fn wide_segments_take_width_lanes() {
+        let segs = vec![seg(0, 3, 0.0, 10.0, false)];
+        let out = render_gantt(&segs, 40);
+        assert_eq!(out.lines().count(), 5); // header + 3 lanes + legend
+        // All three lanes show the same glyph.
+        assert_eq!(out.matches('a').count() >= 3, true);
+    }
+
+    #[test]
+    fn preemption_marker_present() {
+        let segs = vec![seg(0, 1, 0.0, 5.0, true), seg(0, 1, 8.0, 12.0, false)];
+        let out = render_gantt(&segs, 40);
+        assert!(out.contains('>'));
+    }
+}

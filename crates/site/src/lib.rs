@@ -1,0 +1,227 @@
+//! # mbts-site — an event-driven task-service site
+//!
+//! Executes a stream of submitted tasks on a pool of interchangeable
+//! processors under the paper's model (§4):
+//!
+//! * gang-of-one tasks, zero context-switch cost,
+//! * a value-based [`Policy`](mbts_core::Policy) selects which queued task
+//!   runs at each dispatch point,
+//! * optional **preemption**: a newly arriving higher-priority task may
+//!   suspend a running one (which can later resume on any processor),
+//! * optional **admission control** (§6): each submission is evaluated
+//!   against the candidate schedule and its slack before acceptance,
+//! * yield accounting per Eq. 1 at the instant each task completes.
+//!
+//! The crate has two layers:
+//!
+//! * [`SiteState`] — an imperative core with explicit `submit` /
+//!   `on_completion` transitions returning completion tokens. The market
+//!   layer drives many of these inside one economy-wide event loop.
+//! * [`Site`] — a self-contained wrapper that replays a whole
+//!   [`mbts_workload::Trace`] through a discrete-event engine and
+//!   returns [`SiteOutcome`] metrics.
+//!
+//! ```
+//! use mbts_core::Policy;
+//! use mbts_site::{Site, SiteConfig};
+//! use mbts_workload::{generate_trace, MixConfig};
+//!
+//! let trace = generate_trace(
+//!     &MixConfig::millennium_default().with_tasks(100).with_processors(4),
+//!     1,
+//! );
+//! let outcome = Site::new(
+//!     SiteConfig::new(4)
+//!         .with_policy(Policy::FirstPrice)
+//!         .with_preemption(true),
+//! )
+//! .run_trace(&trace);
+//! assert_eq!(outcome.metrics.completed, 100);
+//! assert!(outcome.delay_percentile(0.95) >= outcome.delay_percentile(0.5));
+//! ```
+
+pub mod analysis;
+pub mod audit;
+pub mod config;
+pub mod gantt;
+pub mod metrics;
+pub mod state;
+
+pub use analysis::{class_breakdown, ClassReport};
+pub use audit::{AuditEvent, AuditKind};
+pub use config::{PreemptionMode, SiteConfig};
+pub use gantt::{render_gantt, Segment};
+pub use metrics::{JobOutcome, SiteMetrics};
+pub use state::{CompletionToken, SiteState};
+
+use mbts_sim::{Engine, EventQueue, Model, Time};
+use mbts_workload::Trace;
+
+/// A single-site simulator: replays a trace and reports metrics.
+pub struct Site {
+    config: SiteConfig,
+}
+
+/// Result of replaying a trace through a [`Site`].
+#[derive(Debug, Clone)]
+pub struct SiteOutcome {
+    /// Aggregate counters and yield statistics.
+    pub metrics: SiteMetrics,
+    /// Per-job outcomes, sorted by task id.
+    pub outcomes: Vec<JobOutcome>,
+    /// Execution segments (empty unless
+    /// [`SiteConfig::with_record_segments`] was enabled), sorted by start.
+    pub segments: Vec<Segment>,
+    /// Structured audit trail (empty unless [`SiteConfig::with_audit`]
+    /// was enabled), in event order.
+    pub audit: Vec<AuditEvent>,
+}
+
+impl SiteOutcome {
+    /// The `q`-quantile (0 ≤ q ≤ 1) of completed tasks' delays, by
+    /// nearest-rank over the per-job records. `NaN` with no completions.
+    pub fn delay_percentile(&self, q: f64) -> f64 {
+        percentile(
+            self.outcomes
+                .iter()
+                .filter(|o| o.disposition == metrics::Disposition::Completed)
+                .map(|o| o.delay),
+            q,
+        )
+    }
+
+    /// The `q`-quantile of per-task earnings over completed + dropped
+    /// tasks. `NaN` when nothing finished.
+    pub fn earned_percentile(&self, q: f64) -> f64 {
+        percentile(
+            self.outcomes
+                .iter()
+                .filter(|o| {
+                    matches!(
+                        o.disposition,
+                        metrics::Disposition::Completed | metrics::Disposition::Dropped
+                    )
+                })
+                .map(|o| o.earned),
+            q,
+        )
+    }
+}
+
+/// Nearest-rank percentile over an iterator of samples.
+fn percentile(values: impl Iterator<Item = f64>, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    let mut v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+    v[rank - 1]
+}
+
+impl Site {
+    /// A site with the given configuration.
+    pub fn new(config: SiteConfig) -> Self {
+        Site { config }
+    }
+
+    /// Runs `trace` to completion (all accepted tasks finished) and
+    /// returns the outcome.
+    pub fn run_trace(&self, trace: &Trace) -> SiteOutcome {
+        let model = TraceModel {
+            state: SiteState::new(self.config.clone()),
+            trace: trace.tasks.clone(),
+        };
+        let mut engine = Engine::new(model);
+        for (i, spec) in trace.tasks.iter().enumerate() {
+            engine.schedule(spec.arrival, TraceEvent::Arrival(i));
+        }
+        engine.run_to_completion();
+        let state = engine.into_model().state;
+        debug_assert!(
+            state.is_quiescent(),
+            "site still busy after event queue drained"
+        );
+        state.into_outcome()
+    }
+}
+
+enum TraceEvent {
+    Arrival(usize),
+    Completion(CompletionToken),
+}
+
+struct TraceModel {
+    state: SiteState,
+    trace: Vec<mbts_workload::TaskSpec>,
+}
+
+impl Model for TraceModel {
+    type Event = TraceEvent;
+
+    fn handle(&mut self, now: Time, event: TraceEvent, queue: &mut EventQueue<TraceEvent>) {
+        let tokens = match event {
+            TraceEvent::Arrival(i) => self.state.submit(now, self.trace[i]).1,
+            TraceEvent::Completion(tok) => self.state.on_completion(now, tok),
+        };
+        for tok in tokens {
+            queue.schedule(tok.at, TraceEvent::Completion(tok));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbts_core::Policy;
+    use mbts_workload::{generate_trace, MixConfig};
+
+    #[test]
+    fn trace_replay_completes_everything_under_accept_all() {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(400)
+            .with_processors(4);
+        let trace = generate_trace(&mix, 3);
+        let outcome =
+            Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice)).run_trace(&trace);
+        assert_eq!(outcome.metrics.submitted, 400);
+        assert_eq!(outcome.metrics.accepted, 400);
+        assert_eq!(outcome.metrics.completed, 400);
+        assert_eq!(outcome.metrics.rejected, 0);
+        assert_eq!(outcome.outcomes.len(), 400);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bracket_the_mean() {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(400)
+            .with_processors(4)
+            .with_load_factor(2.0);
+        let trace = generate_trace(&mix, 8);
+        let outcome =
+            Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice)).run_trace(&trace);
+        let p50 = outcome.delay_percentile(0.5);
+        let p95 = outcome.delay_percentile(0.95);
+        let p99 = outcome.delay_percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+        assert!(outcome.delay_percentile(0.0) <= p50);
+        assert!(p99 <= outcome.delay_percentile(1.0));
+        // Earnings percentiles stay within the value-function range.
+        let e10 = outcome.earned_percentile(0.1);
+        let e90 = outcome.earned_percentile(0.9);
+        assert!(e10 <= e90);
+    }
+
+    #[test]
+    fn percentiles_of_empty_outcome_are_nan() {
+        let outcome = SiteOutcome {
+            metrics: SiteMetrics::default(),
+            outcomes: vec![],
+            segments: vec![],
+            audit: vec![],
+        };
+        assert!(outcome.delay_percentile(0.5).is_nan());
+        assert!(outcome.earned_percentile(0.5).is_nan());
+    }
+}

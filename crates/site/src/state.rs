@@ -1,0 +1,1326 @@
+//! The imperative site core: queueing, dispatch, backfilling, preemption,
+//! completion.
+//!
+//! [`SiteState`] is deliberately engine-agnostic: every transition returns
+//! the [`CompletionToken`]s for newly started run segments, and the caller
+//! (single-site [`Site`](crate::Site) wrapper or the multi-site market
+//! economy) turns them into events. Preempted segments are invalidated by
+//! an epoch counter — a stale token is simply ignored.
+//!
+//! Processors are interchangeable (§4), so the site tracks only a free
+//! count plus the set of running gangs — no per-processor slots. Tasks may
+//! request a `width > 1` gang; when the best-scoring task does not fit the
+//! current free count, the dispatcher holds an **EASY backfilling**
+//! reservation for it: lower-ranked tasks may start out of order only if
+//! they fit the free processors *and* their expected completion does not
+//! push past the reservation.
+
+use crate::audit::{AuditEvent, AuditKind};
+use crate::config::{PreemptionMode, SiteConfig};
+use crate::gantt::Segment;
+use crate::metrics::{Disposition, JobOutcome, SiteMetrics};
+use crate::SiteOutcome;
+use mbts_core::{
+    evaluate_admission, AdmissionDecision, AdmissionPolicy, CostModel, Job, ScoreCtx,
+};
+use mbts_sim::{Duration, Time};
+use mbts_workload::TaskSpec;
+
+/// Handle for a scheduled run-to-completion: fires at `at` unless the
+/// segment was preempted (then the epoch no longer matches and the token
+/// is stale).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionToken {
+    /// When the running segment will finish (true-runtime based).
+    pub at: Time,
+    /// Assignment epoch; must match a currently running gang.
+    pub epoch: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Running {
+    job: Job,
+    started: Time,
+    epoch: u64,
+}
+
+impl Running {
+    /// Remaining processing time per the estimate, as of `now`.
+    fn remaining_estimate(&self, now: Time) -> Duration {
+        (self.job.rpt - (now - self.started)).max_zero()
+    }
+
+    /// Current view of the running job, advanced to `now`.
+    fn view(&self, now: Time) -> Job {
+        let mut view = self.job.clone();
+        view.advance(now - self.started);
+        view
+    }
+}
+
+/// A task-service site: pending queue + processor pool + accounting.
+///
+/// Capacity is elastic (§7's reseller model): [`grow`](Self::grow) adds
+/// processors immediately; [`shrink`](Self::shrink) retires idle
+/// processors now and registers a debt against busy ones, collected as
+/// gangs complete.
+#[derive(Debug, Clone)]
+pub struct SiteState {
+    config: SiteConfig,
+    /// Current capacity (starts at `config.processors`; changed by
+    /// grow/shrink).
+    capacity: usize,
+    /// Processors promised back to the resource pool but still occupied.
+    shrink_debt: usize,
+    /// Debt settled (processors actually retired) since the last
+    /// [`take_settled_shrink`](Self::take_settled_shrink) call.
+    settled_shrink: usize,
+    pending: Vec<Job>,
+    running: Vec<Running>,
+    free_procs: usize,
+    epoch_counter: u64,
+    metrics: SiteMetrics,
+    outcomes: Vec<JobOutcome>,
+    segments: Vec<Segment>,
+    audit: Vec<AuditEvent>,
+}
+
+impl SiteState {
+    /// An idle site.
+    pub fn new(config: SiteConfig) -> Self {
+        let free_procs = config.processors;
+        SiteState {
+            capacity: config.processors,
+            shrink_debt: 0,
+            settled_shrink: 0,
+            config,
+            pending: Vec::new(),
+            running: Vec::new(),
+            free_procs,
+            epoch_counter: 0,
+            metrics: SiteMetrics::default(),
+            outcomes: Vec::new(),
+            segments: Vec::new(),
+            audit: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn note_audit(&mut self, at: Time, task: Option<mbts_workload::TaskId>, kind: AuditKind) {
+        if self.config.audit {
+            self.audit.push(AuditEvent { at, task, kind });
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SiteConfig {
+        &self.config
+    }
+
+    /// Aggregate metrics so far.
+    pub fn metrics(&self) -> &SiteMetrics {
+        &self.metrics
+    }
+
+    /// Number of queued (not running) tasks.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of busy processors.
+    pub fn running_len(&self) -> usize {
+        self.capacity - self.free_procs
+    }
+
+    /// Current capacity (config size ± grow/shrink).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Processors owed back to the resource pool but still busy.
+    pub fn shrink_debt(&self) -> usize {
+        self.shrink_debt
+    }
+
+    /// Adds `extra` processors immediately (§7 reseller model: capacity
+    /// rented from a shared pool). Newly idle processors dispatch queued
+    /// work at once; the returned tokens are the new run segments.
+    pub fn grow(&mut self, extra: usize, now: Time) -> Vec<CompletionToken> {
+        self.capacity += extra;
+        self.free_procs += extra;
+        if extra > 0 {
+            self.note_audit(now, None, AuditKind::Grew { n: extra });
+        }
+        self.dispatch(now)
+    }
+
+    /// Retires up to `by` processors: idle ones leave immediately, the
+    /// rest are marked as debt and leave as running gangs complete.
+    /// Capacity never drops below 1. Returns how many were retired
+    /// immediately.
+    /// See [`grow`](Self::grow); the immediate retirements are audited.
+    pub fn shrink_audited(&mut self, by: usize, now: Time) -> usize {
+        let immediate = self.shrink(by);
+        if immediate > 0 {
+            self.note_audit(now, None, AuditKind::Shrank { n: immediate });
+        }
+        immediate
+    }
+
+    pub fn shrink(&mut self, by: usize) -> usize {
+        // Outstanding debt already commits capacity; never promise below
+        // one processor in total.
+        let by = by.min(
+            self.capacity
+                .saturating_sub(1)
+                .saturating_sub(self.shrink_debt),
+        );
+        let immediate = by.min(self.free_procs);
+        self.free_procs -= immediate;
+        self.capacity -= immediate;
+        self.shrink_debt += by - immediate;
+        immediate
+    }
+
+    /// Pays down shrink debt from newly freed processors.
+    fn settle_shrink_debt(&mut self) {
+        let pay = self.shrink_debt.min(self.free_procs);
+        self.free_procs -= pay;
+        self.capacity -= pay;
+        self.shrink_debt -= pay;
+        self.settled_shrink += pay;
+    }
+
+    /// Returns (and resets) the number of debt processors actually
+    /// retired since the last call — the owner releases these back to
+    /// its resource pool.
+    pub fn take_settled_shrink(&mut self) -> usize {
+        std::mem::take(&mut self.settled_shrink)
+    }
+
+    /// Cancels up to `n` outstanding shrink-debt processors (keeping
+    /// capacity that was scheduled to leave). Returns how many were kept;
+    /// these need no new lease — they were never returned to the pool.
+    pub fn cancel_shrink(&mut self, n: usize) -> usize {
+        let kept = n.min(self.shrink_debt);
+        self.shrink_debt -= kept;
+        kept
+    }
+
+    /// Number of running gangs (tasks in execution).
+    pub fn running_tasks(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Idle processors.
+    pub fn free_processors(&self) -> usize {
+        self.free_procs
+    }
+
+    /// `true` when nothing is queued or running.
+    pub fn is_quiescent(&self) -> bool {
+        self.pending.is_empty() && self.running.is_empty()
+    }
+
+    /// Total queued work (Σ width · RPT estimates, processor-time units)
+    /// — the backlog a provisioning policy reasons over.
+    pub fn pending_work(&self) -> f64 {
+        self.pending
+            .iter()
+            .map(|j| j.spec.width as f64 * j.rpt.as_f64())
+            .sum()
+    }
+
+    /// Aggregate decay rate of the still-decaying queued tasks — the
+    /// value bleeding away per unit time while the backlog waits. Divided
+    /// by capacity this estimates the marginal value of one more
+    /// processor for penalty-avoidance (§7 reseller signal).
+    pub fn pending_decay_rate(&self, now: Time) -> f64 {
+        self.pending.iter().map(|j| j.effective_decay(now)).sum()
+    }
+
+    /// Mean expected unit gain (yield per processor-time) of the queue if
+    /// everything started at `now`; 0 for an empty queue. A reseller
+    /// compares this against the rental price of extra capacity (§7).
+    pub fn pending_unit_gain(&self, now: Time) -> f64 {
+        if self.pending.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = self
+            .pending
+            .iter()
+            .map(|j| j.yield_if_started(now) / (j.spec.width as f64 * j.rpt.as_f64().max(1e-12)))
+            .sum();
+        total / self.pending.len() as f64
+    }
+
+    /// Per-processor expected-free times at `now` per the runtime
+    /// *estimates* (what the candidate schedule believes): one `now` entry
+    /// per idle processor, then `width` copies of each running gang's
+    /// expected completion.
+    pub fn free_times(&self, now: Time) -> Vec<Time> {
+        let mut free = vec![now; self.free_procs];
+        for r in &self.running {
+            let at = now + r.remaining_estimate(now);
+            free.extend(std::iter::repeat(at).take(r.job.spec.width));
+        }
+        debug_assert_eq!(free.len(), self.capacity);
+        free
+    }
+
+    /// Evaluates a proposed task against the current mix without mutating
+    /// anything — the §6 negotiation step a server bid is built from.
+    /// Tasks wider than the site are rejected outright.
+    pub fn evaluate(&self, now: Time, spec: TaskSpec) -> AdmissionDecision {
+        if spec.width > self.capacity {
+            return AdmissionDecision {
+                accept: false,
+                expected_completion: Time::INFINITY,
+                expected_yield: 0.0,
+                present_value: 0.0,
+                cost: 0.0,
+                slack: f64::NEG_INFINITY,
+            };
+        }
+        let candidate = Job::new(spec);
+        let mut queue = self.pending.clone();
+        queue.push(candidate.clone());
+        evaluate_admission(
+            &self.config.admission,
+            &self.config.policy,
+            self.config.schedule_mode,
+            self.config.admission_discount_rate,
+            now,
+            &self.free_times(now),
+            &queue,
+            &candidate,
+        )
+    }
+
+    /// Full submission path: admission (unless `AcceptAll`), then enqueue,
+    /// dispatch, and (if enabled) preemption. Returns whether the task was
+    /// accepted plus the completion tokens of newly started segments.
+    pub fn submit(&mut self, now: Time, spec: TaskSpec) -> (bool, Vec<CompletionToken>) {
+        self.metrics.note_submission(now);
+        let accept = if spec.width > self.capacity {
+            // Wider than the whole site: infeasible regardless of policy.
+            false
+        } else {
+            match self.config.admission {
+                AdmissionPolicy::AcceptAll => true,
+                _ => self.evaluate(now, spec).accept,
+            }
+        };
+        self.note_audit(now, Some(spec.id), AuditKind::Submitted { accepted: accept });
+        if !accept {
+            self.metrics.rejected += 1;
+            self.outcomes.push(JobOutcome {
+                id: spec.id,
+                disposition: Disposition::Rejected,
+                finished_at: None,
+                earned: 0.0,
+                delay: 0.0,
+                preemptions: 0,
+            });
+            return (false, Vec::new());
+        }
+        let tokens = self.accept(now, spec);
+        (true, tokens)
+    }
+
+    /// Commits an already-negotiated task (the market layer calls this
+    /// after the client picks this site's bid), bypassing re-evaluation.
+    pub fn accept(&mut self, now: Time, spec: TaskSpec) -> Vec<CompletionToken> {
+        assert!(
+            spec.width <= self.capacity,
+            "{} requests {} processors but the site has {}",
+            spec.id,
+            spec.width,
+            self.capacity
+        );
+        self.metrics.accepted += 1;
+        self.pending.push(Job::new(spec));
+        let mut tokens = self.dispatch(now);
+        if self.config.preemption {
+            tokens.extend(self.try_preempt(now));
+        }
+        tokens
+    }
+
+    /// Records a submission that was offered to this site but placed
+    /// elsewhere (keeps market-level acceptance ratios meaningful).
+    pub fn note_offer(&mut self, now: Time) {
+        self.metrics.note_submission(now);
+    }
+
+    /// Records a rejection decided at the market layer.
+    pub fn note_rejected(&mut self) {
+        self.metrics.rejected += 1;
+    }
+
+    /// Withdraws a *queued* task (contract cancellation, §3). Running or
+    /// already-finished tasks are not cancellable — returns `false` and
+    /// leaves them untouched. The site earns nothing for a cancelled
+    /// task; any breach penalty is settled at the market layer.
+    pub fn cancel_pending(&mut self, now: Time, id: mbts_workload::TaskId) -> bool {
+        let Some(idx) = self.pending.iter().position(|j| j.id() == id) else {
+            return false;
+        };
+        let job = self.pending.swap_remove(idx);
+        self.metrics.cancelled += 1;
+        self.note_audit(now, Some(job.id()), AuditKind::Cancelled);
+        self.outcomes.push(JobOutcome {
+            id: job.id(),
+            disposition: Disposition::Cancelled,
+            finished_at: Some(now),
+            earned: 0.0,
+            delay: (now - (job.spec.arrival + job.spec.runtime))
+                .max_zero()
+                .as_f64(),
+            preemptions: job.preemptions,
+        });
+        true
+    }
+
+    /// Handles a completion token. Stale tokens (the segment was
+    /// preempted) are ignored. Returns tokens for any newly dispatched
+    /// segments.
+    pub fn on_completion(&mut self, now: Time, token: CompletionToken) -> Vec<CompletionToken> {
+        self.on_completion_detailed(now, token).1
+    }
+
+    /// Like [`on_completion`](Self::on_completion) but also returns the
+    /// completed task's outcome (if the token was fresh) — the market
+    /// layer uses it to settle the task's contract.
+    pub fn on_completion_detailed(
+        &mut self,
+        now: Time,
+        token: CompletionToken,
+    ) -> (Option<JobOutcome>, Vec<CompletionToken>) {
+        let Some(idx) = self.running.iter().position(|r| r.epoch == token.epoch) else {
+            return (None, Vec::new()); // stale: the segment was preempted
+        };
+        let Running { mut job, started, .. } = self.running.swap_remove(idx);
+        self.free_procs += job.spec.width;
+        self.settle_shrink_debt();
+        if self.config.record_segments {
+            self.segments.push(Segment {
+                id: job.id(),
+                width: job.spec.width,
+                start: started,
+                end: now,
+                preempted: false,
+            });
+        }
+        job.advance(now - started);
+        debug_assert!(
+            job.true_rpt.as_f64() < 1e-6,
+            "completion fired with {} true work left",
+            job.true_rpt
+        );
+        let earned = job.spec.yield_at(now);
+        let delay = (now - (job.spec.arrival + job.spec.runtime)).max_zero();
+        self.metrics.completed += 1;
+        self.metrics.note_finish(now, earned);
+        self.metrics.delay.push(delay.as_f64());
+        self.note_audit(now, Some(job.id()), AuditKind::Completed { earned });
+        let outcome = JobOutcome {
+            id: job.id(),
+            disposition: Disposition::Completed,
+            finished_at: Some(now),
+            earned,
+            delay: delay.as_f64(),
+            preemptions: job.preemptions,
+        };
+        self.outcomes.push(outcome);
+        (Some(outcome), self.dispatch(now))
+    }
+
+    /// Consumes the site, producing the final outcome (per-job records
+    /// sorted by task id).
+    pub fn into_outcome(mut self) -> SiteOutcome {
+        self.outcomes.sort_by_key(|o| o.id);
+        let mut segments = self.segments;
+        segments.sort_by(|a, b| a.start.cmp(&b.start).then(a.id.cmp(&b.id)));
+        SiteOutcome {
+            metrics: self.metrics,
+            outcomes: self.outcomes,
+            segments,
+            audit: self.audit,
+        }
+    }
+
+    /// Scores every pending job at `now`; returns `(scores, best index)`.
+    fn score_pending(&self, now: Time) -> Option<(Vec<f64>, usize)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let model = self
+            .config
+            .policy
+            .needs_cost_model()
+            .then(|| CostModel::build(now, &self.pending));
+        let ctx = match &model {
+            Some(m) => ScoreCtx::with_cost(now, m),
+            None => ScoreCtx::simple(now),
+        };
+        let scores: Vec<f64> = self
+            .pending
+            .iter()
+            .map(|j| self.config.policy.score(j, &ctx))
+            .collect();
+        let mut best = 0;
+        for i in 1..scores.len() {
+            let better = scores[i] > scores[best]
+                || (scores[i] == scores[best]
+                    && self.pending[i].id() < self.pending[best].id());
+            if better {
+                best = i;
+            }
+        }
+        Some((scores, best))
+    }
+
+    /// Fills idle processors from the pending queue, best score first,
+    /// with EASY backfilling when the best task's gang does not fit.
+    fn dispatch(&mut self, now: Time) -> Vec<CompletionToken> {
+        let mut tokens = Vec::new();
+        loop {
+            if self.config.drop_expired {
+                self.drop_expired_pending(now);
+            }
+            if self.free_procs == 0 {
+                break;
+            }
+            let Some((scores, best)) = self.score_pending(now) else {
+                break;
+            };
+            let width = self.pending[best].spec.width;
+            if width <= self.free_procs {
+                let job = self.pending.swap_remove(best);
+                tokens.push(self.start(job, now));
+                continue;
+            }
+            if !self.config.backfilling {
+                break;
+            }
+            // The head-of-line gang does not fit: reserve its start and
+            // backfill around it.
+            let reserve_at = self.reservation_time(width, now);
+            let mut fill: Option<usize> = None;
+            for (i, job) in self.pending.iter().enumerate() {
+                if i == best || job.spec.width > self.free_procs {
+                    continue;
+                }
+                // EASY condition: must not delay the reservation.
+                if now + job.rpt > reserve_at {
+                    continue;
+                }
+                let better = match fill {
+                    None => true,
+                    Some(f) => {
+                        scores[i] > scores[f]
+                            || (scores[i] == scores[f]
+                                && self.pending[i].id() < self.pending[f].id())
+                    }
+                };
+                if better {
+                    fill = Some(i);
+                }
+            }
+            let Some(fill) = fill else {
+                break;
+            };
+            let job = self.pending.swap_remove(fill);
+            self.metrics.backfills += 1;
+            tokens.push(self.start(job, now));
+        }
+        tokens
+    }
+
+    /// Earliest instant at which `width` processors are expected to be
+    /// simultaneously free, per the running gangs' runtime estimates.
+    fn reservation_time(&self, width: usize, now: Time) -> Time {
+        let mut completions: Vec<(Time, usize)> = self
+            .running
+            .iter()
+            .map(|r| (now + r.remaining_estimate(now), r.job.spec.width))
+            .collect();
+        completions.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut avail = self.free_procs;
+        for (at, w) in completions {
+            if avail >= width {
+                break;
+            }
+            avail += w;
+            if avail >= width {
+                return at;
+            }
+        }
+        if avail >= width {
+            now
+        } else {
+            // Unreachable in practice: submit() rejects width > processors.
+            Time::INFINITY
+        }
+    }
+
+    /// Starts `job` at `now`, consuming its gang's processors; returns the
+    /// completion token.
+    fn start(&mut self, mut job: Job, now: Time) -> CompletionToken {
+        let width = job.spec.width;
+        assert!(width <= self.free_procs, "gang does not fit");
+        self.free_procs -= width;
+        if job.first_start.is_none() {
+            job.first_start = Some(now);
+        }
+        self.epoch_counter += 1;
+        let epoch = self.epoch_counter;
+        let at = now + job.true_rpt;
+        self.note_audit(now, Some(job.id()), AuditKind::Started { width });
+        self.running.push(Running {
+            job,
+            started: now,
+            epoch,
+        });
+        CompletionToken { at, epoch }
+    }
+
+    /// Discards pending tasks whose value function has fully decayed —
+    /// they can be deferred for free, so a `drop_expired` site sheds them
+    /// (earning the penalty floor) rather than ever running them.
+    fn drop_expired_pending(&mut self, now: Time) {
+        let mut i = 0;
+        while i < self.pending.len() {
+            let job = &self.pending[i];
+            let expired =
+                !job.spec.bound.is_unbounded() && job.decay_window(now) == Duration::ZERO;
+            if expired {
+                let job = self.pending.swap_remove(i);
+                let floor = job.spec.bound.floor();
+                self.note_audit(now, Some(job.id()), AuditKind::Dropped);
+                self.metrics.dropped += 1;
+                self.metrics.note_finish(now, floor);
+                self.outcomes.push(JobOutcome {
+                    id: job.id(),
+                    disposition: Disposition::Dropped,
+                    finished_at: Some(now),
+                    earned: floor,
+                    delay: (now - (job.spec.arrival + job.spec.runtime))
+                        .max_zero()
+                        .as_f64(),
+                    preemptions: job.preemptions,
+                });
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Arrival-triggered preemption (§4): while the best queued task
+    /// outscores enough running gangs to free its width, suspend them and
+    /// start it. Scores are evaluated at `now` over the union of the queue
+    /// and the running tasks' current states, so opportunity-cost terms
+    /// see the full competing set. Bounded iterations guarantee
+    /// termination.
+    fn try_preempt(&mut self, now: Time) -> Vec<CompletionToken> {
+        let mut tokens = Vec::new();
+        let max_rounds = self.pending.len() + self.running.len() + self.capacity + 1;
+        for _ in 0..max_rounds {
+            // Start whatever fits outright (including backfills) first.
+            tokens.extend(self.dispatch(now));
+            if self.pending.is_empty() || self.running.is_empty() {
+                break;
+            }
+            // One model over queue + running views: every candidate's
+            // competing set is "everyone else at this site".
+            let running_views: Vec<Job> =
+                self.running.iter().map(|r| r.view(now)).collect();
+            let model = self.config.policy.needs_cost_model().then(|| {
+                let mut all: Vec<Job> = self.pending.clone();
+                all.extend(running_views.iter().cloned());
+                CostModel::build(now, &all)
+            });
+            let ctx = match &model {
+                Some(m) => ScoreCtx::with_cost(now, m),
+                None => ScoreCtx::simple(now),
+            };
+            let best_idx = self
+                .config
+                .policy
+                .select(&self.pending, &ctx)
+                .expect("pending non-empty");
+            let best_score = self.config.policy.score(&self.pending[best_idx], &ctx);
+            let need = self.pending[best_idx].spec.width;
+
+            // Victims: strictly lower-scoring running gangs, weakest
+            // first, until the incoming gang fits.
+            let mut victims: Vec<(usize, f64)> = running_views
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i, self.config.policy.score(v, &ctx)))
+                .filter(|(_, s)| *s < best_score)
+                .collect();
+            victims.sort_by(|a, b| a.1.total_cmp(&b.1));
+            let mut chosen: Vec<usize> = Vec::new();
+            let mut avail = self.free_procs;
+            for (ri, _) in &victims {
+                if avail >= need {
+                    break;
+                }
+                avail += self.running[*ri].job.spec.width;
+                chosen.push(*ri);
+            }
+            if avail < need || chosen.is_empty() {
+                break;
+            }
+            // Suspend the victims back into the queue (descending index
+            // keeps the remaining indices valid under swap_remove)…
+            chosen.sort_unstable_by(|a, b| b.cmp(a));
+            for ri in chosen {
+                let Running { mut job, started, .. } = self.running.swap_remove(ri);
+                self.free_procs += job.spec.width;
+                if self.config.record_segments {
+                    self.segments.push(Segment {
+                        id: job.id(),
+                        width: job.spec.width,
+                        start: started,
+                        end: now,
+                        preempted: true,
+                    });
+                }
+                match self.config.preemption_mode {
+                    PreemptionMode::Resume => job.advance(now - started),
+                    PreemptionMode::Restart => {
+                        // Kill-and-requeue: all progress is lost.
+                        job.rpt = job.spec.runtime;
+                        job.true_rpt = job.spec.true_runtime;
+                    }
+                    PreemptionMode::CheckpointRestore { overhead } => {
+                        job.advance(now - started);
+                        // Restoring the checkpoint costs extra work on
+                        // both the estimate and the true runtime.
+                        job.rpt += Duration::new(overhead);
+                        job.true_rpt += Duration::new(overhead);
+                    }
+                }
+                job.preemptions += 1;
+                self.metrics.preemptions += 1;
+                self.note_audit(now, Some(job.id()), AuditKind::Preempted);
+                self.pending.push(job);
+            }
+            // …and start the winner in their place.
+            let winner = self.pending.swap_remove(best_idx);
+            tokens.push(self.start(winner, now));
+        }
+        tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbts_core::Policy;
+    use mbts_workload::PenaltyBound;
+
+    fn spec(id: u64, arrival: f64, runtime: f64, value: f64, decay: f64) -> TaskSpec {
+        TaskSpec::new(id, arrival, runtime, value, decay, PenaltyBound::Unbounded)
+    }
+
+    fn drain(site: &mut SiteState, mut tokens: Vec<CompletionToken>) -> Time {
+        // Minimal event loop for tests: process tokens in time order.
+        let mut last = Time::ZERO;
+        while !tokens.is_empty() {
+            tokens.sort_by_key(|t| std::cmp::Reverse(t.at));
+            let tok = tokens.pop().unwrap();
+            last = tok.at;
+            tokens.extend(site.on_completion(tok.at, tok));
+        }
+        last
+    }
+
+    #[test]
+    fn single_task_lifecycle() {
+        let mut site = SiteState::new(SiteConfig::new(1));
+        let (ok, tokens) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 1.0));
+        assert!(ok);
+        assert_eq!(tokens.len(), 1);
+        assert_eq!(tokens[0].at, Time::from(10.0));
+        assert_eq!(site.running_len(), 1);
+        let end = drain(&mut site, tokens);
+        assert_eq!(end, Time::from(10.0));
+        assert!(site.is_quiescent());
+        let m = site.metrics();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.total_yield, 100.0);
+        assert_eq!(m.delay.mean(), 0.0);
+    }
+
+    #[test]
+    fn fifo_queueing_on_one_processor() {
+        let mut site = SiteState::new(SiteConfig::new(1).with_policy(Policy::Fcfs));
+        let (_, mut t) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 1.0));
+        let (_, t2) = site.submit(Time::ZERO, spec(1, 0.0, 10.0, 100.0, 2.0));
+        assert!(t2.is_empty(), "second task queues");
+        assert_eq!(site.pending_len(), 1);
+        t.extend(t2);
+        drain(&mut site, t);
+        let m = site.metrics();
+        assert_eq!(m.completed, 2);
+        // Task 1 completed at 20 with delay 10 → yield 100 − 20 = 80.
+        assert_eq!(m.total_yield, 180.0);
+    }
+
+    #[test]
+    fn two_processors_run_in_parallel() {
+        let mut site = SiteState::new(SiteConfig::new(2));
+        let (_, mut t) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 1.0));
+        let (_, t2) = site.submit(Time::ZERO, spec(1, 0.0, 10.0, 100.0, 1.0));
+        assert_eq!(t2.len(), 1);
+        t.extend(t2);
+        let end = drain(&mut site, t);
+        assert_eq!(end, Time::from(10.0));
+        assert_eq!(site.metrics().total_yield, 200.0);
+    }
+
+    #[test]
+    fn first_price_picks_highest_unit_gain() {
+        let mut site = SiteState::new(SiteConfig::new(1).with_policy(Policy::FirstPrice));
+        // Occupy the processor, then queue two competitors.
+        let (_, t) = site.submit(Time::ZERO, spec(0, 0.0, 5.0, 10.0, 0.1));
+        assert!(site.submit(Time::ZERO, spec(1, 0.0, 10.0, 50.0, 0.1)).0);
+        assert!(site.submit(Time::ZERO, spec(2, 0.0, 10.0, 500.0, 0.1)).0);
+        drain(&mut site, t);
+        let out = site.clone().into_outcome();
+        // Task 2 (unit gain 50) must run before task 1 (unit gain 5):
+        let f1 = out.outcomes[1].finished_at.unwrap();
+        let f2 = out.outcomes[2].finished_at.unwrap();
+        assert!(f2 < f1, "high unit gain finishes first");
+    }
+
+    #[test]
+    fn preemption_suspends_lower_priority_work() {
+        let cfg = SiteConfig::new(1)
+            .with_policy(Policy::FirstPrice)
+            .with_preemption(true);
+        let mut site = SiteState::new(cfg);
+        // Low-value long task starts…
+        let (_, t1) = site.submit(Time::ZERO, spec(0, 0.0, 100.0, 100.0, 0.1));
+        assert_eq!(t1.len(), 1);
+        // …then a high-unit-gain task arrives at t = 10 and preempts.
+        let (_, t2) = site.submit(Time::from(10.0), spec(1, 10.0, 5.0, 500.0, 0.1));
+        assert_eq!(t2.len(), 1, "preemption starts the new task");
+        assert_eq!(site.metrics().preemptions, 1);
+        assert_eq!(site.pending_len(), 1, "victim re-queued");
+        // The victim's original completion token (t = 100) is now stale.
+        let mut all = t1;
+        all.extend(t2);
+        drain(&mut site, all);
+        assert!(site.is_quiescent());
+        let out = site.clone().into_outcome();
+        assert_eq!(out.outcomes[0].preemptions, 1);
+        // Victim ran 10, was suspended 5, resumed: completes at 105.
+        assert_eq!(out.outcomes[0].finished_at.unwrap(), Time::from(105.0));
+        assert_eq!(out.outcomes[1].finished_at.unwrap(), Time::from(15.0));
+        // Yields: task 1 on time → 500 (delay 0); task 0 delay 5 → 99.5.
+        assert!((out.outcomes[1].earned - 500.0).abs() < 1e-9);
+        assert!((out.outcomes[0].earned - 99.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_preemption_when_disabled() {
+        let cfg = SiteConfig::new(1).with_policy(Policy::FirstPrice);
+        let mut site = SiteState::new(cfg);
+        let (_, t1) = site.submit(Time::ZERO, spec(0, 0.0, 100.0, 100.0, 0.1));
+        let (_, t2) = site.submit(Time::from(10.0), spec(1, 10.0, 5.0, 500.0, 0.1));
+        assert!(t2.is_empty());
+        assert_eq!(site.metrics().preemptions, 0);
+        let mut all = t1;
+        all.extend(t2);
+        drain(&mut site, all);
+        let out = site.clone().into_outcome();
+        assert_eq!(out.outcomes[0].finished_at.unwrap(), Time::from(100.0));
+        assert_eq!(out.outcomes[1].finished_at.unwrap(), Time::from(105.0));
+    }
+
+    #[test]
+    fn equal_priority_does_not_preempt() {
+        let cfg = SiteConfig::new(1)
+            .with_policy(Policy::FirstPrice)
+            .with_preemption(true);
+        let mut site = SiteState::new(cfg);
+        site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 0.0));
+        // Identical unit gain arriving later: no preemption.
+        let (_, t2) = site.submit(Time::ZERO, spec(1, 0.0, 10.0, 100.0, 0.0));
+        assert!(t2.is_empty());
+        assert_eq!(site.metrics().preemptions, 0);
+    }
+
+    #[test]
+    fn slack_admission_rejects_overload() {
+        let cfg = SiteConfig::new(1)
+            .with_policy(Policy::FirstPrice)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 100.0 });
+        let mut site = SiteState::new(cfg);
+        // Slack of a lone task: PV/decay ≈ (100/1.1)/0.5 ≈ 181 > 100 → accept.
+        let (ok, _) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 0.5));
+        assert!(ok);
+        // Pile on identical tasks; each queues behind more work, slack
+        // shrinks, eventually rejected.
+        let mut accepted = 1;
+        let mut rejected = 0;
+        for i in 1..20 {
+            let (ok, _) = site.submit(Time::ZERO, spec(i, 0.0, 10.0, 100.0, 0.5));
+            if ok {
+                accepted += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        assert!(accepted > 1, "some backlog accepted");
+        assert!(rejected > 0, "overload eventually rejected");
+        assert_eq!(site.metrics().rejected, rejected);
+        // Once rejecting, it keeps rejecting identical tasks (slack only
+        // shrinks as the queue grows — monotone backlog).
+        let (ok, _) = site.submit(Time::ZERO, spec(99, 0.0, 10.0, 100.0, 0.5));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn rejected_tasks_do_not_run() {
+        let cfg = SiteConfig::new(1)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: f64::INFINITY });
+        let mut site = SiteState::new(cfg);
+        let (ok, tokens) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 0.5));
+        assert!(!ok);
+        assert!(tokens.is_empty());
+        assert!(site.is_quiescent());
+        let out = site.clone().into_outcome();
+        assert_eq!(out.outcomes[0].disposition, Disposition::Rejected);
+        assert_eq!(out.metrics.rejected, 1);
+        assert_eq!(out.metrics.total_yield, 0.0);
+    }
+
+    #[test]
+    fn drop_expired_sheds_dead_tasks() {
+        let cfg = SiteConfig::new(1)
+            .with_policy(Policy::FirstPrice)
+            .with_drop_expired(true);
+        let mut site = SiteState::new(cfg);
+        // Occupy the processor for a long time.
+        let (_, t1) = site.submit(Time::ZERO, spec(0, 0.0, 100.0, 1000.0, 0.0));
+        // Queue a task that expires at t = 2 + 10/10 = 3 (bounded at 0).
+        let dying = TaskSpec::new(1, 0.0, 2.0, 10.0, 10.0, PenaltyBound::ZERO);
+        site.submit(Time::ZERO, dying);
+        assert_eq!(site.pending_len(), 1);
+        // At the long task's completion (t = 100) the dying task is long
+        // expired: dispatch drops it instead of running it.
+        drain(&mut site, t1);
+        let m = site.metrics();
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.dropped, 1);
+        assert_eq!(m.total_yield, 1000.0, "drop earns the zero floor");
+        assert!(site.is_quiescent());
+    }
+
+    #[test]
+    fn without_drop_expired_dead_tasks_still_run() {
+        let cfg = SiteConfig::new(1).with_policy(Policy::FirstPrice);
+        let mut site = SiteState::new(cfg);
+        let (_, t1) = site.submit(Time::ZERO, spec(0, 0.0, 100.0, 1000.0, 0.0));
+        let dying = TaskSpec::new(1, 0.0, 2.0, 10.0, 10.0, PenaltyBound::ZERO);
+        site.submit(Time::ZERO, dying);
+        drain(&mut site, t1);
+        assert_eq!(site.metrics().completed, 2);
+        assert_eq!(site.metrics().dropped, 0);
+        assert_eq!(site.metrics().total_yield, 1000.0, "expired task earns 0");
+    }
+
+    #[test]
+    fn free_times_reflect_running_estimates() {
+        let mut site = SiteState::new(SiteConfig::new(2));
+        site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 1.0));
+        let mut free = site.free_times(Time::from(4.0));
+        free.sort();
+        assert_eq!(free, vec![Time::from(4.0), Time::from(10.0)]);
+    }
+
+    #[test]
+    fn stale_tokens_are_ignored() {
+        let cfg = SiteConfig::new(1)
+            .with_policy(Policy::FirstPrice)
+            .with_preemption(true);
+        let mut site = SiteState::new(cfg);
+        let (_, t1) = site.submit(Time::ZERO, spec(0, 0.0, 100.0, 100.0, 0.1));
+        site.submit(Time::from(10.0), spec(1, 10.0, 5.0, 500.0, 0.1));
+        // Victim's original token fires at t=100 but its epoch is stale.
+        let out = site.on_completion(t1[0].at, t1[0]);
+        assert!(out.is_empty());
+        assert_eq!(site.metrics().completed, 0);
+    }
+
+    #[test]
+    fn misestimated_runtime_completes_at_true_time() {
+        let mut s = spec(0, 0.0, 10.0, 100.0, 1.0);
+        s.true_runtime = Duration::from(15.0);
+        let mut site = SiteState::new(SiteConfig::new(1));
+        let (_, t) = site.submit(Time::ZERO, s);
+        assert_eq!(t[0].at, Time::from(15.0));
+        drain(&mut site, t);
+        let out = site.clone().into_outcome();
+        // Yield per the *negotiated* (estimate-anchored) value function:
+        // earliest = 10, completion 15, delay 5 → 95.
+        assert!((out.outcomes[0].earned - 95.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn evaluate_is_pure() {
+        let site = SiteState::new(SiteConfig::new(1));
+        let d = site.evaluate(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 0.5));
+        assert!(d.accept);
+        assert_eq!(site.pending_len(), 0);
+        assert_eq!(site.metrics().submitted, 0);
+    }
+
+    #[test]
+    fn first_reward_dispatch_works_end_to_end() {
+        let cfg = SiteConfig::new(2).with_policy(Policy::first_reward(0.3, 0.01));
+        let mut site = SiteState::new(cfg);
+        let mut tokens = Vec::new();
+        for i in 0..20 {
+            let (_, t) = site.submit(
+                Time::from(i as f64),
+                spec(i as u64, i as f64, 5.0, 50.0, 0.2 + (i % 5) as f64 * 0.3),
+            );
+            tokens.extend(t);
+            // Interleave completions that are due.
+            tokens.sort_by_key(|t| std::cmp::Reverse(t.at));
+            while tokens
+                .last()
+                .is_some_and(|t| t.at <= Time::from(i as f64))
+            {
+                let tok = tokens.pop().unwrap();
+                tokens.extend(site.on_completion(tok.at, tok));
+            }
+        }
+        drain(&mut site, tokens);
+        assert!(site.is_quiescent());
+        assert_eq!(site.metrics().completed, 20);
+    }
+
+    // ---- gang scheduling & backfilling ----
+
+    fn wide(id: u64, arrival: f64, runtime: f64, value: f64, width: usize) -> TaskSpec {
+        spec(id, arrival, runtime, value, 0.1).with_width(width)
+    }
+
+    #[test]
+    fn gang_occupies_its_width() {
+        let mut site = SiteState::new(SiteConfig::new(4));
+        let (_, t) = site.submit(Time::ZERO, wide(0, 0.0, 10.0, 100.0, 3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(site.running_len(), 3);
+        assert_eq!(site.free_processors(), 1);
+        assert_eq!(site.running_tasks(), 1);
+        drain(&mut site, t);
+        assert_eq!(site.free_processors(), 4);
+    }
+
+    #[test]
+    fn too_wide_tasks_are_rejected_even_under_accept_all() {
+        let mut site = SiteState::new(SiteConfig::new(4));
+        let (ok, tokens) = site.submit(Time::ZERO, wide(0, 0.0, 10.0, 100.0, 5));
+        assert!(!ok);
+        assert!(tokens.is_empty());
+        assert_eq!(site.metrics().rejected, 1);
+    }
+
+    #[test]
+    fn gangs_queue_until_width_fits() {
+        let mut site = SiteState::new(SiteConfig::new(4).with_policy(Policy::Fcfs));
+        let (_, mut t) = site.submit(Time::ZERO, wide(0, 0.0, 10.0, 100.0, 3));
+        // A 2-wide gang cannot start (only 1 free).
+        let (ok, t2) = site.submit(Time::ZERO, wide(1, 0.0, 10.0, 100.0, 2));
+        assert!(ok);
+        assert!(t2.is_empty());
+        assert_eq!(site.pending_len(), 1);
+        t.extend(t2);
+        drain(&mut site, t);
+        let out = site.clone().into_outcome();
+        // Second gang starts when the first finishes: completes at 20.
+        assert_eq!(out.outcomes[1].finished_at.unwrap(), Time::from(20.0));
+    }
+
+    #[test]
+    fn easy_backfilling_fills_holes_without_delaying_the_reservation() {
+        // FCFS on 4 procs: a 3-wide gang runs (10 t.u.), a 4-wide gang is
+        // head-of-line (reserved at t=10), a short 1-wide task (3 t.u.)
+        // backfills into the idle processor because it finishes before the
+        // reservation.
+        let mut site = SiteState::new(SiteConfig::new(4).with_policy(Policy::Fcfs));
+        let (_, mut t) = site.submit(Time::ZERO, wide(0, 0.0, 10.0, 100.0, 3));
+        let (_, t2) = site.submit(Time::ZERO, wide(1, 0.0, 10.0, 100.0, 4));
+        assert!(t2.is_empty(), "4-wide gang must wait");
+        let (_, t3) = site.submit(Time::ZERO, wide(2, 0.0, 3.0, 30.0, 1));
+        assert_eq!(t3.len(), 1, "short narrow task backfills");
+        assert_eq!(site.metrics().backfills, 1);
+        t.extend(t2);
+        t.extend(t3);
+        drain(&mut site, t);
+        let out = site.clone().into_outcome();
+        assert_eq!(out.outcomes[2].finished_at.unwrap(), Time::from(3.0));
+        // The reservation was not delayed: the 4-wide gang starts at 10.
+        assert_eq!(out.outcomes[1].finished_at.unwrap(), Time::from(20.0));
+    }
+
+    #[test]
+    fn backfill_refuses_jobs_that_would_delay_the_reservation() {
+        let mut site = SiteState::new(SiteConfig::new(4).with_policy(Policy::Fcfs));
+        let (_, t) = site.submit(Time::ZERO, wide(0, 0.0, 10.0, 100.0, 3));
+        site.submit(Time::ZERO, wide(1, 0.0, 10.0, 100.0, 4));
+        // 20-t.u. task would run past the t=10 reservation: must wait.
+        let (ok, t3) = site.submit(Time::ZERO, wide(2, 0.0, 20.0, 30.0, 1));
+        assert!(ok);
+        assert!(t3.is_empty(), "long task must not backfill");
+        assert_eq!(site.metrics().backfills, 0);
+        drain(&mut site, t);
+    }
+
+    #[test]
+    fn wide_preemption_evicts_enough_victims() {
+        let cfg = SiteConfig::new(4)
+            .with_policy(Policy::FirstPrice)
+            .with_preemption(true);
+        let mut site = SiteState::new(cfg);
+        // Four low-value singles occupy the site.
+        let mut tokens = Vec::new();
+        for i in 0..4 {
+            let (_, t) = site.submit(Time::ZERO, wide(i, 0.0, 100.0, 10.0, 1));
+            tokens.extend(t);
+        }
+        assert_eq!(site.free_processors(), 0);
+        // A high-value 3-wide gang arrives and evicts three of them.
+        let (_, t) = site.submit(Time::from(5.0), wide(9, 5.0, 10.0, 5000.0, 3));
+        assert_eq!(t.len(), 1);
+        assert_eq!(site.metrics().preemptions, 3);
+        assert_eq!(site.pending_len(), 3);
+        assert_eq!(site.free_processors(), 0);
+        tokens.extend(t);
+        drain(&mut site, tokens);
+        assert!(site.is_quiescent());
+        assert_eq!(site.metrics().completed, 5);
+    }
+
+    #[test]
+    fn preemption_does_not_evict_when_not_enough_weak_victims() {
+        let cfg = SiteConfig::new(2)
+            .with_policy(Policy::FirstPrice)
+            .with_preemption(true);
+        let mut site = SiteState::new(cfg);
+        // One weak and one strong single running.
+        site.submit(Time::ZERO, wide(0, 0.0, 100.0, 1.0, 1));
+        site.submit(Time::ZERO, wide(1, 0.0, 100.0, 100_000.0, 1));
+        // A 2-wide gang that outscores only the weak task: cannot free 2
+        // procs from strictly-weaker victims, so nothing is preempted.
+        let (_, t) = site.submit(Time::from(1.0), wide(2, 1.0, 10.0, 500.0, 2));
+        assert!(t.is_empty());
+        assert_eq!(site.metrics().preemptions, 0);
+        assert_eq!(site.pending_len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod elastic_tests {
+    use super::*;
+    use mbts_core::Policy;
+    use mbts_workload::PenaltyBound;
+
+    fn spec(id: u64, arrival: f64, runtime: f64, value: f64) -> TaskSpec {
+        TaskSpec::new(id, arrival, runtime, value, 0.1, PenaltyBound::Unbounded)
+    }
+
+    #[test]
+    fn grow_dispatches_queued_work_immediately() {
+        let mut site = SiteState::new(SiteConfig::new(1).with_policy(Policy::Fcfs));
+        let (_, t1) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0));
+        let (_, t2) = site.submit(Time::ZERO, spec(1, 0.0, 10.0, 100.0));
+        assert!(t2.is_empty());
+        assert_eq!(site.pending_len(), 1);
+        let t3 = site.grow(1, Time::from(2.0));
+        assert_eq!(t3.len(), 1, "new processor picks up the queue");
+        assert_eq!(site.capacity(), 2);
+        assert_eq!(site.free_processors(), 0);
+        let mut all = t1;
+        all.extend(t2);
+        all.extend(t3);
+        // Drain everything.
+        all.sort_by_key(|t| std::cmp::Reverse(t.at));
+        while let Some(tok) = all.pop() {
+            all.extend(site.on_completion(tok.at, tok));
+            all.sort_by_key(|t| std::cmp::Reverse(t.at));
+        }
+        assert_eq!(site.metrics().completed, 2);
+    }
+
+    #[test]
+    fn shrink_retires_idle_processors_immediately() {
+        let mut site = SiteState::new(SiteConfig::new(4));
+        let retired = site.shrink(2);
+        assert_eq!(retired, 2);
+        assert_eq!(site.capacity(), 2);
+        assert_eq!(site.free_processors(), 2);
+        assert_eq!(site.shrink_debt(), 0);
+    }
+
+    #[test]
+    fn shrink_of_busy_processors_is_debt_collected_on_completion() {
+        let mut site = SiteState::new(SiteConfig::new(2));
+        let (_, t1) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0));
+        let (_, t2) = site.submit(Time::ZERO, spec(1, 0.0, 20.0, 100.0));
+        // Both busy; shrink by 1 must wait for a completion.
+        assert_eq!(site.shrink(1), 0);
+        assert_eq!(site.shrink_debt(), 1);
+        assert_eq!(site.capacity(), 2);
+        // First completion pays the debt instead of dispatching.
+        let more = site.on_completion(t1[0].at, t1[0]);
+        assert!(more.is_empty());
+        assert_eq!(site.capacity(), 1);
+        assert_eq!(site.shrink_debt(), 0);
+        assert_eq!(site.free_processors(), 0);
+        site.on_completion(t2[0].at, t2[0]);
+        assert_eq!(site.capacity(), 1);
+        assert_eq!(site.free_processors(), 1);
+        assert!(site.is_quiescent());
+    }
+
+    #[test]
+    fn shrink_never_drops_below_one_processor() {
+        let mut site = SiteState::new(SiteConfig::new(3));
+        site.shrink(100);
+        assert_eq!(site.capacity(), 1);
+        // Still functional.
+        let (ok, t) = site.submit(Time::ZERO, spec(0, 0.0, 5.0, 10.0));
+        assert!(ok);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn grow_then_shrink_roundtrips() {
+        let mut site = SiteState::new(SiteConfig::new(2));
+        site.grow(3, Time::ZERO);
+        assert_eq!(site.capacity(), 5);
+        assert_eq!(site.shrink(3), 3);
+        assert_eq!(site.capacity(), 2);
+        assert_eq!(site.free_processors(), 2);
+    }
+
+    #[test]
+    fn free_times_track_elastic_capacity() {
+        let mut site = SiteState::new(SiteConfig::new(1));
+        site.grow(2, Time::ZERO);
+        assert_eq!(site.free_times(Time::from(5.0)).len(), 3);
+        site.shrink(1);
+        assert_eq!(site.free_times(Time::from(5.0)).len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod backfill_toggle_tests {
+    use super::*;
+    use mbts_core::Policy;
+    use mbts_workload::PenaltyBound;
+
+    fn wide(id: u64, runtime: f64, width: usize) -> TaskSpec {
+        TaskSpec::new(id, 0.0, runtime, 100.0, 0.1, PenaltyBound::Unbounded).with_width(width)
+    }
+
+    #[test]
+    fn disabling_backfilling_enforces_strict_order() {
+        let mut site = SiteState::new(
+            SiteConfig::new(4)
+                .with_policy(Policy::Fcfs)
+                .with_backfilling(false),
+        );
+        site.submit(Time::ZERO, wide(0, 10.0, 3));
+        site.submit(Time::ZERO, wide(1, 10.0, 4)); // head of line, blocked
+        let (ok, t3) = site.submit(Time::ZERO, wide(2, 3.0, 1));
+        assert!(ok);
+        assert!(t3.is_empty(), "no backfilling: short task waits in line");
+        assert_eq!(site.metrics().backfills, 0);
+        assert_eq!(site.pending_len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod preemption_mode_tests {
+    use super::*;
+    use mbts_core::Policy;
+    use mbts_workload::PenaltyBound;
+
+    fn spec(id: u64, arrival: f64, runtime: f64, value: f64) -> TaskSpec {
+        TaskSpec::new(id, arrival, runtime, value, 0.1, PenaltyBound::Unbounded)
+    }
+
+    fn drain(site: &mut SiteState, mut tokens: Vec<CompletionToken>) {
+        while !tokens.is_empty() {
+            tokens.sort_by_key(|t| std::cmp::Reverse(t.at));
+            let tok = tokens.pop().unwrap();
+            tokens.extend(site.on_completion(tok.at, tok));
+        }
+    }
+
+    /// One low-value long task is preempted at t = 10 by a 5-t.u. task;
+    /// returns the victim's completion time under the given mode.
+    fn victim_completion(mode: PreemptionMode) -> Time {
+        let cfg = SiteConfig::new(1)
+            .with_policy(Policy::FirstPrice)
+            .with_preemption(true)
+            .with_preemption_mode(mode);
+        let mut site = SiteState::new(cfg);
+        let (_, mut tokens) = site.submit(Time::ZERO, spec(0, 0.0, 100.0, 100.0));
+        let (_, t2) = site.submit(Time::from(10.0), spec(1, 10.0, 5.0, 5000.0));
+        tokens.extend(t2);
+        drain(&mut site, tokens);
+        site.clone().into_outcome().outcomes[0]
+            .finished_at
+            .unwrap()
+    }
+
+    #[test]
+    fn resume_keeps_progress() {
+        // Ran 10, suspended 5, remaining 90 → completes at 105.
+        assert_eq!(victim_completion(PreemptionMode::Resume), Time::from(105.0));
+    }
+
+    #[test]
+    fn restart_loses_progress() {
+        // Restarts from scratch at t = 15 → completes at 115.
+        assert_eq!(
+            victim_completion(PreemptionMode::Restart),
+            Time::from(115.0)
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_pays_overhead_only() {
+        // Keeps the 10 units of progress, pays 3 to restore → 108.
+        assert_eq!(
+            victim_completion(PreemptionMode::CheckpointRestore { overhead: 3.0 }),
+            Time::from(108.0)
+        );
+        // Zero overhead degenerates to resume.
+        assert_eq!(
+            victim_completion(PreemptionMode::CheckpointRestore { overhead: 0.0 }),
+            Time::from(105.0)
+        );
+    }
+
+    #[test]
+    fn modes_order_total_yield_sensibly() {
+        // More progress lost ⇒ later completion ⇒ lower victim yield.
+        let resume = victim_completion(PreemptionMode::Resume);
+        let ckpt = victim_completion(PreemptionMode::CheckpointRestore { overhead: 3.0 });
+        let restart = victim_completion(PreemptionMode::Restart);
+        assert!(resume < ckpt && ckpt < restart);
+    }
+}

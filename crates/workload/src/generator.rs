@@ -1,0 +1,377 @@
+//! Trace generation.
+//!
+//! Turns a [`MixConfig`] into a concrete [`Trace`] using independent named
+//! RNG streams per stochastic dimension (arrivals, runtimes, values,
+//! decays, estimation error). Because the streams are independent,
+//! changing one knob — say the decay skew — leaves every other dimension's
+//! draws untouched, giving the *common random numbers* structure the
+//! paper's paired heuristic comparisons rely on.
+
+use crate::config::{ArrivalProcess, BoundPolicy, MixConfig, WidthPolicy};
+use crate::task::{PenaltyBound, TaskSpec};
+use crate::trace::Trace;
+use mbts_sim::{Dist, Duration, RngFactory, Time};
+
+/// Generates a trace from `config`, deterministically in `seed`.
+pub fn generate_trace(config: &MixConfig, seed: u64) -> Trace {
+    let factory = RngFactory::new(seed);
+    let mut arrivals_rng = factory.stream("arrivals");
+    let mut runtime_rng = factory.stream("runtimes");
+    let mut value_rng = factory.stream("unit-values");
+    let mut decay_rng = factory.stream("decays");
+    let mut error_rng = factory.stream("runtime-error");
+    let mut width_rng = factory.stream("widths");
+
+    let unit_value_dist = config.unit_value_dist();
+    let decay_dist = config.decay_dist();
+    let gap_dist = arrival_gap_dist(config);
+    let error_dist = Dist::normal_min(0.0, config.runtime_error, -0.9);
+
+    let mut tasks = Vec::with_capacity(config.num_tasks);
+    let mut clock = Time::ZERO;
+    let batch_size = match config.arrival {
+        ArrivalProcess::Exponential | ArrivalProcess::Diurnal { .. } => 1,
+        ArrivalProcess::NormalBatch { batch_size, .. } => batch_size,
+    };
+
+    while tasks.len() < config.num_tasks {
+        // One arrival event releases `batch_size` tasks at `clock`.
+        for _ in 0..batch_size {
+            if tasks.len() == config.num_tasks {
+                break;
+            }
+            let id = tasks.len() as u64;
+            let runtime = config.runtime.sample(&mut runtime_rng).max(1e-6);
+            let unit_value = unit_value_dist.sample(&mut value_rng).max(0.0);
+            let value = unit_value * runtime;
+            let decay = decay_dist.sample(&mut decay_rng).max(0.0);
+            let bound = match config.bound {
+                BoundPolicy::Unbounded => PenaltyBound::Unbounded,
+                BoundPolicy::ZeroFloor => PenaltyBound::ZERO,
+                BoundPolicy::ProportionalPenalty { fraction } => PenaltyBound::Bounded {
+                    max_penalty: fraction * value,
+                },
+            };
+            let width = sample_width(&config.width, config.processors, &mut width_rng);
+            let mut spec =
+                TaskSpec::new(id, clock.as_f64(), runtime, value, decay, bound).with_width(width);
+            if config.runtime_error > 0.0 {
+                let eps = error_dist.sample(&mut error_rng);
+                spec.true_runtime = Duration::new((runtime * (1.0 + eps)).max(1e-6));
+            }
+            tasks.push(spec);
+        }
+        clock += match config.arrival {
+            ArrivalProcess::Diurnal { period, amplitude } => {
+                diurnal_gap(clock, config.arrival_rate(), period, amplitude, &mut arrivals_rng)
+            }
+            _ => Duration::new(gap_dist.sample(&mut arrivals_rng).max(0.0)),
+        };
+    }
+
+    Trace::new(config.clone(), seed, tasks)
+}
+
+/// Next inter-arrival gap of a sinusoidally modulated Poisson process,
+/// via Lewis–Shedler thinning: propose exponential gaps at the peak rate
+/// `λ·(1 + a)` and accept each proposal with probability
+/// `rate(t)/peak_rate`.
+fn diurnal_gap(
+    mut clock: Time,
+    mean_rate: f64,
+    period: f64,
+    amplitude: f64,
+    rng: &mut mbts_sim::SimRng,
+) -> Duration {
+    use rand::Rng;
+    assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0,1]");
+    assert!(period > 0.0, "period must be positive");
+    let start = clock;
+    let peak = mean_rate * (1.0 + amplitude);
+    loop {
+        let u: f64 = rng.gen::<f64>();
+        clock += Duration::new(-(1.0 - u).ln() / peak);
+        let phase = 2.0 * std::f64::consts::PI * clock.as_f64() / period;
+        let rate = mean_rate * (1.0 + amplitude * phase.sin());
+        if rng.gen::<f64>() * peak <= rate {
+            return clock - start;
+        }
+    }
+}
+
+/// Samples a processor width, capped at the calibration site size.
+fn sample_width(
+    policy: &WidthPolicy,
+    processors: usize,
+    rng: &mut mbts_sim::SimRng,
+) -> usize {
+    use rand::Rng;
+    let w = match policy {
+        WidthPolicy::One => 1,
+        WidthPolicy::Uniform { lo, hi } => rng.gen_range(*lo..=*hi),
+        WidthPolicy::PowersOfTwo { max_exp } => 1usize << rng.gen_range(0..=*max_exp),
+    };
+    w.clamp(1, processors)
+}
+
+/// The inter-arrival-event gap distribution implied by the config's load
+/// factor (see [`MixConfig::mean_arrival_gap`]).
+fn arrival_gap_dist(config: &MixConfig) -> Dist {
+    let mean_gap = config.mean_arrival_gap();
+    match config.arrival {
+        ArrivalProcess::Exponential => Dist::exponential(mean_gap),
+        ArrivalProcess::NormalBatch { cv, .. } => {
+            Dist::normal_min(mean_gap, cv * mean_gap, 0.0)
+        }
+        // Diurnal gaps are generated by thinning (see `diurnal_gap`);
+        // this distribution is never sampled for them, but keep the mean
+        // right for callers that inspect it.
+        ArrivalProcess::Diurnal { .. } => Dist::exponential(mean_gap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MixConfig;
+
+    fn small() -> MixConfig {
+        MixConfig::millennium_default()
+            .with_tasks(2000)
+            .with_processors(8)
+    }
+
+    #[test]
+    fn trace_has_requested_length_and_sorted_arrivals() {
+        let t = generate_trace(&small(), 1);
+        assert_eq!(t.tasks.len(), 2000);
+        assert!(t
+            .tasks
+            .windows(2)
+            .all(|w| w[0].arrival <= w[1].arrival));
+        // Ids are dense and arrival-ordered.
+        for (i, task) in t.tasks.iter().enumerate() {
+            assert_eq!(task.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate_trace(&small(), 7);
+        let b = generate_trace(&small(), 7);
+        assert_eq!(a.tasks, b.tasks);
+        let c = generate_trace(&small(), 8);
+        assert_ne!(a.tasks, c.tasks);
+    }
+
+    #[test]
+    fn realized_load_tracks_configured_load() {
+        for load in [0.5, 1.0, 2.0] {
+            let cfg = small().with_load_factor(load);
+            let t = generate_trace(&cfg, 3);
+            let stats = t.stats();
+            let rel_err = (stats.offered_load - load).abs() / load;
+            assert!(
+                rel_err < 0.1,
+                "load {load}: realized {}",
+                stats.offered_load
+            );
+        }
+    }
+
+    #[test]
+    fn value_mean_matches_config_scale() {
+        let cfg = small();
+        let t = generate_trace(&cfg, 11);
+        let mean_unit: f64 =
+            t.tasks.iter().map(|s| s.unit_value()).sum::<f64>() / t.tasks.len() as f64;
+        assert!(
+            (mean_unit - cfg.mean_unit_value).abs() < 0.1,
+            "mean unit value {mean_unit}"
+        );
+        let mean_decay: f64 = t.tasks.iter().map(|s| s.decay).sum::<f64>() / t.tasks.len() as f64;
+        assert!(
+            (mean_decay - cfg.mean_decay).abs() < 0.1,
+            "mean decay {mean_decay}"
+        );
+    }
+
+    #[test]
+    fn value_skew_changes_values_but_not_arrivals_or_runtimes() {
+        let a = generate_trace(&small().with_value_skew(1.0), 5);
+        let b = generate_trace(&small().with_value_skew(9.0), 5);
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.runtime, y.runtime);
+            assert_eq!(x.decay, y.decay);
+        }
+        assert!(a.tasks.iter().zip(&b.tasks).any(|(x, y)| x.value != y.value));
+    }
+
+    #[test]
+    fn load_factor_changes_arrivals_only() {
+        let a = generate_trace(&small().with_load_factor(0.5), 5);
+        let b = generate_trace(&small().with_load_factor(2.0), 5);
+        for (x, y) in a.tasks.iter().zip(&b.tasks) {
+            assert_eq!(x.runtime, y.runtime);
+            assert_eq!(x.value, y.value);
+            assert_eq!(x.decay, y.decay);
+        }
+        // Higher load compresses the arrival span.
+        assert!(b.stats().arrival_span < a.stats().arrival_span);
+    }
+
+    #[test]
+    fn batch_arrivals_release_batches() {
+        let cfg = small()
+            .with_tasks(160)
+            .with_arrival(ArrivalProcess::NormalBatch {
+                batch_size: 16,
+                cv: 0.2,
+            });
+        let t = generate_trace(&cfg, 2);
+        // Every run of 16 consecutive tasks shares an arrival time.
+        for chunk in t.tasks.chunks(16) {
+            assert!(chunk.iter().all(|s| s.arrival == chunk[0].arrival));
+        }
+        // Distinct batches have distinct times.
+        assert_ne!(t.tasks[0].arrival, t.tasks[16].arrival);
+    }
+
+    #[test]
+    fn bound_policies_apply() {
+        let zero = generate_trace(&small().with_bound(BoundPolicy::ZeroFloor), 1);
+        assert!(zero.tasks.iter().all(|s| s.bound == PenaltyBound::ZERO));
+        let unb = generate_trace(&small().with_bound(BoundPolicy::Unbounded), 1);
+        assert!(unb.tasks.iter().all(|s| s.bound.is_unbounded()));
+        let prop = generate_trace(
+            &small().with_bound(BoundPolicy::ProportionalPenalty { fraction: 0.5 }),
+            1,
+        );
+        for s in &prop.tasks {
+            match s.bound {
+                PenaltyBound::Bounded { max_penalty } => {
+                    assert!((max_penalty - 0.5 * s.value).abs() < 1e-9)
+                }
+                _ => panic!("expected bounded"),
+            }
+        }
+    }
+
+    #[test]
+    fn accurate_runtimes_by_default() {
+        let t = generate_trace(&small(), 1);
+        assert!(t.tasks.iter().all(|s| s.runtime == s.true_runtime));
+    }
+
+    #[test]
+    fn runtime_error_perturbs_true_runtime_only() {
+        let t = generate_trace(&small().with_runtime_error(0.3), 1);
+        let perturbed = t
+            .tasks
+            .iter()
+            .filter(|s| s.runtime != s.true_runtime)
+            .count();
+        assert!(perturbed > t.tasks.len() / 2);
+        assert!(t.tasks.iter().all(|s| s.true_runtime.as_f64() > 0.0));
+        // Estimates are unchanged relative to the accurate trace.
+        let base = generate_trace(&small(), 1);
+        for (a, b) in base.tasks.iter().zip(&t.tasks) {
+            assert_eq!(a.runtime, b.runtime);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Any (reasonable) config generates a well-formed trace: positive
+        /// runtimes, non-negative values/decays, sorted arrivals.
+        #[test]
+        fn traces_are_well_formed(
+            seed in any::<u64>(),
+            load in 0.3f64..4.0,
+            value_skew in 1.0f64..10.0,
+            decay_skew in 1.0f64..10.0,
+            n in 10usize..200,
+        ) {
+            let cfg = MixConfig::millennium_default()
+                .with_tasks(n)
+                .with_load_factor(load)
+                .with_value_skew(value_skew)
+                .with_decay_skew(decay_skew);
+            let t = generate_trace(&cfg, seed);
+            prop_assert_eq!(t.tasks.len(), n);
+            for w in t.tasks.windows(2) {
+                prop_assert!(w[0].arrival <= w[1].arrival);
+            }
+            for s in &t.tasks {
+                prop_assert!(s.runtime.as_f64() > 0.0);
+                prop_assert!(s.value >= 0.0);
+                prop_assert!(s.decay >= 0.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod diurnal_tests {
+    use super::*;
+    use crate::config::{ArrivalProcess, MixConfig};
+
+    fn diurnal_mix(amplitude: f64) -> MixConfig {
+        MixConfig::millennium_default()
+            .with_tasks(4000)
+            .with_processors(8)
+            .with_arrival(ArrivalProcess::Diurnal {
+                period: 2000.0,
+                amplitude,
+            })
+    }
+
+    #[test]
+    fn diurnal_preserves_the_mean_load() {
+        let t = generate_trace(&diurnal_mix(0.8), 5);
+        let load = t.stats().offered_load;
+        assert!((load - 1.0).abs() < 0.15, "offered load {load}");
+    }
+
+    #[test]
+    fn diurnal_zero_amplitude_is_poisson_like() {
+        let t = generate_trace(&diurnal_mix(0.0), 5);
+        let load = t.stats().offered_load;
+        assert!((load - 1.0).abs() < 0.15, "offered load {load}");
+    }
+
+    #[test]
+    fn diurnal_arrivals_actually_oscillate() {
+        // Count arrivals per half-period window: peaks and troughs should
+        // differ markedly at amplitude 0.9.
+        let t = generate_trace(&diurnal_mix(0.9), 6);
+        let period = 2000.0;
+        let mut counts = std::collections::BTreeMap::new();
+        for task in &t.tasks {
+            let phase = (task.arrival.as_f64() % period) / period;
+            // First half (rising sine, high rate) vs second half.
+            *counts.entry(phase < 0.5).or_insert(0usize) += 1;
+        }
+        let high = counts.get(&true).copied().unwrap_or(0) as f64;
+        let low = counts.get(&false).copied().unwrap_or(0) as f64;
+        assert!(
+            high > low * 1.5,
+            "high-phase {high} vs low-phase {low}: no oscillation"
+        );
+    }
+
+    #[test]
+    fn diurnal_is_deterministic() {
+        let a = generate_trace(&diurnal_mix(0.5), 9);
+        let b = generate_trace(&diurnal_mix(0.5), 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,61 @@
+//! Do clients gain by under-declaring their value functions?
+//!
+//! §2 of the paper notes that charging below the bid (second pricing, as
+//! in Spawn's Vickrey auctions) encourages truthful bidding. This example
+//! makes that concrete: half the clients *shade* their declared value
+//! functions by a factor and we compare each population's realized
+//! utility (true value at completion − price paid) and placement rate
+//! across shading depths.
+//!
+//! ```sh
+//! cargo run --release --example bid_shading
+//! ```
+
+use mbts::core::{AdmissionPolicy, Policy};
+use mbts::market::{run_shading_experiment, ClientSelection, EconomyConfig};
+use mbts::site::SiteConfig;
+use mbts::workload::{generate_trace, MixConfig};
+
+fn main() {
+    let trace = generate_trace(
+        &MixConfig::millennium_default()
+            .with_tasks(1000)
+            .with_processors(8)
+            .with_load_factor(1.8)
+            .with_mean_decay(0.05),
+        17,
+    );
+    let mut economy = EconomyConfig::uniform(
+        2,
+        SiteConfig::new(4)
+            .with_policy(Policy::FirstPrice)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 }),
+    );
+    economy.selection = ClientSelection::EarliestCompletion;
+
+    println!("1000 tasks at load 1.8, two sites; half the clients shade their bids.\n");
+    println!(
+        "{:>8}  {:>12} {:>10} {:>10}   {:>12} {:>10} {:>10}",
+        "factor", "util(shade)", "placed%", "paid", "util(truth)", "placed%", "paid"
+    );
+    for factor in [1.0, 0.8, 0.6, 0.4, 0.2] {
+        let r = run_shading_experiment(economy.clone(), &trace, 2, factor);
+        let pct = |p: usize, n: usize| 100.0 * p as f64 / n as f64;
+        println!(
+            "{factor:>8.1}  {:>12.2} {:>9.0}% {:>10.0}   {:>12.2} {:>9.0}% {:>10.0}",
+            r.shaders.mean_utility,
+            pct(r.shaders.placed, r.shaders.count),
+            r.shaders.paid,
+            r.truthful.mean_utility,
+            pct(r.truthful.placed, r.truthful.count),
+            r.truthful.paid,
+        );
+    }
+    println!(
+        "\nUnder pay-bid pricing, shading buys surplus on every served task but\n\
+         costs scheduling priority and admission: service quality degrades as\n\
+         the declared urgency shrinks. This is the tension §2 resolves by\n\
+         charging second prices — with the price already capped by the\n\
+         runner-up bid, under-declaring only loses priority."
+    );
+}

@@ -1,0 +1,149 @@
+//! Whole-simulation property tests: for arbitrary (small) mixes, seeds,
+//! policies, and site configurations, the invariants of a correct
+//! value-based scheduler hold.
+
+use mbts::core::{AdmissionPolicy, Policy};
+use mbts::site::{PreemptionMode, Site, SiteConfig};
+use mbts::workload::{generate_trace, BoundPolicy, MixConfig, WidthPolicy};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::Fcfs),
+        Just(Policy::Srpt),
+        Just(Policy::Swpt),
+        Just(Policy::FirstPrice),
+        (0.0f64..0.1).prop_map(Policy::pv),
+        (0.0f64..=1.0, 0.0f64..0.1).prop_map(|(a, r)| Policy::first_reward(a, r)),
+    ]
+}
+
+fn arb_bound() -> impl Strategy<Value = BoundPolicy> {
+    prop_oneof![
+        Just(BoundPolicy::Unbounded),
+        Just(BoundPolicy::ZeroFloor),
+        (0.0f64..1.0).prop_map(|fraction| BoundPolicy::ProportionalPenalty { fraction }),
+    ]
+}
+
+fn arb_width() -> impl Strategy<Value = WidthPolicy> {
+    prop_oneof![
+        Just(WidthPolicy::One),
+        (1usize..3, 0usize..4).prop_map(|(lo, extra)| WidthPolicy::Uniform {
+            lo,
+            hi: lo + extra,
+        }),
+        (0u32..3).prop_map(|max_exp| WidthPolicy::PowersOfTwo { max_exp }),
+    ]
+}
+
+fn arb_admission() -> impl Strategy<Value = AdmissionPolicy> {
+    prop_oneof![
+        Just(AdmissionPolicy::AcceptAll),
+        Just(AdmissionPolicy::PositiveExpectedYield),
+        (-200.0f64..500.0).prop_map(|threshold| AdmissionPolicy::SlackThreshold { threshold }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Task conservation, finite yields, and the yield ceiling hold for
+    /// arbitrary configurations.
+    #[test]
+    fn simulation_invariants(
+        seed in any::<u64>(),
+        load in 0.3f64..3.0,
+        policy in arb_policy(),
+        bound in arb_bound(),
+        admission in arb_admission(),
+        preemption in any::<bool>(),
+        restart in any::<bool>(),
+        drop_expired in any::<bool>(),
+        backfilling in any::<bool>(),
+        width in arb_width(),
+        procs in 1usize..6,
+    ) {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(120)
+            .with_processors(procs)
+            .with_load_factor(load)
+            .with_width(width)
+            .with_bound(bound);
+        let trace = generate_trace(&mix, seed);
+        let cfg = SiteConfig::new(procs)
+            .with_policy(policy)
+            .with_admission(admission)
+            .with_preemption(preemption)
+            .with_preemption_mode(if restart { PreemptionMode::Restart } else { PreemptionMode::Resume })
+            .with_backfilling(backfilling)
+            .with_drop_expired(drop_expired);
+        let out = Site::new(cfg).run_trace(&trace);
+        let m = &out.metrics;
+        prop_assert_eq!(m.submitted, 120);
+        prop_assert_eq!(m.accepted + m.rejected, m.submitted);
+        prop_assert_eq!(m.completed + m.dropped, m.accepted);
+        prop_assert!(m.total_yield.is_finite());
+        prop_assert!(m.total_yield <= trace.stats().total_value + 1e-6);
+        // Bounded-at-zero mixes can never earn negative yield.
+        if bound == BoundPolicy::ZeroFloor {
+            prop_assert!(m.total_yield >= -1e-9);
+            prop_assert_eq!(m.total_penalty, 0.0);
+        }
+        // Per-job earnings respect each task's floor and ceiling.
+        for (o, spec) in out.outcomes.iter().zip(&trace.tasks) {
+            prop_assert_eq!(o.id, spec.id);
+            prop_assert!(o.earned <= spec.value + 1e-9);
+            prop_assert!(o.earned >= spec.bound.floor() - 1e-9);
+        }
+    }
+
+    /// Without preemption, no task is ever preempted; with AcceptAll,
+    /// none is rejected.
+    #[test]
+    fn mode_flags_are_respected(seed in any::<u64>(), policy in arb_policy()) {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(100)
+            .with_processors(3)
+            .with_load_factor(2.0);
+        let trace = generate_trace(&mix, seed);
+        let out = Site::new(SiteConfig::new(3).with_policy(policy)).run_trace(&trace);
+        prop_assert_eq!(out.metrics.preemptions, 0);
+        prop_assert_eq!(out.metrics.rejected, 0);
+        prop_assert!(out.outcomes.iter().all(|o| o.preemptions == 0));
+    }
+
+    /// Threshold endpoints behave like AcceptAll / RejectAll.
+    ///
+    /// Note: acceptance counts are *not* monotone in the threshold in
+    /// closed loop — rejecting a task shrinks the queue, which can raise
+    /// later tasks' slack above a stricter bar. (Per-decision
+    /// monotonicity is proven in `mbts-core`'s admission proptests.)
+    /// Only the endpoints are globally ordered.
+    #[test]
+    fn threshold_endpoints(seed in any::<u64>(), mid in -100.0f64..300.0) {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(100)
+            .with_processors(3)
+            .with_load_factor(2.0);
+        let trace = generate_trace(&mix, seed);
+        let run = |threshold: f64| {
+            Site::new(
+                SiteConfig::new(3)
+                    .with_policy(Policy::FirstPrice)
+                    .with_admission(AdmissionPolicy::SlackThreshold { threshold }),
+            )
+            .run_trace(&trace)
+            .metrics
+            .accepted
+        };
+        let lenient = run(f64::NEG_INFINITY);
+        let strict = run(f64::INFINITY);
+        let middle = run(mid);
+        prop_assert_eq!(lenient, 100, "−∞ threshold accepts everything");
+        // Feedback makes interior thresholds incomparable, but the
+        // endpoints bound every run.
+        prop_assert!(strict <= lenient);
+        prop_assert!(middle <= lenient);
+    }
+}

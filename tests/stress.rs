@@ -1,0 +1,130 @@
+//! Stress test: every feature at once, end to end.
+//!
+//! A multi-site economy where everything is switched on simultaneously —
+//! gang tasks, preemption with checkpoint overhead, backfilling, slack
+//! admission, budgets, migration, retries, grace-period contracts, second
+//! pricing, runtime misestimation — run over a surge workload, checking
+//! only the invariants that must survive any feature interaction.
+
+use mbts::core::{AdmissionPolicy, Policy};
+use mbts::market::{
+    BudgetConfig, ClientSelection, ContractTerms, Economy, EconomyConfig, MigrationConfig,
+    PricingStrategy, RetryConfig,
+};
+use mbts::site::{PreemptionMode, SiteConfig};
+use mbts::workload::{generate_trace, MixConfig, Trace, WidthPolicy};
+
+fn everything_trace() -> Trace {
+    let quiet = MixConfig::millennium_default()
+        .with_tasks(250)
+        .with_processors(12)
+        .with_load_factor(0.6)
+        .with_mean_decay(0.05)
+        .with_width(WidthPolicy::PowersOfTwo { max_exp: 2 })
+        .with_runtime_error(0.2);
+    let surge = quiet.clone().with_load_factor(2.5);
+    Trace::concatenate(
+        &[
+            generate_trace(&quiet, 71),
+            generate_trace(&surge, 72),
+            generate_trace(&quiet, 73),
+        ],
+        25.0,
+    )
+}
+
+fn everything_economy() -> EconomyConfig {
+    let mut cfg = EconomyConfig::uniform(
+        1,
+        SiteConfig::new(8)
+            .with_policy(Policy::first_reward(0.25, 0.01))
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 50.0 })
+            .with_preemption(true)
+            .with_preemption_mode(PreemptionMode::CheckpointRestore { overhead: 2.0 })
+            .with_audit(true),
+    );
+    cfg.sites.push(
+        SiteConfig::new(4)
+            .with_policy(Policy::FirstPrice)
+            .with_admission(AdmissionPolicy::PositiveExpectedYield)
+            .with_drop_expired(true),
+    );
+    cfg.selection = ClientSelection::EarliestCompletion;
+    cfg.pricing = PricingStrategy::second_price();
+    cfg.budgets = Some(BudgetConfig {
+        num_clients: 5,
+        initial: 5_000.0,
+        replenish_rate: 1.0,
+        cap: 20_000.0,
+    });
+    cfg.migration = Some(MigrationConfig {
+        grace: 120.0,
+        max_attempts: 3,
+    });
+    cfg.terms = ContractTerms::GracePeriod {
+        grace: 80.0,
+        rate_multiplier: 2.0,
+    };
+    cfg.retry = Some(RetryConfig {
+        backoff: 60.0,
+        max_retries: 2,
+    });
+    cfg
+}
+
+#[test]
+fn kitchen_sink_economy_stays_consistent() {
+    let trace = everything_trace();
+    let out = Economy::new(everything_economy()).run_trace(&trace);
+
+    // Market-level conservation (placements can exceed offers only via
+    // migration re-placements).
+    assert_eq!(out.offered, trace.len());
+    assert_eq!(
+        out.placed + out.unplaced + out.unfunded,
+        out.offered + out.migrations
+    );
+    assert_eq!(out.contracts.len(), out.placed);
+    assert!(out.contracts.iter().all(|c| c.is_settled()));
+    assert_eq!(out.migrations + out.abandoned, out.cancelled);
+
+    // Per-site conservation with every disposition in play.
+    for site in &out.per_site {
+        let m = &site.metrics;
+        assert_eq!(m.completed + m.dropped + m.cancelled, m.accepted);
+        assert!(m.total_yield.is_finite());
+    }
+
+    // Budgets: client debits equal charges.
+    let spent: f64 = out.client_spend.iter().sum();
+    assert!((spent - out.total_paid).abs() < 1e-6 * (1.0 + out.total_paid.abs()));
+
+    // The audited site's trail is time-ordered and complete.
+    let audit = &out.per_site[0].audit;
+    assert!(!audit.is_empty());
+    assert!(audit.windows(2).all(|w| w[0].at <= w[1].at));
+
+    // Determinism: the whole kitchen sink replays identically.
+    let again = Economy::new(everything_economy()).run_trace(&trace);
+    assert_eq!(out.placed, again.placed);
+    assert_eq!(out.cancelled, again.cancelled);
+    assert_eq!(out.total_paid.to_bits(), again.total_paid.to_bits());
+}
+
+#[test]
+fn kitchen_sink_under_every_preemption_mode() {
+    let trace = everything_trace();
+    for mode in [
+        PreemptionMode::Resume,
+        PreemptionMode::Restart,
+        PreemptionMode::CheckpointRestore { overhead: 5.0 },
+    ] {
+        let mut cfg = everything_economy();
+        for site in &mut cfg.sites {
+            site.preemption_mode = mode;
+        }
+        let out = Economy::new(cfg).run_trace(&trace);
+        assert!(out.contracts.iter().all(|c| c.is_settled()), "{mode:?}");
+        assert!(out.total_yield().is_finite(), "{mode:?}");
+    }
+}
