@@ -56,7 +56,8 @@ fn economy_migration(c: &mut Criterion) {
         ),
     ] {
         g.bench_function(label, |b| {
-            let mut cfg = EconomyConfig::uniform(2, SiteConfig::new(4).with_policy(Policy::FirstPrice));
+            let mut cfg =
+                EconomyConfig::uniform(2, SiteConfig::new(4).with_policy(Policy::FirstPrice));
             cfg.migration = migration;
             b.iter(|| black_box(Economy::new(cfg.clone()).run_trace(black_box(&t)).placed))
         });

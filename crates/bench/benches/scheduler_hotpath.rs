@@ -1,0 +1,51 @@
+//! The dispatch hot path under a deep backlog: incremental
+//! [`mbts_core::PendingPool`] selection vs the rebuild-per-event
+//! baseline, per policy and queue depth. `bench_dispatch` (the
+//! `BENCH_dispatch.json` emitter) measures the same fixtures; this bench
+//! is the interactive/regression view.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbts_bench::hotpath::{drain_incremental, drain_rebuild, pending_queue, pool_of};
+use mbts_core::Policy;
+use std::hint::black_box;
+
+/// Events drained per timed routine. Large enough that the per-routine
+/// fixture clone amortizes to noise against the per-event work.
+const EVENTS: usize = 200;
+const DT: f64 = 0.05;
+
+fn scheduler_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_hotpath");
+    for n in [1_000usize, 10_000] {
+        let jobs = pending_queue(n);
+        for (label, policy) in [
+            ("FirstPrice", Policy::FirstPrice),
+            ("FirstReward", Policy::first_reward(0.3, 0.01)),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("incremental/{label}"), n),
+                &jobs,
+                |b, jobs| {
+                    b.iter(|| {
+                        let mut pool = pool_of(policy, jobs);
+                        black_box(drain_incremental(&mut pool, EVENTS, DT))
+                    })
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("rebuild/{label}"), n),
+                &jobs,
+                |b, jobs| {
+                    b.iter(|| {
+                        let mut queue = jobs.to_vec();
+                        black_box(drain_rebuild(policy, &mut queue, EVENTS, DT))
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, scheduler_hotpath);
+criterion_main!(benches);

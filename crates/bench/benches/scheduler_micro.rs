@@ -73,10 +73,7 @@ fn cost_modes(c: &mut Criterion) {
         // Naive Eq. 4: O(n) per candidate, O(n²) per step.
         g.bench_with_input(BenchmarkId::new("naive", n), &bounded, |b, jobs| {
             b.iter(|| {
-                let total: f64 = jobs
-                    .iter()
-                    .map(|j| cost::cost_naive(now, j, jobs))
-                    .sum();
+                let total: f64 = jobs.iter().map(|j| cost::cost_naive(now, j, jobs)).sum();
                 black_box(total)
             })
         });

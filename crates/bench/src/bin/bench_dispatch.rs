@@ -1,0 +1,130 @@
+//! Emits `BENCH_dispatch.json`: dispatch throughput of the incremental
+//! pending pool vs the rebuild-per-event baseline on the shared
+//! [`mbts_bench::hotpath`] fixtures, plus the incremental/rebuild
+//! speedup ratio per (policy, queue depth).
+//!
+//! Run with `cargo run --release -p mbts-bench --bin bench_dispatch`
+//! (release: the numbers gate a ≥5× regression budget for FirstReward
+//! at 10 000 pending). Writes to the current directory, or to the path
+//! given as the first argument.
+
+use mbts_bench::hotpath::{drain_incremental, drain_rebuild, pending_queue, pool_of};
+use mbts_core::Policy;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const EVENTS: usize = 200;
+const DT: f64 = 0.05;
+const REPS: usize = 25;
+
+struct Row {
+    policy: &'static str,
+    pending: usize,
+    incremental_events_per_sec: f64,
+    rebuild_events_per_sec: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.incremental_events_per_sec / self.rebuild_events_per_sec
+    }
+}
+
+/// Best-of-`REPS` wall time for `events` decisions. Each rep gets a
+/// fresh fixture from `setup`, built outside the timed region. Returns
+/// (events/sec, pick checksum).
+fn measure<S>(mut setup: impl FnMut() -> S, mut run: impl FnMut(&mut S) -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0;
+    for _ in 0..REPS {
+        let mut state = setup();
+        let start = Instant::now();
+        checksum = run(&mut state);
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    (EVENTS as f64 / best, checksum)
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dispatch.json".to_string());
+    let mut rows = Vec::new();
+    for n in [1_000usize, 10_000] {
+        let jobs = pending_queue(n);
+        for (label, policy) in [
+            ("FirstPrice", Policy::FirstPrice),
+            ("FirstReward", Policy::first_reward(0.3, 0.01)),
+        ] {
+            let (inc, inc_sum) = measure(
+                || pool_of(policy, &jobs),
+                |pool| drain_incremental(pool, EVENTS, DT),
+            );
+            let (reb, reb_sum) = measure(
+                || jobs.clone(),
+                |queue| drain_rebuild(policy, queue, EVENTS, DT),
+            );
+            assert_eq!(
+                inc_sum, reb_sum,
+                "{label}@{n}: the two paths picked different tasks"
+            );
+            let row = Row {
+                policy: label,
+                pending: n,
+                incremental_events_per_sec: inc,
+                rebuild_events_per_sec: reb,
+            };
+            eprintln!(
+                "{label:>12} @ {n:>6} pending: incremental {inc:>12.0} ev/s, \
+                 rebuild {reb:>12.0} ev/s, speedup {:.2}x",
+                row.speedup()
+            );
+            rows.push(row);
+        }
+    }
+
+    let gate = rows
+        .iter()
+        .find(|r| r.policy == "FirstReward" && r.pending == 10_000)
+        .expect("gated configuration present");
+    eprintln!(
+        "gate: FirstReward @ 10000 pending speedup {:.2}x (budget >= 5x)",
+        gate.speedup()
+    );
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"dispatch_hotpath\",");
+    let _ = writeln!(json, "  \"events_per_measurement\": {EVENTS},");
+    let _ = writeln!(json, "  \"dt_per_event\": {DT},");
+    let _ = writeln!(json, "  \"reps\": {REPS},");
+    let _ = writeln!(
+        json,
+        "  \"gate\": {{ \"policy\": \"FirstReward\", \"pending\": 10000, \
+         \"min_speedup\": 5.0, \"speedup\": {:.3} }},",
+        gate.speedup()
+    );
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{ \"policy\": \"{}\", \"pending\": {}, \
+             \"incremental_events_per_sec\": {:.1}, \
+             \"rebuild_events_per_sec\": {:.1}, \"speedup\": {:.3} }}",
+            r.policy,
+            r.pending,
+            r.incremental_events_per_sec,
+            r.rebuild_events_per_sec,
+            r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out, json).expect("write BENCH_dispatch.json");
+    eprintln!("wrote {out}");
+
+    assert!(
+        gate.speedup() >= 5.0,
+        "regression gate: FirstReward @ 10000 pending speedup {:.2}x < 5x",
+        gate.speedup()
+    );
+}

@@ -1,1 +1,107 @@
 //! Shared helpers for MBTS Criterion benches.
+//!
+//! [`hotpath`] carries the dispatch-loop fixtures used by both the
+//! `scheduler_hotpath` criterion bench and the `bench_dispatch` binary
+//! that emits `BENCH_dispatch.json`, so the two always measure the same
+//! workload.
+
+pub mod hotpath {
+    //! The dispatch hot path: one scheduling decision per queue event,
+    //! either on the incremental [`PendingPool`] or by rebuilding scores
+    //! (and the cost model) from scratch — the pre-pool baseline.
+
+    use mbts_core::{CostModel, Job, PendingPool, Policy, ScoreCtx};
+    use mbts_sim::Time;
+    use mbts_workload::{generate_trace, BoundPolicy, MixConfig};
+
+    /// A backlog of `n` pending jobs with mixed finite/unbounded decay
+    /// windows, so the cost model's BTree path carries real weight.
+    pub fn pending_queue(n: usize) -> Vec<Job> {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(n)
+            .with_processors(8)
+            .with_load_factor(4.0)
+            .with_bound(BoundPolicy::ProportionalPenalty { fraction: 0.5 });
+        generate_trace(&mix, 97)
+            .tasks
+            .into_iter()
+            .map(Job::new)
+            .collect()
+    }
+
+    /// A pool pre-loaded with clones of `jobs`.
+    pub fn pool_of(policy: Policy, jobs: &[Job]) -> PendingPool {
+        let mut pool = PendingPool::new(policy);
+        for job in jobs {
+            pool.push(job.clone());
+        }
+        pool
+    }
+
+    /// Drains `events` dispatch decisions from the incremental pool,
+    /// advancing the clock by `dt` per decision. Returns a checksum of
+    /// the picked task ids so the work cannot be optimized away and the
+    /// two paths can be cross-checked.
+    pub fn drain_incremental(pool: &mut PendingPool, events: usize, dt: f64) -> u64 {
+        let mut now = Time::ZERO;
+        let mut sum = 0u64;
+        for _ in 0..events {
+            let Some(best) = pool.select_best(now) else {
+                break;
+            };
+            sum = sum
+                .wrapping_mul(31)
+                .wrapping_add(pool.swap_remove(best).id().0);
+            now = Time::new(now.as_f64() + dt);
+        }
+        sum
+    }
+
+    /// The same drain on the rebuild-per-event baseline: every decision
+    /// rebuilds the cost model and rescores the whole queue.
+    pub fn drain_rebuild(policy: Policy, queue: &mut Vec<Job>, events: usize, dt: f64) -> u64 {
+        let mut now = Time::ZERO;
+        let mut sum = 0u64;
+        for _ in 0..events {
+            if queue.is_empty() {
+                break;
+            }
+            let model = policy
+                .needs_cost_model()
+                .then(|| CostModel::build(now, queue.iter()));
+            let ctx = match &model {
+                Some(m) => ScoreCtx::with_cost(now, m),
+                None => ScoreCtx::simple(now),
+            };
+            let Some(best) = policy.select(queue.iter(), &ctx) else {
+                break;
+            };
+            sum = sum
+                .wrapping_mul(31)
+                .wrapping_add(queue.swap_remove(best).id().0);
+            now = Time::new(now.as_f64() + dt);
+        }
+        sum
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn both_drains_pick_the_same_tasks() {
+            let jobs = pending_queue(200);
+            for policy in [
+                Policy::Fcfs,
+                Policy::FirstPrice,
+                Policy::first_reward(0.3, 0.01),
+            ] {
+                let mut pool = pool_of(policy, &jobs);
+                let mut queue = jobs.clone();
+                let a = drain_incremental(&mut pool, 150, 0.05);
+                let b = drain_rebuild(policy, &mut queue, 150, 0.05);
+                assert_eq!(a, b, "{policy:?} drains diverged");
+            }
+        }
+    }
+}

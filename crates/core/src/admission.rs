@@ -66,6 +66,7 @@ pub struct AdmissionDecision {
 /// the candidate) per the §6 procedure. `processor_free` models the
 /// running tasks; `discount_rate` feeds the PV term (the paper uses the
 /// same 1 % as the scheduling heuristic).
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate_admission(
     admission: &AdmissionPolicy,
     policy: &Policy,
@@ -166,7 +167,7 @@ mod tests {
     #[test]
     fn lone_task_on_idle_site_has_full_slack() {
         let c = job(0, 0.0, 10.0, 100.0, 0.5);
-        let d = eval(AdmissionPolicy::AcceptAll, &[c.clone()], &c, 1);
+        let d = eval(AdmissionPolicy::AcceptAll, std::slice::from_ref(&c), &c, 1);
         assert!(d.accept);
         assert_eq!(d.expected_completion, Time::from(10.0));
         assert_eq!(d.expected_yield, 100.0);
@@ -181,14 +182,14 @@ mod tests {
         let c = job(0, 0.0, 10.0, 100.0, 0.5);
         let accept = eval(
             AdmissionPolicy::SlackThreshold { threshold: 180.0 },
-            &[c.clone()],
+            std::slice::from_ref(&c),
             &c,
             1,
         );
         assert!(accept.accept, "slack {} ≥ 180", accept.slack);
         let reject = eval(
             AdmissionPolicy::SlackThreshold { threshold: 200.0 },
-            &[c.clone()],
+            std::slice::from_ref(&c),
             &c,
             1,
         );
@@ -199,13 +200,11 @@ mod tests {
     fn queueing_behind_others_reduces_yield_and_slack() {
         // A crowded queue of higher-unit-gain tasks pushes the candidate
         // back, shrinking both its expected yield and its slack.
-        let mut queue: Vec<Job> = (1..=4)
-            .map(|i| job(i, 0.0, 10.0, 500.0, 0.5))
-            .collect();
+        let mut queue: Vec<Job> = (1..=4).map(|i| job(i, 0.0, 10.0, 500.0, 0.5)).collect();
         let c = job(0, 0.0, 10.0, 100.0, 0.5);
         queue.push(c.clone());
         let crowded = eval(AdmissionPolicy::AcceptAll, &queue, &c, 1);
-        let alone = eval(AdmissionPolicy::AcceptAll, &[c.clone()], &c, 1);
+        let alone = eval(AdmissionPolicy::AcceptAll, std::slice::from_ref(&c), &c, 1);
         assert!(crowded.expected_yield < alone.expected_yield);
         assert!(crowded.slack < alone.slack);
         // Completion pushed to the back: 5 tasks × 10 = 50.
@@ -234,7 +233,7 @@ mod tests {
         let c = job(0, 0.0, 10.0, 100.0, 0.0);
         let d = eval(
             AdmissionPolicy::SlackThreshold { threshold: 1e9 },
-            &[c.clone()],
+            std::slice::from_ref(&c),
             &c,
             1,
         );

@@ -143,11 +143,54 @@ impl CostModel {
         }
     }
 
+    /// An empty model (no competing tasks, zero cost everywhere).
+    pub fn empty() -> Self {
+        Self::unbounded(0.0)
+    }
+
+    /// Refills the model in place from `(window, decay)` entries, reusing
+    /// the existing allocations — the incremental pool's snapshot path.
+    /// Entries need not be sorted, but the caller (a deadline-ordered
+    /// traversal) supplies them nearly sorted, so the adaptive sort runs
+    /// in `O(n)`. The comparator and prefix-sum arithmetic are identical
+    /// to [`build`](Self::build), so a snapshot reproduces a from-scratch
+    /// build bit-for-bit given the same entry multiset and order.
+    pub(crate) fn rebuild_in_place(
+        &mut self,
+        infinite_decay: f64,
+        entries: impl IntoIterator<Item = (f64, f64)>,
+    ) {
+        self.infinite_decay = infinite_decay;
+        self.finite.clear();
+        self.finite.extend(entries);
+        self.finite.sort_by(|a, b| a.0.total_cmp(&b.0));
+        self.prefix_dw.clear();
+        self.prefix_d.clear();
+        self.prefix_dw.push(0.0);
+        self.prefix_d.push(0.0);
+        for &(w, d) in &self.finite {
+            self.prefix_dw.push(self.prefix_dw.last().unwrap() + d * w);
+            self.prefix_d.push(self.prefix_d.last().unwrap() + d);
+        }
+    }
+
     /// Σ_j d_j · min(rpt, w_j) over **all** tasks in the model.
     fn total_cost(&self, rpt: f64) -> f64 {
-        let mut cost = self.infinite_decay * rpt;
         // First index whose window ≥ rpt.
         let split = self.finite.partition_point(|&(w, _)| w < rpt);
+        self.total_cost_at(rpt, split)
+    }
+
+    /// [`total_cost`](Self::total_cost) with the split point already
+    /// known; `split` must equal `partition_point(|(w, _)| w < rpt)`.
+    ///
+    /// The pending pool's FirstReward merge sweep
+    /// ([`crate::pool::PendingPool`]) replicates this expression — and
+    /// the prefix sums it reads — operation for operation from running
+    /// accumulators; keep the two in lockstep or the pool's
+    /// bit-equivalence with the rebuild path breaks.
+    fn total_cost_at(&self, rpt: f64, split: usize) -> f64 {
+        let mut cost = self.infinite_decay * rpt;
         // Windows shorter than rpt contribute d·w …
         cost += self.prefix_dw[split];
         // … longer ones contribute d·rpt.
@@ -291,7 +334,13 @@ mod tests {
         let jobs: Vec<Job> = vec![
             job(0, 7.0, 100.0, 1.0, PenaltyBound::Unbounded),
             job(1, 2.0, 30.0, 4.0, PenaltyBound::ZERO),
-            job(2, 15.0, 200.0, 0.5, PenaltyBound::Bounded { max_penalty: 20.0 }),
+            job(
+                2,
+                15.0,
+                200.0,
+                0.5,
+                PenaltyBound::Bounded { max_penalty: 20.0 },
+            ),
             job(3, 1.0, 5.0, 9.0, PenaltyBound::ZERO),
             job(4, 4.0, 0.0, 2.0, PenaltyBound::ZERO), // value 0: window 0
         ];
@@ -316,9 +365,7 @@ mod tests {
         let total: f64 = jobs.iter().map(|j| j.spec.decay).sum();
         let direct = CostModel::unbounded(total);
         for j in &jobs {
-            assert!(
-                (built.cost_of(j, Time::ZERO) - direct.cost_of(j, Time::ZERO)).abs() < 1e-9
-            );
+            assert!((built.cost_of(j, Time::ZERO) - direct.cost_of(j, Time::ZERO)).abs() < 1e-9);
         }
         assert!((built.active_decay() - total).abs() < 1e-12);
     }
@@ -346,9 +393,9 @@ mod proptests {
 
     fn arb_job(id: u64) -> impl Strategy<Value = Job> {
         (
-            0.1f64..50.0,   // runtime
-            0.0f64..300.0,  // value
-            0.0f64..10.0,   // decay
+            0.1f64..50.0,  // runtime
+            0.0f64..300.0, // value
+            0.0f64..10.0,  // decay
             prop_oneof![
                 Just(PenaltyBound::Unbounded),
                 Just(PenaltyBound::ZERO),

@@ -76,6 +76,18 @@ impl Policy {
         matches!(self, Policy::FirstReward { .. })
     }
 
+    /// `true` when [`score`](Self::score) ignores `ctx.now`: the score of
+    /// a queued job is fixed at submission (arrival, RPT, decay, and
+    /// expiration are all constant while it waits). Such scores can be
+    /// cached once and served from a heap instead of recomputed per
+    /// dispatch instant (see [`crate::pool::PendingPool`]).
+    pub fn time_invariant_score(&self) -> bool {
+        matches!(
+            self,
+            Policy::Fcfs | Policy::Srpt | Policy::Swpt | Policy::EarliestDeadline
+        )
+    }
+
     /// Short, stable name for reports and bench labels.
     pub fn name(&self) -> String {
         match self {
@@ -255,8 +267,7 @@ mod tests {
         let ctx = ScoreCtx::simple(Time::ZERO);
         // Equal under FirstPrice…
         assert!(
-            (Policy::FirstPrice.score(&short, &ctx) - Policy::FirstPrice.score(&long, &ctx))
-                .abs()
+            (Policy::FirstPrice.score(&short, &ctx) - Policy::FirstPrice.score(&long, &ctx)).abs()
                 < 1e-12
         );
         // …but short wins under PV.
@@ -292,7 +303,9 @@ mod tests {
         let ctx = ScoreCtx::with_cost(Time::ZERO, &model);
         let fr = Policy::first_reward(0.0, 0.01);
         let best_fr = fr.select(&jobs, &ctx).unwrap();
-        let best_swpt = Policy::Swpt.select(&jobs, &ScoreCtx::simple(Time::ZERO)).unwrap();
+        let best_swpt = Policy::Swpt
+            .select(&jobs, &ScoreCtx::simple(Time::ZERO))
+            .unwrap();
         assert_eq!(best_fr, best_swpt);
         assert_eq!(best_fr, 3); // the most urgent task
     }
@@ -444,7 +457,14 @@ mod edf_tests {
     use mbts_workload::{PenaltyBound, TaskSpec};
 
     fn bounded(id: u64, runtime: f64, value: f64, decay: f64) -> Job {
-        Job::new(TaskSpec::new(id, 0.0, runtime, value, decay, PenaltyBound::ZERO))
+        Job::new(TaskSpec::new(
+            id,
+            0.0,
+            runtime,
+            value,
+            decay,
+            PenaltyBound::ZERO,
+        ))
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   SWPT, Millennium's **FirstPrice** (unit gain `yield/RPT`), **PV**
 //!   (§5.1, discounted unit gain), and **FirstReward** (§5.3,
 //!   `(α·PV − (1−α)·cost)/RPT`).
+//! * [`pool`] — the **incremental scheduling core**: a persistent
+//!   pending pool maintaining policy scores and the cost model across
+//!   submit/complete/cancel/expire in `O(log n)` per event instead of
+//!   rebuilding from scratch at every dispatch point.
 //! * [`schedule`] — candidate schedules over a pool of processors, used
 //!   for negotiation (expected completion times) and admission control.
 //! * [`admission`] — the slack computation of Eq. 7/8 and the
@@ -42,6 +46,8 @@ pub mod admission;
 pub mod cost;
 pub mod heuristics;
 pub mod job;
+pub mod mergemap;
+pub mod pool;
 pub mod schedule;
 pub mod value;
 
@@ -49,5 +55,6 @@ pub use admission::{evaluate_admission, AdmissionDecision, AdmissionPolicy};
 pub use cost::{CostModel, DecaySum};
 pub use heuristics::{Policy, ScoreCtx};
 pub use job::Job;
+pub use pool::{IncrementalCostModel, PendingPool};
 pub use schedule::{build_candidate, CandidateSchedule, ScheduleEntry, ScheduleMode};
 pub use value::{LinearDecay, PiecewiseLinear, ValueFunction};

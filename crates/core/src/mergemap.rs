@@ -1,0 +1,249 @@
+//! A two-level sorted map tuned for full in-order scans.
+//!
+//! The pending pool ([`crate::pool`]) walks its entire cost-model and
+//! candidate indexes once per dispatch decision. A `BTreeMap` gives the
+//! required `O(log n)` insert/remove but makes that walk a pointer
+//! chase; [`MergeMap`] keeps the same amortized mutation cost while
+//! storing the bulk of the entries in one dense, key-sorted run:
+//!
+//! * **main** — a key-sorted `Vec` with lazy tombstones (compacted away
+//!   once they reach half the run);
+//! * **overlay** — a small `BTreeMap` absorbing recent inserts, folded
+//!   into `main` whenever it grows past 1/8 of the live entries.
+//!
+//! In-order iteration two-pointer-merges the runs, so it visits exactly
+//! the key-ordered live entries a plain `BTreeMap` would — the pool's
+//! bit-equivalence argument only needs the *order*, which is identical —
+//! at dense-scan speed. Inserts are `O(log n)` amortized (each entry is
+//! copied `O(1)` times per geometric compaction round), removals
+//! `O(log n)` lookup plus an amortized-constant share of tombstone
+//! compaction.
+
+use std::collections::BTreeMap;
+
+/// Sorted map with a dense main run and a B-tree write overlay. See the
+/// [module docs](self) for the layout and cost model.
+///
+/// Keys of live entries are unique; re-inserting a removed key is fine
+/// (the pool does this on preemption requeue), but inserting a key that
+/// is currently live is a logic error (checked in debug builds).
+#[derive(Debug, Clone)]
+pub struct MergeMap<K, V> {
+    /// Key-sorted dense run (tombstones included, so binary search
+    /// stays valid).
+    main: Vec<(K, V)>,
+    /// `alive[i] == 0` marks `main[i]` as a tombstone.
+    alive: Vec<u8>,
+    /// Number of tombstones in `main`.
+    dead: usize,
+    /// Recent inserts, merged into `main` on compaction.
+    overlay: BTreeMap<K, V>,
+}
+
+impl<K: Ord + Copy, V: Copy> MergeMap<K, V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        MergeMap {
+            main: Vec::new(),
+            alive: Vec::new(),
+            dead: 0,
+            overlay: BTreeMap::new(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.main.len() - self.dead + self.overlay.len()
+    }
+
+    /// `true` when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Inserts a key that must not currently be live. Returns the value
+    /// displaced from the overlay if the caller violates that (callers
+    /// treat it as a bug via `debug_assert`).
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        debug_assert!(
+            self.find_main(&key).is_none_or(|i| self.alive[i] == 0),
+            "inserted key is already live in the main run"
+        );
+        let prev = self.overlay.insert(key, value);
+        if self.overlay.len() >= ((self.main.len() - self.dead) / 8).max(16) {
+            self.compact();
+        }
+        prev
+    }
+
+    /// Removes and returns the value under `key`, if live.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        if let Some(v) = self.overlay.remove(key) {
+            return Some(v);
+        }
+        match self.find_main(key) {
+            Some(i) if self.alive[i] != 0 => {
+                self.alive[i] = 0;
+                self.dead += 1;
+                let v = self.main[i].1;
+                if self.dead * 2 >= self.main.len() && self.main.len() >= 32 {
+                    self.compact();
+                }
+                Some(v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the value under `key`, if live.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if self.overlay.contains_key(key) {
+            return self.overlay.get_mut(key);
+        }
+        match self.find_main(key) {
+            Some(i) if self.alive[i] != 0 => Some(&mut self.main[i].1),
+            _ => None,
+        }
+    }
+
+    /// Visits every live entry in ascending key order — the dense main
+    /// run merged with the overlay, identical to iterating a `BTreeMap`
+    /// holding the same entries.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        let mut ov = self.overlay.iter().peekable();
+        for (i, kv) in self.main.iter().enumerate() {
+            if self.alive[i] == 0 {
+                continue;
+            }
+            while let Some(&(ok, ovv)) = ov.peek() {
+                if *ok < kv.0 {
+                    f(ok, ovv);
+                    ov.next();
+                } else {
+                    break;
+                }
+            }
+            f(&kv.0, &kv.1);
+        }
+        for (k, v) in ov {
+            f(k, v);
+        }
+    }
+
+    fn find_main(&self, key: &K) -> Option<usize> {
+        self.main.binary_search_by(|(k, _)| k.cmp(key)).ok()
+    }
+
+    /// Folds the overlay into the main run and drops tombstones.
+    fn compact(&mut self) {
+        let mut merged = Vec::with_capacity(self.main.len() - self.dead + self.overlay.len());
+        let overlay = std::mem::take(&mut self.overlay);
+        let mut ov = overlay.into_iter().peekable();
+        for (i, &(k, v)) in self.main.iter().enumerate() {
+            if self.alive[i] == 0 {
+                continue;
+            }
+            while let Some(&(ok, _)) = ov.peek() {
+                if ok < k {
+                    merged.push(ov.next().unwrap());
+                } else {
+                    break;
+                }
+            }
+            merged.push((k, v));
+        }
+        merged.extend(ov);
+        self.alive.clear();
+        self.alive.resize(merged.len(), 1);
+        self.dead = 0;
+        self.main = merged;
+    }
+}
+
+impl<K: Ord + Copy, V: Copy> Default for MergeMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(m: &MergeMap<u64, u64>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        m.for_each(|&k, &v| out.push((k, v)));
+        out
+    }
+
+    #[test]
+    fn iterates_in_key_order_across_runs() {
+        let mut m = MergeMap::new();
+        for k in [5u64, 1, 9, 3, 7] {
+            m.insert(k, k * 10);
+        }
+        assert_eq!(m.len(), 5);
+        assert_eq!(
+            collect(&m),
+            vec![(1, 10), (3, 30), (5, 50), (7, 70), (9, 90)]
+        );
+    }
+
+    #[test]
+    fn remove_tombstones_then_compacts() {
+        let mut m = MergeMap::new();
+        for k in 0..100u64 {
+            m.insert(k, k);
+        }
+        for k in (0..100).step_by(2) {
+            assert_eq!(m.remove(&k), Some(k));
+        }
+        assert_eq!(m.remove(&2), None);
+        assert_eq!(m.len(), 50);
+        let got = collect(&m);
+        assert!(got.iter().all(|&(k, _)| k % 2 == 1));
+        assert_eq!(got.len(), 50);
+    }
+
+    #[test]
+    fn reinserting_a_removed_key_works() {
+        let mut m = MergeMap::new();
+        for k in 0..40u64 {
+            m.insert(k, k);
+        }
+        m.remove(&17);
+        m.insert(17, 1700);
+        assert_eq!(collect(&m)[17], (17, 1700));
+        *m.get_mut(&17).unwrap() = 9;
+        assert_eq!(collect(&m)[17], (17, 9));
+    }
+
+    #[test]
+    fn matches_btreemap_through_random_ops() {
+        // Deterministic mixed workload; the reference is a BTreeMap.
+        let mut m = MergeMap::new();
+        let mut reference = BTreeMap::new();
+        let mut x = 0x2545f4914f6cdd1du64;
+        for step in 0..5000u64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let key = x % 512;
+            match step % 3 {
+                0 | 1 => {
+                    reference.entry(key).or_insert_with(|| {
+                        m.insert(key, step);
+                        step
+                    });
+                }
+                _ => {
+                    assert_eq!(m.remove(&key), reference.remove(&key), "step {step}");
+                }
+            }
+            assert_eq!(m.len(), reference.len(), "step {step}");
+        }
+        let got = collect(&m);
+        let want: Vec<(u64, u64)> = reference.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,902 @@
+//! Incremental scheduling core: a persistent pending pool.
+//!
+//! The original dispatch loop rebuilt everything from scratch at every
+//! scheduling point: an `O(n log n)` [`CostModel::build`] plus an `O(n)`
+//! (or `O(n log n)` with per-candidate binary searches) scoring scan per
+//! dispatched task. This module keeps that state alive *across* events
+//! — submit, dispatch, cancel, expire — so each event pays only for what
+//! actually changed:
+//!
+//! | event                    | rebuild-per-event     | [`PendingPool`]      |
+//! |--------------------------|-----------------------|----------------------|
+//! | submit (push)            | —                     | `O(log n)`           |
+//! | dispatch, invariant [^i] | `O(n)` scan           | `O(log n)` heap peek |
+//! | dispatch, FirstPrice/PV  | `O(n)` scan           | `O(n)` re-rank       |
+//! | dispatch, FirstReward    | `O(n log n)` build + n searches | `O(n)` merge sweep |
+//! | cancel / expire (remove) | `O(n)` compact        | `O(log n)`           |
+//!
+//! [^i]: `Fcfs`, `Srpt`, `Swpt`, `EarliestDeadline` — policies whose
+//! score is fixed at submission ([`Policy::time_invariant_score`]).
+//!
+//! Three cooperating structures make this work:
+//!
+//! 1. [`IncrementalCostModel`] maintains the Eq. 4 inputs persistently:
+//!    a Kahan-compensated [`DecaySum`] for never-expiring tasks and a
+//!    sorted index ([`MergeMap`]: a dense run plus a small B-tree write
+//!    overlay) of finite-window tasks keyed by **deadline**
+//!    `expire − RPT` — the one instant at which a queued task's decay
+//!    window closes. Deadlines are time-invariant while a task waits, so
+//!    insert/remove are `O(log n)` amortized, and an in-order traversal
+//!    yields windows already (nearly) sorted at dense-scan speed:
+//!    materializing a [`CostModel`] snapshot for a new `now` is a linear
+//!    pass plus an adaptive sort over presorted data.
+//! 2. A lazy-deletion max-heap over `(score, lowest-id-wins)` serves
+//!    time-invariant policies: selection is a peek, removal leaves a
+//!    stale entry that is discarded when it surfaces (generation
+//!    counters detect re-submitted ids after preemption). Time-varying
+//!    simple policies (`FirstPrice`/`PresentValue`) fall back to one
+//!    flat scan the first time a given `now` is queried and only pay
+//!    for heapification when a second selection at the same instant
+//!    proves the scores will be reused (a multi-processor dispatch
+//!    burst).
+//! 3. An RPT-ordered index lets `FirstReward` score the whole frontier
+//!    in one merge sweep: visiting candidates by ascending RPT makes the
+//!    window split point monotone, so every Eq. 4 query is answered in
+//!    `O(1)` amortized from two running sums — accumulated in exactly
+//!    the order [`CostModel`]'s prefix arrays are, keeping scores
+//!    bit-identical to the rebuild path's without materializing the
+//!    model at all.
+//!
+//! Equivalence with the rebuild-from-scratch path is part of the
+//! contract: the same `(score, lowest task id)` argmax, the same
+//! tie-breaks, costs within 1e-9 (the only divergence is floating-point
+//! summation order). Property tests below drive both implementations
+//! through randomized event sequences and compare after every event.
+
+use crate::cost::{CostModel, DecaySum};
+use crate::heuristics::{Policy, ScoreCtx};
+use crate::job::Job;
+use crate::mergemap::MergeMap;
+use mbts_sim::{Duration, Time};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Persistently maintained inputs of the Eq. 4 opportunity-cost model.
+///
+/// `insert`/`remove` are `O(log n)` amortized; [`snapshot`](Self::snapshot)
+/// materializes a [`CostModel`] for a given `now` in `O(n)` (reusing the
+/// model's allocations) and caches it until the pool next changes.
+///
+/// Invariant: a job must be `remove`d with the same `rpt` and spec it
+/// was `insert`ed with — true for queued jobs, whose RPT only changes
+/// while running.
+#[derive(Debug, Clone)]
+pub struct IncrementalCostModel {
+    /// Σ d_j over never-expiring tasks (infinite windows), drift-free.
+    infinite: DecaySum,
+    /// Finite-window tasks keyed by `(deadline, id)` where
+    /// `deadline = expire − RPT` is when the task's decay window closes.
+    /// Window order at any instant equals deadline order, so an in-order
+    /// traversal feeds the snapshot nearly sorted — and the [`MergeMap`]
+    /// makes that traversal a dense scan, since the sweep walks it once
+    /// per dispatch decision.
+    finite: MergeMap<(Time, u64), FiniteEntry>,
+    /// Cached snapshot, valid at `model_now`.
+    model: CostModel,
+    model_now: Option<Time>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FiniteEntry {
+    decay: f64,
+    expire: Time,
+    rpt: Duration,
+}
+
+impl IncrementalCostModel {
+    /// An empty model.
+    pub fn new() -> Self {
+        IncrementalCostModel {
+            infinite: DecaySum::new(),
+            finite: MergeMap::new(),
+            model: CostModel::empty(),
+            model_now: None,
+        }
+    }
+
+    /// Adds a queued job's contribution in `O(log n)`.
+    pub fn insert(&mut self, job: &Job) {
+        self.model_now = None;
+        let d = job.spec.decay;
+        if d == 0.0 {
+            return; // contributes nothing at any instant, like in build()
+        }
+        let expire = job.spec.expire_time();
+        if expire == Time::INFINITY {
+            self.infinite.add(d);
+        } else {
+            let prev = self.finite.insert(
+                (expire - job.rpt, job.id().0),
+                FiniteEntry {
+                    decay: d,
+                    expire,
+                    rpt: job.rpt,
+                },
+            );
+            debug_assert!(prev.is_none(), "duplicate cost entry for {}", job.id());
+        }
+    }
+
+    /// Removes a previously inserted job's contribution in `O(log n)`.
+    pub fn remove(&mut self, job: &Job) {
+        self.model_now = None;
+        let d = job.spec.decay;
+        if d == 0.0 {
+            return;
+        }
+        let expire = job.spec.expire_time();
+        if expire == Time::INFINITY {
+            self.infinite.remove(d);
+        } else {
+            let prev = self.finite.remove(&(expire - job.rpt, job.id().0));
+            debug_assert!(prev.is_some(), "missing cost entry for {}", job.id());
+        }
+    }
+
+    /// The cost model at `now`, rebuilt from the persistent structures
+    /// only if the pool changed or `now` moved since the last call.
+    ///
+    /// Entries whose deadline has passed need no eager cleanup: they
+    /// evaluate to a zero window here and are skipped, exactly as
+    /// [`CostModel::build`] skips expired jobs.
+    pub fn snapshot(&mut self, now: Time) -> &CostModel {
+        if self.model_now != Some(now) {
+            let mut entries = Vec::with_capacity(self.finite.len());
+            self.finite.for_each(|_, e| {
+                // Bit-identical to Job::decay_window at this `now`.
+                let w = (e.expire - (now + e.rpt)).max_zero();
+                if w > Duration::ZERO {
+                    entries.push((w.as_f64(), e.decay));
+                }
+            });
+            self.model.rebuild_in_place(self.infinite.total(), entries);
+            self.model_now = Some(now);
+        }
+        &self.model
+    }
+
+    /// Number of tracked (non-zero-decay) contributions.
+    pub fn len(&self) -> usize {
+        self.infinite.count() + self.finite.len()
+    }
+
+    /// `true` when nothing contributes cost.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for IncrementalCostModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A max-heap entry: best score first, ties to the lowest task id —
+/// the same total order [`Policy::select`] implements by scanning.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    score: f64,
+    id: u64,
+    gen: u64,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Collapses `-0.0` to `+0.0` so the heap's `total_cmp` order agrees
+/// with `select()`'s `==`-based tie handling (which treats the two
+/// zeros as equal and falls through to the id tie-break).
+fn normalize(score: f64) -> f64 {
+    debug_assert!(!score.is_nan(), "policy scores must not be NaN");
+    if score == 0.0 {
+        0.0
+    } else {
+        score
+    }
+}
+
+/// Everything the FirstReward merge sweep needs about a candidate,
+/// denormalized out of [`Job`] at push time so the sweep touches only
+/// the RPT-ordered B-tree — no random access into the jobs vector.
+/// All fields are immutable while the job is queued.
+#[derive(Debug, Clone, Copy)]
+struct SweepJob {
+    /// Position in `jobs` (kept in sync across `swap_remove`).
+    slot: usize,
+    /// `spec.decay`.
+    decay: f64,
+    /// `spec.value`.
+    value: f64,
+    /// `spec.bound.floor()`.
+    floor: f64,
+    /// `spec.arrival + spec.runtime` — the earliest possible completion,
+    /// before which no decay is charged.
+    earliest: Time,
+    /// `spec.expire_time()`.
+    expire: Time,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// Position in `jobs` (kept in sync across `swap_remove`).
+    slot: usize,
+    /// Incarnation counter: a re-pushed id (preemption requeue) gets a
+    /// fresh generation, lazily invalidating its old heap entries.
+    gen: u64,
+}
+
+/// The pending queue as a persistent, incrementally maintained
+/// structure. See the [module docs](self) for the complexity story.
+///
+/// Selection ([`select_best`](Self::select_best)) returns the same job
+/// the flat `(score, lowest id)` argmax over [`jobs`](Self::jobs) would
+/// pick; positions follow `Vec::swap_remove` semantics so callers can
+/// treat the pool as the plain `Vec<Job>` it replaces.
+#[derive(Debug, Clone)]
+pub struct PendingPool {
+    policy: Policy,
+    jobs: Vec<Job>,
+    index: HashMap<u64, IndexEntry>,
+    /// `gens[slot]` mirrors `index[jobs[slot].id].gen` — the dense copy
+    /// lets a heap rebuild skip one hash lookup per job.
+    gens: Vec<u64>,
+    /// Lazy-deletion score heap (policies that don't need a cost model).
+    heap: BinaryHeap<HeapEntry>,
+    /// Instant the heap's scores were computed at; `None` = stale. For
+    /// time-invariant policies scores are pinned at `Time::ZERO` and the
+    /// heap never goes stale; for FirstPrice/PV it is rebuilt only when
+    /// a second selection at the same `now` shows it will be reused.
+    heap_now: Option<Time>,
+    /// Last instant a time-varying policy answered with a flat scan;
+    /// a repeat query at this instant upgrades to the heap.
+    scan_now: Option<Time>,
+    /// All jobs keyed by `(RPT, id)` — the FirstReward merge sweep's
+    /// visiting order, in a dense-scannable [`MergeMap`]. Only
+    /// maintained when the policy needs it.
+    by_rpt: MergeMap<(Duration, u64), SweepJob>,
+    /// Reusable window-ordered `(window, decay)` buffer for the sweep.
+    scratch: Vec<(f64, f64)>,
+    generation: u64,
+    cost: IncrementalCostModel,
+}
+
+impl PendingPool {
+    /// An empty pool serving `policy`.
+    pub fn new(policy: Policy) -> Self {
+        PendingPool {
+            policy,
+            jobs: Vec::new(),
+            index: HashMap::new(),
+            gens: Vec::new(),
+            heap: BinaryHeap::new(),
+            heap_now: None,
+            scan_now: None,
+            by_rpt: MergeMap::new(),
+            scratch: Vec::new(),
+            generation: 0,
+            cost: IncrementalCostModel::new(),
+        }
+    }
+
+    /// The policy the pool ranks by.
+    pub fn policy(&self) -> Policy {
+        self.policy
+    }
+
+    /// The queued jobs, in slot order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Enqueues a job in `O(log n)`.
+    pub fn push(&mut self, job: Job) {
+        let id = job.id().0;
+        self.generation += 1;
+        let gen = self.generation;
+        let slot = self.jobs.len();
+        let prev = self.index.insert(id, IndexEntry { slot, gen });
+        debug_assert!(prev.is_none(), "task {id} is already pending");
+        self.cost.insert(&job);
+        if self.policy.needs_cost_model() {
+            let prev = self.by_rpt.insert(
+                (job.rpt, id),
+                SweepJob {
+                    slot,
+                    decay: job.spec.decay,
+                    value: job.spec.value,
+                    floor: job.spec.bound.floor(),
+                    earliest: job.spec.arrival + job.spec.runtime,
+                    expire: job.spec.expire_time(),
+                },
+            );
+            debug_assert!(prev.is_none(), "duplicate rpt entry for task {id}");
+        } else if self.policy.time_invariant_score() {
+            if self.heap_now.is_some() {
+                let score = normalize(self.policy.score(&job, &ScoreCtx::simple(Time::ZERO)));
+                self.heap.push(HeapEntry { score, id, gen });
+            }
+        } else {
+            // FirstPrice/PV: scores drift with `now`; re-rank on demand.
+            self.heap_now = None;
+        }
+        self.gens.push(gen);
+        self.jobs.push(job);
+    }
+
+    /// Removes and returns the job at `slot`, filling the hole with the
+    /// last job (`Vec::swap_remove` semantics), in `O(log n)`.
+    pub fn swap_remove(&mut self, slot: usize) -> Job {
+        let job = self.jobs.swap_remove(slot);
+        self.gens.swap_remove(slot);
+        let id = job.id().0;
+        let entry = self.index.remove(&id);
+        debug_assert!(entry.is_some(), "pending job {id} must be indexed");
+        if self.policy.needs_cost_model() {
+            let prev = self.by_rpt.remove(&(job.rpt, id));
+            debug_assert!(prev.is_some(), "pending job {id} must be rpt-indexed");
+        }
+        self.cost.remove(&job);
+        // The heap entry (if any) goes stale and is discarded lazily.
+        if let Some(moved) = self.jobs.get(slot) {
+            let moved_id = moved.id().0;
+            self.index
+                .get_mut(&moved_id)
+                .expect("moved job must be indexed")
+                .slot = slot;
+            if self.policy.needs_cost_model() {
+                self.by_rpt
+                    .get_mut(&(moved.rpt, moved_id))
+                    .expect("moved job must be rpt-indexed")
+                    .slot = slot;
+            }
+        }
+        job
+    }
+
+    /// Slot of the best job at `now`: maximum score, ties to the lowest
+    /// task id — exactly what [`Policy::select`] over [`jobs`](Self::jobs)
+    /// returns, at incremental cost. `None` when the pool is empty.
+    pub fn select_best(&mut self, now: Time) -> Option<usize> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        if self.policy.needs_cost_model() {
+            let mut best: Option<(f64, u64, usize)> = None;
+            self.for_each_first_reward(now, |slot, id, score| {
+                let better = match best {
+                    None => true,
+                    Some((bs, bid, _)) => score > bs || (score == bs && id < bid),
+                };
+                if better {
+                    best = Some((score, id, slot));
+                }
+            });
+            let pick = best.map(|(_, _, slot)| slot);
+            #[cfg(debug_assertions)]
+            {
+                debug_assert_eq!(
+                    pick,
+                    self.select_rescan(now),
+                    "merge sweep diverged from flat selection"
+                );
+            }
+            return pick;
+        }
+        let invariant = self.policy.time_invariant_score();
+        let fresh = match self.heap_now {
+            None => false,
+            Some(t) => invariant || t == now,
+        };
+        if !fresh {
+            if !invariant && self.scan_now != Some(now) {
+                // First query at this instant: scores are good for this
+                // `now` only, so a flat scan beats paying to heapify. If
+                // another selection lands at the same instant (a burst
+                // dispatching onto several processors), we build the
+                // heap then and amortize it over the rest of the burst.
+                self.scan_now = Some(now);
+                return self.policy.select(self.jobs.iter(), &ScoreCtx::simple(now));
+            }
+            self.rebuild_heap(now);
+        }
+        loop {
+            let Some(top) = self.heap.peek() else {
+                // Only stale entries were left; a rebuild covers every
+                // live job and the pool is non-empty.
+                self.rebuild_heap(now);
+                continue;
+            };
+            match self.index.get(&top.id) {
+                Some(e) if e.gen == top.gen => return Some(e.slot),
+                _ => {
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+
+    /// Reference implementation of [`select_best`](Self::select_best):
+    /// a flat scan via [`Policy::select`] over a fresh cost snapshot.
+    /// Used by tests and debug assertions.
+    pub fn select_rescan(&mut self, now: Time) -> Option<usize> {
+        let policy = self.policy;
+        if policy.needs_cost_model() {
+            let model = self.cost.snapshot(now);
+            let ctx = ScoreCtx::with_cost(now, model);
+            policy.select(self.jobs.iter(), &ctx)
+        } else {
+            policy.select(self.jobs.iter(), &ScoreCtx::simple(now))
+        }
+    }
+
+    /// All scores at `now`, in slot order — the backfill scan's input.
+    /// Bit-identical to scoring each job with [`Policy::score`] against
+    /// a fresh model.
+    pub fn scores(&mut self, now: Time) -> Vec<f64> {
+        if self.policy.needs_cost_model() {
+            let mut out = vec![0.0; self.jobs.len()];
+            self.for_each_first_reward(now, |slot, _, score| out[slot] = score);
+            out
+        } else {
+            let policy = self.policy;
+            let ctx = ScoreCtx::simple(now);
+            self.jobs.iter().map(|j| policy.score(j, &ctx)).collect()
+        }
+    }
+
+    /// The opportunity-cost model of the queued set at `now` (cached
+    /// between mutations).
+    pub fn cost_model(&mut self, now: Time) -> &CostModel {
+        self.cost.snapshot(now)
+    }
+
+    /// Scores every job under `FirstReward` in one RPT-ordered merge
+    /// sweep. The split point into the window-ordered entries is
+    /// monotone in RPT, so each Eq. 4 query is `O(1)` amortized from two
+    /// running sums accumulated in exactly the left-to-right order
+    /// [`CostModel`]'s `prefix_dw`/`prefix_d` arrays are built in —
+    /// `visit` receives `(slot, id, score)` with scores bit-identical to
+    /// [`Policy::score`] against [`Self::cost_model`], without
+    /// materializing the model.
+    fn for_each_first_reward(&mut self, now: Time, mut visit: impl FnMut(usize, u64, f64)) {
+        let Policy::FirstReward {
+            alpha,
+            discount_rate,
+        } = self.policy
+        else {
+            unreachable!("merge sweep is only reached for FirstReward")
+        };
+        // Window order equals deadline order, so one in-order pass over
+        // the deadline B-tree yields the sorted (window, decay) list a
+        // from-scratch build would sort into, plus its total decay —
+        // summed left-to-right like `prefix_d[len]`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        let mut total_d = 0.0f64;
+        self.cost.finite.for_each(|_, e| {
+            // Bit-identical to Job::decay_window at this `now`.
+            let w = (e.expire - (now + e.rpt)).max_zero();
+            if w > Duration::ZERO {
+                scratch.push((w.as_f64(), e.decay));
+                total_d += e.decay;
+            }
+        });
+        let infinite = self.cost.infinite.total();
+        let mut split = 0usize;
+        let mut running_dw = 0.0f64; // == prefix_dw[split]
+        let mut running_d = 0.0f64; // == prefix_d[split]
+        self.by_rpt.for_each(|&(rpt, id), sj| {
+            let rpt_f = rpt.as_f64();
+            while split < scratch.len() && scratch[split].0 < rpt_f {
+                let (w, d) = scratch[split];
+                running_dw += d * w;
+                running_d += d;
+                split += 1;
+            }
+            // Total Eq. 4 cost, op-for-op `CostModel::total_cost_at`.
+            let mut total = infinite * rpt_f;
+            total += running_dw;
+            let d_tail = total_d - running_d;
+            let total = total + d_tail * rpt_f;
+            // Own contribution, op-for-op `CostModel::cost`.
+            let own_window = if sj.expire == Time::INFINITY {
+                Duration::INFINITY
+            } else {
+                (sj.expire - (now + rpt)).max_zero()
+            };
+            let own = if sj.decay == 0.0 || own_window == Duration::ZERO {
+                0.0
+            } else {
+                sj.decay * rpt_f.min(own_window.as_f64())
+            };
+            let cost = (total - own).max(0.0);
+            // PV, op-for-op `Job::present_value`.
+            let delay = ((now + rpt) - sj.earliest).max_zero();
+            let yield_if_started = (sj.value - delay.as_f64() * sj.decay).max(sj.floor);
+            let pv = yield_if_started / (1.0 + discount_rate * rpt_f);
+            let score = (alpha * pv - (1.0 - alpha) * cost) / rpt_f.max(f64::MIN_POSITIVE);
+            visit(sj.slot, id, score);
+        });
+        self.scratch = scratch;
+    }
+
+    /// Rescores every job and heapifies in `O(n)`; reuses the heap's
+    /// buffer. Time-invariant policies are scored at `Time::ZERO` (any
+    /// instant gives the same value) so the heap stays valid forever.
+    fn rebuild_heap(&mut self, now: Time) {
+        let at = if self.policy.time_invariant_score() {
+            Time::ZERO
+        } else {
+            now
+        };
+        let ctx = ScoreCtx::simple(at);
+        let policy = self.policy;
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.clear();
+        entries.extend(
+            self.jobs
+                .iter()
+                .zip(&self.gens)
+                .map(|(job, &gen)| HeapEntry {
+                    score: normalize(policy.score(job, &ctx)),
+                    id: job.id().0,
+                    gen,
+                }),
+        );
+        self.heap = BinaryHeap::from(entries);
+        self.heap_now = Some(at);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbts_workload::{PenaltyBound, TaskSpec};
+
+    fn job(id: u64, arrival: f64, runtime: f64, value: f64, decay: f64) -> Job {
+        Job::new(TaskSpec::new(
+            id,
+            arrival,
+            runtime,
+            value,
+            decay,
+            PenaltyBound::Unbounded,
+        ))
+    }
+
+    fn bounded(id: u64, runtime: f64, value: f64, decay: f64) -> Job {
+        Job::new(TaskSpec::new(
+            id,
+            0.0,
+            runtime,
+            value,
+            decay,
+            PenaltyBound::ZERO,
+        ))
+    }
+
+    #[test]
+    fn empty_pool_selects_none() {
+        let mut pool = PendingPool::new(Policy::Fcfs);
+        assert_eq!(pool.select_best(Time::ZERO), None);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn fcfs_pool_serves_in_arrival_order() {
+        let mut pool = PendingPool::new(Policy::Fcfs);
+        pool.push(job(2, 5.0, 1.0, 10.0, 0.1));
+        pool.push(job(0, 1.0, 1.0, 10.0, 0.1));
+        pool.push(job(1, 3.0, 1.0, 10.0, 0.1));
+        let mut order = Vec::new();
+        let mut t = 10.0;
+        while let Some(slot) = pool.select_best(Time::from(t)) {
+            order.push(pool.swap_remove(slot).id().0);
+            t += 1.0;
+        }
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tied_scores_break_to_lowest_id_through_the_heap() {
+        // Both arrive at 0.0: FCFS scores are -0.0, a negative-zero tie
+        // the heap must treat exactly like select()'s `==` does.
+        let mut pool = PendingPool::new(Policy::Fcfs);
+        pool.push(job(5, 0.0, 1.0, 10.0, 0.1));
+        pool.push(job(2, 0.0, 1.0, 10.0, 0.1));
+        let slot = pool.select_best(Time::ZERO).unwrap();
+        assert_eq!(pool.jobs()[slot].id().0, 2);
+    }
+
+    #[test]
+    fn reinserted_job_gets_a_fresh_generation() {
+        // Simulates a preemption requeue: remove, then push the same id.
+        let mut pool = PendingPool::new(Policy::Srpt);
+        pool.push(job(0, 0.0, 1.0, 10.0, 0.1)); // shortest: wins
+        pool.push(job(1, 0.0, 4.0, 10.0, 0.1));
+        let best = pool.select_best(Time::ZERO).unwrap();
+        assert_eq!(pool.jobs()[best].id().0, 0);
+        let mut removed = pool.swap_remove(best);
+        // It "ran" a while backwards (preemption grew its RPT estimate).
+        removed.rpt = mbts_sim::Duration::from(9.0);
+        pool.push(removed);
+        // The stale heap entry (rpt 1.0) must not win for id 0.
+        let best = pool.select_best(Time::ZERO).unwrap();
+        assert_eq!(pool.jobs()[best].id().0, 1);
+    }
+
+    #[test]
+    fn time_varying_policy_rescores_as_now_advances() {
+        // FirstPrice: a fast-decaying high-value job outranks a stable
+        // one early, then falls below it.
+        let mut pool = PendingPool::new(Policy::FirstPrice);
+        pool.push(job(0, 0.0, 1.0, 100.0, 10.0));
+        pool.push(job(1, 0.0, 1.0, 50.0, 0.0));
+        let early = pool.select_best(Time::ZERO).unwrap();
+        assert_eq!(pool.jobs()[early].id().0, 0);
+        let late = pool.select_best(Time::from(8.0)).unwrap();
+        assert_eq!(pool.jobs()[late].id().0, 1);
+    }
+
+    #[test]
+    fn swap_remove_keeps_the_index_consistent() {
+        let mut pool = PendingPool::new(Policy::Srpt);
+        for i in 0..4 {
+            pool.push(job(i, 0.0, 10.0 - i as f64, 10.0, 0.1));
+        }
+        // Remove a middle slot; the last job takes its place.
+        pool.swap_remove(1);
+        assert_eq!(pool.len(), 3);
+        // Shortest remaining is id 3 (runtime 7), wherever it sits now.
+        let best = pool.select_best(Time::ZERO).unwrap();
+        assert_eq!(pool.jobs()[best].id().0, 3);
+        pool.swap_remove(best);
+        let best = pool.select_best(Time::ZERO).unwrap();
+        assert_eq!(pool.jobs()[best].id().0, 2);
+    }
+
+    #[test]
+    fn first_reward_matches_flat_selection_on_mixed_bounds() {
+        let policy = Policy::first_reward(0.3, 0.01);
+        let mut pool = PendingPool::new(policy);
+        pool.push(job(0, 0.0, 7.0, 100.0, 1.0));
+        pool.push(bounded(1, 2.0, 30.0, 4.0));
+        pool.push(bounded(2, 15.0, 200.0, 0.5));
+        pool.push(job(3, 0.0, 1.0, 5.0, 9.0));
+        pool.push(bounded(4, 4.0, 0.0, 2.0)); // value 0: expired window
+        for t in [0.0, 1.0, 3.5, 50.0] {
+            let now = Time::from(t);
+            let model = CostModel::build(now, pool.jobs());
+            let ctx = ScoreCtx::with_cost(now, &model);
+            let want = policy.select(pool.jobs(), &ctx).unwrap();
+            let got = pool.select_best(now).unwrap();
+            assert_eq!(pool.jobs()[got].id(), pool.jobs()[want].id(), "t={t}");
+        }
+    }
+
+    #[test]
+    fn pool_scores_match_flat_scoring() {
+        let policy = Policy::first_reward(0.4, 0.02);
+        let mut pool = PendingPool::new(policy);
+        for i in 0..6 {
+            if i % 2 == 0 {
+                pool.push(job(i, 0.0, 2.0 + i as f64, 40.0, 0.5 * i as f64));
+            } else {
+                pool.push(bounded(i, 1.0 + i as f64, 25.0, 1.5));
+            }
+        }
+        let now = Time::from(2.5);
+        let incremental = pool.scores(now);
+        let model = CostModel::build(now, pool.jobs());
+        let ctx = ScoreCtx::with_cost(now, &model);
+        for (i, j) in pool.jobs().iter().enumerate() {
+            assert!(
+                (incremental[i] - policy.score(j, &ctx)).abs() < 1e-9,
+                "slot {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_model_tracks_inserts_and_removes() {
+        let jobs = vec![
+            job(0, 0.0, 7.0, 100.0, 1.0),
+            bounded(1, 2.0, 30.0, 4.0),
+            bounded(2, 15.0, 200.0, 0.5),
+            job(3, 0.0, 1.0, 5.0, 0.0), // zero decay: no contribution
+        ];
+        let mut inc = IncrementalCostModel::new();
+        for j in &jobs {
+            inc.insert(j);
+        }
+        assert_eq!(inc.len(), 3);
+        for t in [0.0, 4.0, 40.0] {
+            let now = Time::from(t);
+            let scratch = CostModel::build(now, &jobs);
+            let snap = inc.snapshot(now);
+            for j in &jobs {
+                assert!((snap.cost_of(j, now) - scratch.cost_of(j, now)).abs() < 1e-9);
+            }
+        }
+        inc.remove(&jobs[1]);
+        let remaining: Vec<&Job> = jobs.iter().filter(|j| j.id().0 != 1).collect();
+        let now = Time::from(1.0);
+        let scratch = CostModel::build(now, remaining.iter().copied());
+        let snap = inc.snapshot(now);
+        for j in &remaining {
+            assert!((snap.cost_of(j, now) - scratch.cost_of(j, now)).abs() < 1e-9);
+        }
+        for j in &remaining {
+            inc.remove(j);
+        }
+        assert!(inc.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use mbts_workload::{PenaltyBound, TaskSpec};
+    use proptest::prelude::*;
+
+    fn build_jobs(specs: &[(f64, f64, f64, u8)]) -> Vec<Job> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(rt, v, d, b))| {
+                let bound = match b {
+                    0 => PenaltyBound::Unbounded,
+                    1 => PenaltyBound::ZERO,
+                    _ => PenaltyBound::Bounded {
+                        max_penalty: v * 0.4,
+                    },
+                };
+                Job::new(TaskSpec::new(i as u64, 0.0, rt, v, d, bound))
+            })
+            .collect()
+    }
+
+    proptest! {
+        /// Satellite invariant: after any interleaving of inserts,
+        /// removes, and clock advances, the incrementally maintained
+        /// model answers every cost query like a from-scratch
+        /// `CostModel::build` over the same live set (within 1e-9).
+        #[test]
+        fn incremental_model_matches_scratch_build(
+            specs in proptest::collection::vec(
+                (0.1f64..50.0, 0.0f64..300.0, 0.0f64..10.0, 0u8..3u8), 1..30),
+            ops in proptest::collection::vec((0u8..9u8, 0.0f64..15.0), 1..50),
+        ) {
+            let jobs = build_jobs(&specs);
+            let mut inc = IncrementalCostModel::new();
+            let mut live: Vec<usize> = Vec::new();
+            let mut next = 0usize;
+            let mut now = 0.0f64;
+            for &(op, dt) in &ops {
+                match op % 3 {
+                    0 if next < jobs.len() => {
+                        inc.insert(&jobs[next]);
+                        live.push(next);
+                        next += 1;
+                    }
+                    1 if !live.is_empty() => {
+                        let k = (op as usize).wrapping_mul(7) % live.len();
+                        let victim = live.swap_remove(k);
+                        inc.remove(&jobs[victim]);
+                    }
+                    _ => now += dt,
+                }
+                let t = Time::from(now);
+                let scratch = CostModel::build(t, live.iter().map(|&i| &jobs[i]));
+                let snap = inc.snapshot(t);
+                prop_assert!(
+                    (snap.active_decay() - scratch.active_decay()).abs() <= 1e-9,
+                    "active decay diverged"
+                );
+                for &i in &live {
+                    let a = snap.cost_of(&jobs[i], t);
+                    let b = scratch.cost_of(&jobs[i], t);
+                    prop_assert!(
+                        (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                        "job {}: incremental {} vs scratch {}", i, a, b
+                    );
+                }
+            }
+        }
+
+        /// The pool's incremental selection equals the flat
+        /// `(score, lowest id)` argmax over a from-scratch model, for
+        /// every policy, through randomized push/dispatch/advance
+        /// sequences.
+        #[test]
+        fn pool_selection_matches_flat_rescan(
+            specs in proptest::collection::vec(
+                (0.1f64..50.0, 0.0f64..300.0, 0.0f64..10.0, 0u8..3u8), 1..25),
+            ops in proptest::collection::vec((0u8..9u8, 0.0f64..10.0), 1..40),
+        ) {
+            let jobs = build_jobs(&specs);
+            for policy in [
+                Policy::Fcfs,
+                Policy::Srpt,
+                Policy::Swpt,
+                Policy::FirstPrice,
+                Policy::EarliestDeadline,
+                Policy::pv(0.01),
+                Policy::first_reward(0.3, 0.01),
+            ] {
+                let mut pool = PendingPool::new(policy);
+                let mut next = 0usize;
+                let mut now = 0.0f64;
+                for &(op, dt) in &ops {
+                    match op % 3 {
+                        0 if next < jobs.len() => {
+                            pool.push(jobs[next].clone());
+                            next += 1;
+                        }
+                        1 if !pool.is_empty() => {
+                            // Dispatch the incrementally chosen best.
+                            let best = pool.select_best(Time::from(now)).unwrap();
+                            pool.swap_remove(best);
+                        }
+                        _ => now += dt,
+                    }
+                    let t = Time::from(now);
+                    let scratch = CostModel::build(t, pool.jobs());
+                    let ctx = if policy.needs_cost_model() {
+                        ScoreCtx::with_cost(t, &scratch)
+                    } else {
+                        ScoreCtx::simple(t)
+                    };
+                    let want = policy.select(pool.jobs(), &ctx);
+                    let got = pool.select_best(t);
+                    let want_id = want.map(|s| pool.jobs()[s].id().0);
+                    let got_id = got.map(|s| pool.jobs()[s].id().0);
+                    prop_assert!(
+                        got_id == want_id,
+                        "{}: pool chose {:?}, flat rescan chose {:?}",
+                        policy.name(), got_id, want_id
+                    );
+                }
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@
 use crate::cost::CostModel;
 use crate::heuristics::{Policy, ScoreCtx};
 use crate::job::Job;
+use crate::pool::PendingPool;
 use mbts_sim::Time;
 use mbts_workload::TaskId;
 use serde::{Deserialize, Serialize};
@@ -110,12 +111,7 @@ pub fn build_candidate(
     }
 }
 
-fn build_static(
-    policy: &Policy,
-    now: Time,
-    free: &mut [Time],
-    jobs: &[Job],
-) -> CandidateSchedule {
+fn build_static(policy: &Policy, now: Time, free: &mut [Time], jobs: &[Job]) -> CandidateSchedule {
     for job in jobs {
         assert!(
             job.spec.width <= free.len(),
@@ -153,32 +149,43 @@ fn build_static(
 /// Gang-places `job` on its `width` earliest-free processors: the start is
 /// the latest of those frees (the earlier ones idle until the gang can
 /// launch together, the usual internal fragmentation of gang scheduling).
+///
+/// Tie-break: processors are ranked by `(free_time, index)`, so among
+/// equally early processors the lowest-indexed ones are taken — the same
+/// order the previous repeated-min scan produced, pinned here so recorded
+/// schedules replay identically. Selection runs in `O(p)` expected
+/// (`select_nth_unstable_by`) instead of the old `O(width · p)` repeated
+/// min with an `O(width)` membership scan per probe.
 fn place(free: &mut [Time], job: &Job) -> ScheduleEntry {
     let width = job.spec.width;
-    // Indices of the `width` earliest frees (selection by repeated min is
-    // O(width · p); widths are small relative to p in practice).
-    let mut chosen: Vec<usize> = Vec::with_capacity(width);
-    for _ in 0..width {
-        let mut best: Option<usize> = None;
-        for (i, t) in free.iter().enumerate() {
-            if chosen.contains(&i) {
-                continue;
-            }
-            if best.is_none_or(|b| *t < free[b]) {
-                best = Some(i);
+    debug_assert!(width >= 1, "gangs have at least one member");
+    debug_assert!(width <= free.len(), "width <= processor count");
+    let start = if width == 1 {
+        // Fast path: one scan for the earliest free, no index buffer.
+        let mut best = 0;
+        for (i, t) in free.iter().enumerate().skip(1) {
+            if *t < free[best] {
+                best = i;
             }
         }
-        chosen.push(best.expect("width <= processor count"));
-    }
-    let start = chosen
-        .iter()
-        .map(|&i| free[i])
-        .max()
-        .expect("width >= 1");
+        let s = free[best];
+        free[best] = s + job.rpt;
+        s
+    } else {
+        let mut idx: Vec<usize> = (0..free.len()).collect();
+        let (earlier, nth, _) =
+            idx.select_nth_unstable_by(width - 1, |&a, &b| free[a].cmp(&free[b]).then(a.cmp(&b)));
+        // The partition pivot is the gang's latest-free member, i.e. the
+        // gang's start time; everything left of it joins the gang.
+        let s = free[*nth];
+        let completion = s + job.rpt;
+        free[*nth] = completion;
+        for &i in earlier.iter() {
+            free[i] = completion;
+        }
+        s
+    };
     let completion = start + job.rpt;
-    for &i in &chosen {
-        free[i] = completion;
-    }
     ScheduleEntry {
         id: job.id(),
         start,
@@ -189,23 +196,12 @@ fn place(free: &mut [Time], job: &Job) -> ScheduleEntry {
 }
 
 fn build_dynamic(policy: &Policy, free: &mut [Time], jobs: &[Job]) -> CandidateSchedule {
-    let mut remaining: Vec<Job> = jobs.to_vec();
-    let mut entries = Vec::with_capacity(jobs.len());
-    while !remaining.is_empty() {
-        // Score at the next dispatch instant: the earliest processor-free
-        // time (a wider pick launches later; its own entry records that).
-        let t = free.iter().copied().min().expect("non-empty free list");
-        let model = policy
-            .needs_cost_model()
-            .then(|| CostModel::build(t, &remaining));
-        let ctx = match &model {
-            Some(m) => ScoreCtx::with_cost(t, m),
-            None => ScoreCtx::simple(t),
-        };
-        let pick = policy
-            .select(&remaining, &ctx)
-            .expect("non-empty remaining set");
-        let job = remaining.swap_remove(pick);
+    // One persistent pool across the whole layout instead of rebuilding
+    // scores (and the cost model) from scratch at every dispatch instant:
+    // selection is a heap peek for time-invariant policies and an O(n)
+    // re-rank over incrementally maintained state otherwise.
+    let mut pool = PendingPool::new(*policy);
+    for job in jobs {
         assert!(
             job.spec.width <= free.len(),
             "{} requests {} processors but the site has {}",
@@ -213,6 +209,15 @@ fn build_dynamic(policy: &Policy, free: &mut [Time], jobs: &[Job]) -> CandidateS
             job.spec.width,
             free.len()
         );
+        pool.push(job.clone());
+    }
+    let mut entries = Vec::with_capacity(jobs.len());
+    while !pool.is_empty() {
+        // Score at the next dispatch instant: the earliest processor-free
+        // time (a wider pick launches later; its own entry records that).
+        let t = free.iter().copied().min().expect("non-empty free list");
+        let pick = pool.select_best(t).expect("non-empty pool");
+        let job = pool.swap_remove(pick);
         entries.push(place(free, &job));
     }
     CandidateSchedule { entries }
@@ -242,7 +247,13 @@ mod tests {
     #[test]
     fn single_processor_fcfs_is_arrival_order() {
         let jobs = vec![job(0, 5.0, 10.0, 0.1), job(1, 3.0, 10.0, 0.1)];
-        let s = build_candidate(&Policy::Fcfs, ScheduleMode::Static, Time::ZERO, &free(1), &jobs);
+        let s = build_candidate(
+            &Policy::Fcfs,
+            ScheduleMode::Static,
+            Time::ZERO,
+            &free(1),
+            &jobs,
+        );
         assert_eq!(s.entries[0].id, TaskId(0));
         assert_eq!(s.entries[0].start, Time::ZERO);
         assert_eq!(s.entries[0].completion, Time::from(5.0));
@@ -252,16 +263,36 @@ mod tests {
 
     #[test]
     fn srpt_orders_shortest_first() {
-        let jobs = vec![job(0, 9.0, 10.0, 0.1), job(1, 1.0, 10.0, 0.1), job(2, 4.0, 10.0, 0.1)];
-        let s = build_candidate(&Policy::Srpt, ScheduleMode::Static, Time::ZERO, &free(1), &jobs);
+        let jobs = vec![
+            job(0, 9.0, 10.0, 0.1),
+            job(1, 1.0, 10.0, 0.1),
+            job(2, 4.0, 10.0, 0.1),
+        ];
+        let s = build_candidate(
+            &Policy::Srpt,
+            ScheduleMode::Static,
+            Time::ZERO,
+            &free(1),
+            &jobs,
+        );
         let ids: Vec<u64> = s.entries.iter().map(|e| e.id.0).collect();
         assert_eq!(ids, vec![1, 2, 0]);
     }
 
     #[test]
     fn two_processors_pack_in_parallel() {
-        let jobs = vec![job(0, 4.0, 10.0, 0.1), job(1, 4.0, 10.0, 0.1), job(2, 4.0, 10.0, 0.1)];
-        let s = build_candidate(&Policy::Fcfs, ScheduleMode::Static, Time::ZERO, &free(2), &jobs);
+        let jobs = vec![
+            job(0, 4.0, 10.0, 0.1),
+            job(1, 4.0, 10.0, 0.1),
+            job(2, 4.0, 10.0, 0.1),
+        ];
+        let s = build_candidate(
+            &Policy::Fcfs,
+            ScheduleMode::Static,
+            Time::ZERO,
+            &free(2),
+            &jobs,
+        );
         assert_eq!(s.entries[0].start, Time::ZERO);
         assert_eq!(s.entries[1].start, Time::ZERO);
         assert_eq!(s.entries[2].start, Time::from(4.0));
@@ -272,7 +303,13 @@ mod tests {
     fn busy_processors_clamp_to_free_times() {
         let jobs = vec![job(0, 2.0, 10.0, 0.1)];
         let busy = vec![Time::from(7.0), Time::from(3.0)];
-        let s = build_candidate(&Policy::Fcfs, ScheduleMode::Static, Time::from(1.0), &busy, &jobs);
+        let s = build_candidate(
+            &Policy::Fcfs,
+            ScheduleMode::Static,
+            Time::from(1.0),
+            &busy,
+            &jobs,
+        );
         // Goes to the processor free at t = 3.
         assert_eq!(s.entries[0].start, Time::from(3.0));
         assert_eq!(s.entries[0].completion, Time::from(5.0));
@@ -295,7 +332,13 @@ mod tests {
     fn expected_yield_reflects_queueing_delay() {
         // Two equal tasks on one processor: the second one's yield decays.
         let jobs = vec![job(0, 10.0, 100.0, 1.0), job(1, 10.0, 100.0, 1.0)];
-        let s = build_candidate(&Policy::Fcfs, ScheduleMode::Static, Time::ZERO, &free(1), &jobs);
+        let s = build_candidate(
+            &Policy::Fcfs,
+            ScheduleMode::Static,
+            Time::ZERO,
+            &free(1),
+            &jobs,
+        );
         assert_eq!(s.entries[0].expected_yield, 100.0);
         // Second completes at 20, earliest possible 10 → delay 10, decay 1.
         assert_eq!(s.entries[1].expected_yield, 90.0);
@@ -304,8 +347,18 @@ mod tests {
 
     #[test]
     fn behind_returns_later_entries() {
-        let jobs = vec![job(0, 1.0, 100.0, 1.0), job(1, 1.0, 50.0, 1.0), job(2, 1.0, 20.0, 1.0)];
-        let s = build_candidate(&Policy::FirstPrice, ScheduleMode::Static, Time::ZERO, &free(1), &jobs);
+        let jobs = vec![
+            job(0, 1.0, 100.0, 1.0),
+            job(1, 1.0, 50.0, 1.0),
+            job(2, 1.0, 20.0, 1.0),
+        ];
+        let s = build_candidate(
+            &Policy::FirstPrice,
+            ScheduleMode::Static,
+            Time::ZERO,
+            &free(1),
+            &jobs,
+        );
         // FirstPrice: unit gains 100, 50, 20 → order 0, 1, 2.
         let behind0 = s.behind(TaskId(0));
         assert_eq!(behind0.len(), 2);
@@ -320,19 +373,24 @@ mod tests {
         // expires (stops losing value) by the time the second slot opens.
         // Static (scored at t=0) ranks it by its t=0 yield; dynamic sees
         // its yield already floored at the later dispatch instant.
-        let fresh = Job::new(TaskSpec::new(
-            0,
-            0.0,
-            10.0,
-            100.0,
-            1.0,
-            PenaltyBound::ZERO,
-        ));
+        let fresh = Job::new(TaskSpec::new(0, 0.0, 10.0, 100.0, 1.0, PenaltyBound::ZERO));
         // Expires fast: value 6, decay 3, runtime 1 → expire at t = 3.
         let dying = Job::new(TaskSpec::new(1, 0.0, 1.0, 6.0, 3.0, PenaltyBound::ZERO));
         let jobs = vec![fresh, dying];
-        let sta = build_candidate(&Policy::FirstPrice, ScheduleMode::Static, Time::ZERO, &free(1), &jobs);
-        let dyn_ = build_candidate(&Policy::FirstPrice, ScheduleMode::Dynamic, Time::ZERO, &free(1), &jobs);
+        let sta = build_candidate(
+            &Policy::FirstPrice,
+            ScheduleMode::Static,
+            Time::ZERO,
+            &free(1),
+            &jobs,
+        );
+        let dyn_ = build_candidate(
+            &Policy::FirstPrice,
+            ScheduleMode::Dynamic,
+            Time::ZERO,
+            &free(1),
+            &jobs,
+        );
         // Both agree on the first pick (dying: unit gain 3/1=3 vs 90/10=9
         // → fresh first actually). Verify yields are consistent in both.
         for s in [&sta, &dyn_] {
@@ -349,8 +407,20 @@ mod tests {
         let jobs: Vec<Job> = (0..10)
             .map(|i| job(i, 1.0 + (i % 4) as f64, 50.0, 0.2 + (i % 3) as f64))
             .collect();
-        let a = build_candidate(&Policy::Swpt, ScheduleMode::Static, Time::ZERO, &free(3), &jobs);
-        let b = build_candidate(&Policy::Swpt, ScheduleMode::Dynamic, Time::ZERO, &free(3), &jobs);
+        let a = build_candidate(
+            &Policy::Swpt,
+            ScheduleMode::Static,
+            Time::ZERO,
+            &free(3),
+            &jobs,
+        );
+        let b = build_candidate(
+            &Policy::Swpt,
+            ScheduleMode::Dynamic,
+            Time::ZERO,
+            &free(3),
+            &jobs,
+        );
         let ids_a: Vec<u64> = a.entries.iter().map(|e| e.id.0).collect();
         let ids_b: Vec<u64> = b.entries.iter().map(|e| e.id.0).collect();
         assert_eq!(ids_a, ids_b);
@@ -375,13 +445,25 @@ mod tests {
     fn partially_run_jobs_use_rpt_not_runtime() {
         let mut j = job(0, 10.0, 100.0, 1.0);
         j.advance(Duration::from(7.0));
-        let s = build_candidate(&Policy::Fcfs, ScheduleMode::Static, Time::from(50.0), &free(1), &[j]);
+        let s = build_candidate(
+            &Policy::Fcfs,
+            ScheduleMode::Static,
+            Time::from(50.0),
+            &free(1),
+            &[j],
+        );
         assert_eq!(s.entries[0].completion, Time::from(53.0));
     }
 
     #[test]
     fn empty_queue_empty_schedule() {
-        let s = build_candidate(&Policy::Fcfs, ScheduleMode::Static, Time::ZERO, &free(2), &[]);
+        let s = build_candidate(
+            &Policy::Fcfs,
+            ScheduleMode::Static,
+            Time::ZERO,
+            &free(2),
+            &[],
+        );
         assert!(s.entries.is_empty());
         assert_eq!(s.total_expected_yield(), 0.0);
         assert_eq!(s.makespan(), Time::ZERO);

@@ -127,7 +127,12 @@ pub struct PiecewiseLinear {
 
 impl PiecewiseLinear {
     /// Builds a piecewise function; panics on negative rates or lengths.
-    pub fn new(earliest: Time, value: f64, segments: Vec<(Duration, f64)>, bound: PenaltyBound) -> Self {
+    pub fn new(
+        earliest: Time,
+        value: f64,
+        segments: Vec<(Duration, f64)>,
+        bound: PenaltyBound,
+    ) -> Self {
         assert!(!segments.is_empty(), "need at least one decay segment");
         for (len, rate) in &segments {
             assert!(len.as_f64() >= 0.0, "segment length must be non-negative");
@@ -241,7 +246,11 @@ mod tests {
         let s = spec();
         let vf = LinearDecay::from_spec(&s);
         for t in [0.0, 15.0, 20.0, 64.9, 65.0, 200.0] {
-            assert_eq!(vf.value_at(Time::from(t)), s.yield_at(Time::from(t)), "at {t}");
+            assert_eq!(
+                vf.value_at(Time::from(t)),
+                s.yield_at(Time::from(t)),
+                "at {t}"
+            );
         }
         assert_eq!(vf.earliest_completion(), Time::from(15.0));
         assert_eq!(vf.expire_time(), s.expire_time());

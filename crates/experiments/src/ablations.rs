@@ -168,31 +168,41 @@ pub fn ablate_misestimation(params: &ExpParams) -> FigureResult {
         ("FirstReward(0.2)", Policy::first_reward(0.2, 0.01)),
         ("SWPT", Policy::Swpt),
     ];
-    let mut series = Vec::new();
-    for (label, policy) in &policies {
-        let work: Vec<(usize, u64)> = errors
-            .iter()
-            .enumerate()
-            .flat_map(|(ei, _)| seeds.iter().map(move |&s| (ei, s)))
-            .collect();
-        let rel: Vec<f64> = parallel_map(&work, |&(ei, seed)| {
-            let accurate = sized(fig45_mix(5.0, false), params);
-            let noisy = accurate.clone().with_runtime_error(errors[ei]);
-            let cfg = SiteConfig::new(params.processors).with_policy(*policy);
-            let base = run_site(&accurate, seed, cfg.clone()).metrics.total_yield;
-            let pert = run_site(&noisy, seed, cfg).metrics.total_yield;
-            improvement_pct(pert, base)
-        });
-        let points = errors
-            .iter()
-            .enumerate()
-            .map(|(ei, &e)| Point {
-                x: e,
-                y: aggregate(&rel[ei * seeds.len()..(ei + 1) * seeds.len()]),
-            })
-            .collect();
-        series.push(Series::new(*label, points));
+    // One flat (policy × error × seed) grid: the per-policy loops would
+    // otherwise serialize, leaving threads idle between policies.
+    let mut work = Vec::with_capacity(policies.len() * errors.len() * seeds.len());
+    for pi in 0..policies.len() {
+        for ei in 0..errors.len() {
+            for &seed in &seeds {
+                work.push((pi, ei, seed));
+            }
+        }
     }
+    let rel: Vec<f64> = parallel_map(&work, |&(pi, ei, seed)| {
+        let accurate = sized(fig45_mix(5.0, false), params);
+        let noisy = accurate.clone().with_runtime_error(errors[ei]);
+        let cfg = SiteConfig::new(params.processors).with_policy(policies[pi].1);
+        let base = run_site(&accurate, seed, cfg.clone()).metrics.total_yield;
+        let pert = run_site(&noisy, seed, cfg).metrics.total_yield;
+        improvement_pct(pert, base)
+    });
+    let per_policy = errors.len() * seeds.len();
+    let series = policies
+        .iter()
+        .enumerate()
+        .map(|(pi, (label, _))| {
+            let chunk = &rel[pi * per_policy..(pi + 1) * per_policy];
+            let points = errors
+                .iter()
+                .enumerate()
+                .map(|(ei, &e)| Point {
+                    x: e,
+                    y: aggregate(&chunk[ei * seeds.len()..(ei + 1) * seeds.len()]),
+                })
+                .collect();
+            Series::new(*label, points)
+        })
+        .collect();
     FigureResult {
         id: "ablate-misestimation".into(),
         title: "Yield change under runtime misestimation".into(),
@@ -438,38 +448,47 @@ pub fn ablate_deadline_vs_value(params: &ExpParams) -> FigureResult {
         ("FirstPrice", Policy::FirstPrice),
         ("FirstReward(0.3)", Policy::first_reward(0.3, 0.01)),
     ];
-    let mut series = Vec::new();
-    for (label, policy) in &policies {
-        let work: Vec<(usize, u64)> = loads
-            .iter()
-            .enumerate()
-            .flat_map(|(li, _)| seeds.iter().map(move |&s| (li, s)))
-            .collect();
-        let rates: Vec<f64> = parallel_map(&work, |&(li, seed)| {
-            // Tight deadlines (fast decay: the mean task expires after
-            // ~2 mean runtimes of delay) — the regime where infeasible
-            // schedules appear and §3's argument bites.
-            let mix = sized(fig45_mix(5.0, true), params)
-                .with_mean_decay(0.5)
-                .with_load_factor(loads[li]);
-            run_site(
-                &mix,
-                seed,
-                SiteConfig::new(params.processors).with_policy(*policy),
-            )
-            .metrics
-            .yield_rate()
-        });
-        let points = loads
-            .iter()
-            .enumerate()
-            .map(|(li, &load)| Point {
-                x: load,
-                y: aggregate(&rates[li * seeds.len()..(li + 1) * seeds.len()]),
-            })
-            .collect();
-        series.push(Series::new(*label, points));
+    // Flat (policy × load × seed) grid — see ablate_misestimation.
+    let mut work = Vec::with_capacity(policies.len() * loads.len() * seeds.len());
+    for pi in 0..policies.len() {
+        for li in 0..loads.len() {
+            for &seed in &seeds {
+                work.push((pi, li, seed));
+            }
+        }
     }
+    let rates: Vec<f64> = parallel_map(&work, |&(pi, li, seed)| {
+        // Tight deadlines (fast decay: the mean task expires after
+        // ~2 mean runtimes of delay) — the regime where infeasible
+        // schedules appear and §3's argument bites.
+        let mix = sized(fig45_mix(5.0, true), params)
+            .with_mean_decay(0.5)
+            .with_load_factor(loads[li]);
+        run_site(
+            &mix,
+            seed,
+            SiteConfig::new(params.processors).with_policy(policies[pi].1),
+        )
+        .metrics
+        .yield_rate()
+    });
+    let per_policy = loads.len() * seeds.len();
+    let series = policies
+        .iter()
+        .enumerate()
+        .map(|(pi, (label, _))| {
+            let chunk = &rates[pi * per_policy..(pi + 1) * per_policy];
+            let points = loads
+                .iter()
+                .enumerate()
+                .map(|(li, &load)| Point {
+                    x: load,
+                    y: aggregate(&chunk[li * seeds.len()..(li + 1) * seeds.len()]),
+                })
+                .collect();
+            Series::new(*label, points)
+        })
+        .collect();
     FigureResult {
         id: "ablate-deadline-vs-value".into(),
         title: "Deadline (EDF) vs value-based scheduling across load".into(),

@@ -127,7 +127,11 @@ mod tests {
         let b = SiteConfig::new(8).with_policy(Policy::first_reward(0.0, 0.01));
         let r = compare_sites(&mix, &a, &b, &params());
         assert_eq!(r.yields_a.len(), 8);
-        assert!(r.paired.mean_diff > 0.0, "B should win: {}", r.paired.mean_diff);
+        assert!(
+            r.paired.mean_diff > 0.0,
+            "B should win: {}",
+            r.paired.mean_diff
+        );
         assert!(r.paired.significant_95(), "t = {}", r.paired.t_stat);
         assert!(r.render().contains("B is significantly better"));
     }

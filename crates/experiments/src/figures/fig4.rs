@@ -25,7 +25,12 @@ pub const DISCOUNT: f64 = 0.01;
 
 /// Shared α-sweep engine for Figures 4 and 5 (they differ only in the
 /// penalty bound).
-pub(crate) fn alpha_sweep(params: &ExpParams, bounded: bool, id: &str, title: &str) -> FigureResult {
+pub(crate) fn alpha_sweep(
+    params: &ExpParams,
+    bounded: bool,
+    id: &str,
+    title: &str,
+) -> FigureResult {
     let seeds = params.seed_list();
     let mut series = Vec::new();
     for &skew in &DECAY_SKEWS {

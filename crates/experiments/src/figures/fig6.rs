@@ -58,10 +58,9 @@ pub fn fig6(params: &ExpParams) -> FigureResult {
 
     let mut series = Vec::new();
     for si in 0..num_series {
-        let label = if si < ALPHAS.len() {
-            format!("FirstReward, Alpha={}", ALPHAS[si])
-        } else {
-            "FirstPrice w/o Admission Control".to_string()
+        let label = match ALPHAS.get(si) {
+            Some(alpha) => format!("FirstReward, Alpha={alpha}"),
+            None => "FirstPrice w/o Admission Control".to_string(),
         };
         let mut points = Vec::new();
         for (li, &load) in LOADS.iter().enumerate() {

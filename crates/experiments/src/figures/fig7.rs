@@ -42,9 +42,13 @@ pub fn fig7(params: &ExpParams) -> FigureResult {
         let mix = sized(fig67_mix(load), params);
         // Baseline per seed: same scheduler, no admission control.
         let baselines: Vec<f64> = parallel_map(&seeds, |&seed| {
-            run_site(&mix, seed, SiteConfig::new(processors).with_policy(policy()))
-                .metrics
-                .yield_rate()
+            run_site(
+                &mix,
+                seed,
+                SiteConfig::new(processors).with_policy(policy()),
+            )
+            .metrics
+            .yield_rate()
         });
         let work: Vec<(usize, u64)> = THRESHOLDS
             .iter()
@@ -68,10 +72,7 @@ pub fn fig7(params: &ExpParams) -> FigureResult {
         for (ti, &threshold) in THRESHOLDS.iter().enumerate() {
             let mut stats = OnlineStats::new();
             for (si, _) in seeds.iter().enumerate() {
-                stats.push(improvement_pct(
-                    rates[ti * seeds.len() + si],
-                    baselines[si],
-                ));
+                stats.push(improvement_pct(rates[ti * seeds.len() + si], baselines[si]));
             }
             points.push(Point {
                 x: threshold,

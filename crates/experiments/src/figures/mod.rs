@@ -36,7 +36,8 @@ pub(crate) fn improvement_pct(treatment: f64, baseline: f64) -> f64 {
 
 /// Applies the harness params to a mix (trace length + calibration size).
 pub(crate) fn sized(mix: MixConfig, params: &ExpParams) -> MixConfig {
-    mix.with_tasks(params.tasks).with_processors(params.processors)
+    mix.with_tasks(params.tasks)
+        .with_processors(params.processors)
 }
 
 #[cfg(test)]

@@ -244,15 +244,27 @@ mod tests {
                 Series::new(
                     "a",
                     vec![
-                        Point { x: 1.0, y: summary(10.0) },
-                        Point { x: 2.0, y: summary(20.0) },
+                        Point {
+                            x: 1.0,
+                            y: summary(10.0),
+                        },
+                        Point {
+                            x: 2.0,
+                            y: summary(20.0),
+                        },
                     ],
                 ),
                 Series::new(
                     "b",
                     vec![
-                        Point { x: 1.0, y: summary(5.0) },
-                        Point { x: 2.0, y: summary(2.0) },
+                        Point {
+                            x: 1.0,
+                            y: summary(5.0),
+                        },
+                        Point {
+                            x: 2.0,
+                            y: summary(2.0),
+                        },
                     ],
                 ),
             ],

@@ -122,9 +122,7 @@ impl ClientSelection {
                 .max_by(|a, b| a.slack.total_cmp(&b.slack).then(b.site.cmp(&a.site)))
                 .unwrap(),
             ClientSelection::Random => &bids[(coin % bids.len() as u64) as usize],
-            ClientSelection::FirstResponder => {
-                bids.iter().min_by_key(|b| b.site).unwrap()
-            }
+            ClientSelection::FirstResponder => bids.iter().min_by_key(|b| b.site).unwrap(),
         };
         Some(*pick)
     }
@@ -171,15 +169,23 @@ mod tests {
 
     #[test]
     fn earliest_completion_wins() {
-        let bids = vec![bid(0, 30.0, 90.0, 5.0), bid(1, 10.0, 99.0, 1.0), bid(2, 20.0, 95.0, 9.0)];
-        let chosen = ClientSelection::EarliestCompletion.choose(&bids, 0).unwrap();
+        let bids = vec![
+            bid(0, 30.0, 90.0, 5.0),
+            bid(1, 10.0, 99.0, 1.0),
+            bid(2, 20.0, 95.0, 9.0),
+        ];
+        let chosen = ClientSelection::EarliestCompletion
+            .choose(&bids, 0)
+            .unwrap();
         assert_eq!(chosen.site, 1);
     }
 
     #[test]
     fn earliest_completion_tie_breaks_by_site() {
         let bids = vec![bid(2, 10.0, 90.0, 5.0), bid(0, 10.0, 90.0, 5.0)];
-        let chosen = ClientSelection::EarliestCompletion.choose(&bids, 0).unwrap();
+        let chosen = ClientSelection::EarliestCompletion
+            .choose(&bids, 0)
+            .unwrap();
         assert_eq!(chosen.site, 0);
     }
 
@@ -192,7 +198,11 @@ mod tests {
 
     #[test]
     fn random_is_deterministic_in_coin() {
-        let bids = vec![bid(0, 1.0, 1.0, 1.0), bid(1, 1.0, 1.0, 1.0), bid(2, 1.0, 1.0, 1.0)];
+        let bids = vec![
+            bid(0, 1.0, 1.0, 1.0),
+            bid(1, 1.0, 1.0, 1.0),
+            bid(2, 1.0, 1.0, 1.0),
+        ];
         let a = ClientSelection::Random.choose(&bids, 4).unwrap();
         let b = ClientSelection::Random.choose(&bids, 4).unwrap();
         assert_eq!(a.site, b.site);
@@ -203,7 +213,10 @@ mod tests {
     fn first_responder_picks_lowest_site() {
         let bids = vec![bid(5, 1.0, 1.0, 1.0), bid(2, 9.0, 1.0, 1.0)];
         assert_eq!(
-            ClientSelection::FirstResponder.choose(&bids, 0).unwrap().site,
+            ClientSelection::FirstResponder
+                .choose(&bids, 0)
+                .unwrap()
+                .site,
             2
         );
     }

@@ -65,8 +65,14 @@ pub fn run_shading_experiment(
     shade_modulus: u64,
     factor: f64,
 ) -> ShadingReport {
-    assert!((0.0..=1.0).contains(&factor), "shade factor must be in [0,1]");
-    assert!(shade_modulus >= 2, "shade_modulus must leave both populations non-empty");
+    assert!(
+        (0.0..=1.0).contains(&factor),
+        "shade factor must be in [0,1]"
+    );
+    assert!(
+        shade_modulus >= 2,
+        "shade_modulus must leave both populations non-empty"
+    );
 
     // Build the declared trace: shaders scale their value functions.
     let mut declared = trace.clone();
@@ -182,8 +188,10 @@ mod tests {
         assert_eq!(report.shaders.count, 200);
         assert!(report.truthful.placed > 0);
         assert!(report.truthful.paid.is_finite());
-        assert!(report.shaders.paid <= report.shaders.true_value_realized + 1e-6,
-            "shaders never pay more than declared ≤ true value");
+        assert!(
+            report.shaders.paid <= report.shaders.true_value_realized + 1e-6,
+            "shaders never pay more than declared ≤ true value"
+        );
     }
 
     #[test]

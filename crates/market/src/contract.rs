@@ -168,10 +168,7 @@ impl Contract {
 
     /// `true` if settled late.
     pub fn was_violated(&self) -> bool {
-        matches!(
-            self.status,
-            ContractStatus::Settled { violated: true, .. }
-        )
+        matches!(self.status, ContractStatus::Settled { violated: true, .. })
     }
 
     /// The settled price, if settled.
@@ -308,7 +305,10 @@ mod terms_tests {
         let spec = TaskSpec::new(0, 0.0, 10.0, 100.0, 2.0, PenaltyBound::Unbounded);
         let c = Contract::new(spec, 0, 0, Time::ZERO, Time::from(20.0), 80.0);
         assert_eq!(c.terms, ContractTerms::ValueFunction);
-        assert_eq!(c.price_at(Time::from(40.0)), spec.yield_at(Time::from(40.0)));
+        assert_eq!(
+            c.price_at(Time::from(40.0)),
+            spec.yield_at(Time::from(40.0))
+        );
     }
 
     #[test]

@@ -184,18 +184,14 @@ impl ElasticModel {
                 // unbounded penalties, where a long-delayed queue has
                 // negative expected gains but enormous carrying cost.
                 let direct = self.site.pending_unit_gain(now);
-                let avoided =
-                    self.site.pending_decay_rate(now) / self.site.capacity() as f64;
+                let avoided = self.site.pending_decay_rate(now) / self.site.capacity() as f64;
                 let gain = direct.max(avoided);
                 let backlog = self.site.pending_work();
                 if gain > margin * self.pool.price && backlog > 0.0 {
                     // Size the lease to clear the backlog within one
                     // review interval, bounded by the per-review step.
                     let needed = (backlog / self.review_interval.as_f64()).ceil() as usize;
-                    let want = needed
-                        .saturating_sub(self.site.capacity())
-                        .min(step)
-                        .max(1);
+                    let want = needed.saturating_sub(self.site.capacity()).min(step).max(1);
                     self.grow(want, now, queue);
                 } else if self.site.pending_len() == 0 {
                     let released = self.site.shrink(step);
@@ -249,7 +245,10 @@ pub fn run_elastic(config: &ElasticConfig, trace: &Trace) -> ElasticOutcome {
         config.site.processors <= config.pool_total,
         "initial lease exceeds the pool"
     );
-    assert!(config.review_interval > 0.0, "review interval must be positive");
+    assert!(
+        config.review_interval > 0.0,
+        "review interval must be positive"
+    );
     let mut pool = ResourcePool::new(config.pool_total, config.rent);
     pool.lease(config.site.processors);
     let model = ElasticModel {

@@ -61,11 +61,7 @@ pub enum Dist {
     /// Two-phase hyperexponential: with probability `p` an exponential of
     /// mean `mean_a`, else of mean `mean_b`. High-variance mixture used
     /// to stress schedulers with bursty service demands.
-    HyperExp {
-        p: f64,
-        mean_a: f64,
-        mean_b: f64,
-    },
+    HyperExp { p: f64, mean_a: f64, mean_b: f64 },
 }
 
 impl Dist {
@@ -178,7 +174,11 @@ impl Dist {
                 lambda * (-(1.0 - u).ln()).powf(1.0 / shape)
             }
             Dist::HyperExp { p, mean_a, mean_b } => {
-                let mean = if rng.gen::<f64>() < *p { mean_a } else { mean_b };
+                let mean = if rng.gen::<f64>() < *p {
+                    mean_a
+                } else {
+                    mean_b
+                };
                 let u: f64 = rng.gen::<f64>();
                 -mean * (1.0 - u).ln()
             }
@@ -251,10 +251,10 @@ impl Dist {
 fn gamma(x: f64) -> f64 {
     const G: f64 = 7.0;
     const C: [f64; 9] = [
-        0.999_999_999_999_809_93,
+        0.999_999_999_999_809_9,
         676.520_368_121_885_1,
-        -1259.139_216_722_402_8,
-        771.323_428_777_653_13,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
         -176.615_029_162_140_6,
         12.507_343_278_686_905,
         -0.138_571_095_265_720_12,
@@ -486,7 +486,10 @@ mod heavy_tail_tests {
         assert!((m - 100.0).abs() / 100.0 < 0.02, "mean {m}");
         // Var = mean²·(e^{σ²} − 1) ≈ 100²·1.718.
         let expect_v = 100.0_f64.powi(2) * (1f64.exp() - 1.0);
-        assert!((v - expect_v).abs() / expect_v < 0.15, "var {v} vs {expect_v}");
+        assert!(
+            (v - expect_v).abs() / expect_v < 0.15,
+            "var {v} vs {expect_v}"
+        );
         assert_eq!(d.mean(), 100.0);
     }
 

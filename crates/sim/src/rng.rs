@@ -70,7 +70,8 @@ impl RngFactory {
     /// Like [`stream`](Self::stream) but additionally salted with an index,
     /// for families of streams (e.g. one per replication or per site).
     pub fn stream_indexed(&self, name: &str, index: u64) -> SimRng {
-        let mut state = self.seed ^ fnv1a(name.as_bytes()) ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut state =
+            self.seed ^ fnv1a(name.as_bytes()) ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
         let mut key = [0u8; 32];
         for chunk in key.chunks_exact_mut(8) {
             chunk.copy_from_slice(&splitmix64(&mut state).to_le_bytes());
@@ -100,13 +101,19 @@ mod tests {
     #[test]
     fn same_seed_same_stream() {
         let f = RngFactory::new(42);
-        assert_eq!(draws(f.stream("arrivals"), 16), draws(f.stream("arrivals"), 16));
+        assert_eq!(
+            draws(f.stream("arrivals"), 16),
+            draws(f.stream("arrivals"), 16)
+        );
     }
 
     #[test]
     fn different_names_decorrelate() {
         let f = RngFactory::new(42);
-        assert_ne!(draws(f.stream("arrivals"), 16), draws(f.stream("runtimes"), 16));
+        assert_ne!(
+            draws(f.stream("arrivals"), 16),
+            draws(f.stream("runtimes"), 16)
+        );
     }
 
     #[test]

@@ -416,11 +416,7 @@ impl PairedComparison {
             "paired comparison needs equal-length samples"
         );
         assert!(treatment.len() >= 2, "need at least two pairs");
-        let diffs: OnlineStats = treatment
-            .iter()
-            .zip(baseline)
-            .map(|(t, b)| t - b)
-            .collect();
+        let diffs: OnlineStats = treatment.iter().zip(baseline).map(|(t, b)| t - b).collect();
         let std_err = diffs.std_err();
         let mean_diff = diffs.mean();
         let t_stat = if std_err > 0.0 {

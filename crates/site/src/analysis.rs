@@ -152,17 +152,14 @@ mod tests {
     #[test]
     fn classes_partition_the_trace() {
         let trace = generate_trace(&mix(), 5);
-        let outcome = Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice))
-            .run_trace(&trace);
+        let outcome =
+            Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice)).run_trace(&trace);
         let (high, low) = class_breakdown(&trace, &outcome);
         assert_eq!(high.count + low.count, 600);
         // 20/80 split within sampling noise.
         let frac = high.count as f64 / 600.0;
         assert!((0.1..0.3).contains(&frac), "high fraction {frac}");
-        assert_eq!(
-            high.completed + low.completed,
-            outcome.metrics.completed
-        );
+        assert_eq!(high.completed + low.completed, outcome.metrics.completed);
         let total = high.total_earned + low.total_earned;
         assert!((total - outcome.metrics.total_yield).abs() < 1e-6);
     }
@@ -170,8 +167,7 @@ mod tests {
     #[test]
     fn value_aware_scheduling_favours_the_high_class() {
         let trace = generate_trace(&mix(), 6);
-        let fp = Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice))
-            .run_trace(&trace);
+        let fp = Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice)).run_trace(&trace);
         let fcfs = Site::new(SiteConfig::new(4).with_policy(Policy::Fcfs)).run_trace(&trace);
         let (h_fp, _) = class_breakdown(&trace, &fp);
         let (h_fcfs, _) = class_breakdown(&trace, &fcfs);
@@ -189,8 +185,8 @@ mod tests {
     #[test]
     fn high_class_gets_better_service_under_first_price() {
         let trace = generate_trace(&mix(), 7);
-        let outcome = Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice))
-            .run_trace(&trace);
+        let outcome =
+            Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice)).run_trace(&trace);
         let (high, low) = class_breakdown(&trace, &outcome);
         assert!(high.mean_delay < low.mean_delay);
         assert!(high.capture_ratio > low.capture_ratio);

@@ -122,9 +122,8 @@ mod tests {
         // Timestamps never go backwards.
         assert!(audit.windows(2).all(|w| w[0].at <= w[1].at));
         // Counts line up with the metrics.
-        let count = |pred: &dyn Fn(&AuditKind) -> bool| {
-            audit.iter().filter(|e| pred(&e.kind)).count()
-        };
+        let count =
+            |pred: &dyn Fn(&AuditKind) -> bool| audit.iter().filter(|e| pred(&e.kind)).count();
         assert_eq!(
             count(&|k| matches!(k, AuditKind::Submitted { .. })),
             outcome.metrics.submitted

@@ -66,6 +66,15 @@ pub struct SiteConfig {
     /// (Millennium §3: "the system incurs no cost even if it discards an
     /// expired task").
     pub drop_expired: bool,
+    /// If `true` (default), dispatch selection runs on the incremental
+    /// pending pool (persistent score heap + incrementally maintained
+    /// cost model, `O(log n)` per queue event). If `false`, every
+    /// dispatch decision rescoring the whole queue from scratch — the
+    /// baseline the `scheduler_hotpath` bench and the equivalence tests
+    /// compare against. Both paths pick the same task; see
+    /// `mbts_core::pool`.
+    #[serde(default = "default_true")]
+    pub incremental: bool,
 }
 
 impl SiteConfig {
@@ -85,6 +94,7 @@ impl SiteConfig {
             audit: false,
             record_segments: false,
             drop_expired: false,
+            incremental: true,
         }
     }
 
@@ -148,6 +158,13 @@ impl SiteConfig {
         self.drop_expired = on;
         self
     }
+
+    /// Enables or disables the incremental dispatch core (`true` by
+    /// default; `false` reverts to rebuild-per-event selection).
+    pub fn with_incremental(mut self, on: bool) -> Self {
+        self.incremental = on;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +195,22 @@ mod tests {
         assert_eq!(c.admission, AdmissionPolicy::AcceptAll);
         assert!(!c.preemption);
         assert!(!c.drop_expired);
+        assert!(c.incremental);
+    }
+
+    #[test]
+    fn incremental_defaults_on_when_missing_from_serde() {
+        // Configs recorded before the incremental core existed must keep
+        // deserializing — and get the new default.
+        let mut c = SiteConfig::new(4).with_incremental(false);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SiteConfig = serde_json::from_str(&json).unwrap();
+        assert!(!back.incremental);
+        c.incremental = true;
+        assert_eq!(
+            serde_json::from_str::<SiteConfig>(&serde_json::to_string(&c).unwrap()).unwrap(),
+            c
+        );
     }
 
     #[test]

@@ -21,7 +21,7 @@ use crate::gantt::Segment;
 use crate::metrics::{Disposition, JobOutcome, SiteMetrics};
 use crate::SiteOutcome;
 use mbts_core::{
-    evaluate_admission, AdmissionDecision, AdmissionPolicy, CostModel, Job, ScoreCtx,
+    evaluate_admission, AdmissionDecision, AdmissionPolicy, CostModel, Job, PendingPool, ScoreCtx,
 };
 use mbts_sim::{Duration, Time};
 use mbts_workload::TaskSpec;
@@ -75,7 +75,12 @@ pub struct SiteState {
     /// Debt settled (processors actually retired) since the last
     /// [`take_settled_shrink`](Self::take_settled_shrink) call.
     settled_shrink: usize,
-    pending: Vec<Job>,
+    /// The queue, as an incrementally maintained pool. Its slot order
+    /// follows `Vec::swap_remove` semantics, so indices behave exactly
+    /// like the plain `Vec<Job>` it replaced; with
+    /// `config.incremental == false` it is used purely as storage and
+    /// every decision rescans it.
+    pending: PendingPool,
     running: Vec<Running>,
     free_procs: usize,
     epoch_counter: u64,
@@ -89,12 +94,13 @@ impl SiteState {
     /// An idle site.
     pub fn new(config: SiteConfig) -> Self {
         let free_procs = config.processors;
+        let pending = PendingPool::new(config.policy);
         SiteState {
             capacity: config.processors,
             shrink_debt: 0,
             settled_shrink: 0,
             config,
-            pending: Vec::new(),
+            pending,
             running: Vec::new(),
             free_procs,
             epoch_counter: 0,
@@ -226,6 +232,7 @@ impl SiteState {
     /// — the backlog a provisioning policy reasons over.
     pub fn pending_work(&self) -> f64 {
         self.pending
+            .jobs()
             .iter()
             .map(|j| j.spec.width as f64 * j.rpt.as_f64())
             .sum()
@@ -236,7 +243,11 @@ impl SiteState {
     /// by capacity this estimates the marginal value of one more
     /// processor for penalty-avoidance (§7 reseller signal).
     pub fn pending_decay_rate(&self, now: Time) -> f64 {
-        self.pending.iter().map(|j| j.effective_decay(now)).sum()
+        self.pending
+            .jobs()
+            .iter()
+            .map(|j| j.effective_decay(now))
+            .sum()
     }
 
     /// Mean expected unit gain (yield per processor-time) of the queue if
@@ -248,6 +259,7 @@ impl SiteState {
         }
         let total: f64 = self
             .pending
+            .jobs()
             .iter()
             .map(|j| j.yield_if_started(now) / (j.spec.width as f64 * j.rpt.as_f64().max(1e-12)))
             .sum();
@@ -262,7 +274,7 @@ impl SiteState {
         let mut free = vec![now; self.free_procs];
         for r in &self.running {
             let at = now + r.remaining_estimate(now);
-            free.extend(std::iter::repeat(at).take(r.job.spec.width));
+            free.extend(std::iter::repeat_n(at, r.job.spec.width));
         }
         debug_assert_eq!(free.len(), self.capacity);
         free
@@ -283,7 +295,7 @@ impl SiteState {
             };
         }
         let candidate = Job::new(spec);
-        let mut queue = self.pending.clone();
+        let mut queue = self.pending.jobs().to_vec();
         queue.push(candidate.clone());
         evaluate_admission(
             &self.config.admission,
@@ -311,7 +323,11 @@ impl SiteState {
                 _ => self.evaluate(now, spec).accept,
             }
         };
-        self.note_audit(now, Some(spec.id), AuditKind::Submitted { accepted: accept });
+        self.note_audit(
+            now,
+            Some(spec.id),
+            AuditKind::Submitted { accepted: accept },
+        );
         if !accept {
             self.metrics.rejected += 1;
             self.outcomes.push(JobOutcome {
@@ -363,7 +379,7 @@ impl SiteState {
     /// leaves them untouched. The site earns nothing for a cancelled
     /// task; any breach penalty is settled at the market layer.
     pub fn cancel_pending(&mut self, now: Time, id: mbts_workload::TaskId) -> bool {
-        let Some(idx) = self.pending.iter().position(|j| j.id() == id) else {
+        let Some(idx) = self.pending.jobs().iter().position(|j| j.id() == id) else {
             return false;
         };
         let job = self.pending.swap_remove(idx);
@@ -400,7 +416,9 @@ impl SiteState {
         let Some(idx) = self.running.iter().position(|r| r.epoch == token.epoch) else {
             return (None, Vec::new()); // stale: the segment was preempted
         };
-        let Running { mut job, started, .. } = self.running.swap_remove(idx);
+        let Running {
+            mut job, started, ..
+        } = self.running.swap_remove(idx);
         self.free_procs += job.spec.width;
         self.settle_shrink_debt();
         if self.config.record_segments {
@@ -450,7 +468,10 @@ impl SiteState {
         }
     }
 
-    /// Scores every pending job at `now`; returns `(scores, best index)`.
+    /// Rebuild-from-scratch scoring of every pending job at `now`;
+    /// returns `(scores, best index)`. This is the pre-incremental
+    /// baseline path, kept behind `config.incremental == false` for the
+    /// `scheduler_hotpath` bench and the equivalence tests.
     fn score_pending(&self, now: Time) -> Option<(Vec<f64>, usize)> {
         if self.pending.is_empty() {
             return None;
@@ -459,13 +480,14 @@ impl SiteState {
             .config
             .policy
             .needs_cost_model()
-            .then(|| CostModel::build(now, &self.pending));
+            .then(|| CostModel::build(now, self.pending.jobs()));
         let ctx = match &model {
             Some(m) => ScoreCtx::with_cost(now, m),
             None => ScoreCtx::simple(now),
         };
         let scores: Vec<f64> = self
             .pending
+            .jobs()
             .iter()
             .map(|j| self.config.policy.score(j, &ctx))
             .collect();
@@ -473,7 +495,7 @@ impl SiteState {
         for i in 1..scores.len() {
             let better = scores[i] > scores[best]
                 || (scores[i] == scores[best]
-                    && self.pending[i].id() < self.pending[best].id());
+                    && self.pending.jobs()[i].id() < self.pending.jobs()[best].id());
             if better {
                 best = i;
             }
@@ -483,6 +505,12 @@ impl SiteState {
 
     /// Fills idle processors from the pending queue, best score first,
     /// with EASY backfilling when the best task's gang does not fit.
+    ///
+    /// With `config.incremental` (the default) the head of line comes
+    /// from the pool's persistent structures and the full per-job score
+    /// vector is materialized only if the backfill scan actually needs
+    /// it; otherwise every iteration rescans the queue. Both paths pick
+    /// the same `(score, lowest id)` argmax.
     fn dispatch(&mut self, now: Time) -> Vec<CompletionToken> {
         let mut tokens = Vec::new();
         loop {
@@ -492,10 +520,18 @@ impl SiteState {
             if self.free_procs == 0 {
                 break;
             }
-            let Some((scores, best)) = self.score_pending(now) else {
-                break;
+            let (scores, best) = if self.config.incremental {
+                match self.pending.select_best(now) {
+                    Some(best) => (None, best),
+                    None => break,
+                }
+            } else {
+                match self.score_pending(now) {
+                    Some((scores, best)) => (Some(scores), best),
+                    None => break,
+                }
             };
-            let width = self.pending[best].spec.width;
+            let width = self.pending.jobs()[best].spec.width;
             if width <= self.free_procs {
                 let job = self.pending.swap_remove(best);
                 tokens.push(self.start(job, now));
@@ -507,8 +543,12 @@ impl SiteState {
             // The head-of-line gang does not fit: reserve its start and
             // backfill around it.
             let reserve_at = self.reservation_time(width, now);
+            let scores = match scores {
+                Some(scores) => scores,
+                None => self.pending.scores(now),
+            };
             let mut fill: Option<usize> = None;
-            for (i, job) in self.pending.iter().enumerate() {
+            for (i, job) in self.pending.jobs().iter().enumerate() {
                 if i == best || job.spec.width > self.free_procs {
                     continue;
                 }
@@ -521,7 +561,7 @@ impl SiteState {
                     Some(f) => {
                         scores[i] > scores[f]
                             || (scores[i] == scores[f]
-                                && self.pending[i].id() < self.pending[f].id())
+                                && self.pending.jobs()[i].id() < self.pending.jobs()[f].id())
                     }
                 };
                 if better {
@@ -546,7 +586,7 @@ impl SiteState {
             .iter()
             .map(|r| (now + r.remaining_estimate(now), r.job.spec.width))
             .collect();
-        completions.sort_by(|a, b| a.0.cmp(&b.0));
+        completions.sort_by_key(|a| a.0);
         let mut avail = self.free_procs;
         for (at, w) in completions {
             if avail >= width {
@@ -592,9 +632,8 @@ impl SiteState {
     fn drop_expired_pending(&mut self, now: Time) {
         let mut i = 0;
         while i < self.pending.len() {
-            let job = &self.pending[i];
-            let expired =
-                !job.spec.bound.is_unbounded() && job.decay_window(now) == Duration::ZERO;
+            let job = &self.pending.jobs()[i];
+            let expired = !job.spec.bound.is_unbounded() && job.decay_window(now) == Duration::ZERO;
             if expired {
                 let job = self.pending.swap_remove(i);
                 let floor = job.spec.bound.floor();
@@ -634,10 +673,9 @@ impl SiteState {
             }
             // One model over queue + running views: every candidate's
             // competing set is "everyone else at this site".
-            let running_views: Vec<Job> =
-                self.running.iter().map(|r| r.view(now)).collect();
+            let running_views: Vec<Job> = self.running.iter().map(|r| r.view(now)).collect();
             let model = self.config.policy.needs_cost_model().then(|| {
-                let mut all: Vec<Job> = self.pending.clone();
+                let mut all: Vec<Job> = self.pending.jobs().to_vec();
                 all.extend(running_views.iter().cloned());
                 CostModel::build(now, &all)
             });
@@ -648,10 +686,13 @@ impl SiteState {
             let best_idx = self
                 .config
                 .policy
-                .select(&self.pending, &ctx)
+                .select(self.pending.jobs(), &ctx)
                 .expect("pending non-empty");
-            let best_score = self.config.policy.score(&self.pending[best_idx], &ctx);
-            let need = self.pending[best_idx].spec.width;
+            let best_score = self
+                .config
+                .policy
+                .score(&self.pending.jobs()[best_idx], &ctx);
+            let need = self.pending.jobs()[best_idx].spec.width;
 
             // Victims: strictly lower-scoring running gangs, weakest
             // first, until the incoming gang fits.
@@ -678,7 +719,9 @@ impl SiteState {
             // keeps the remaining indices valid under swap_remove)…
             chosen.sort_unstable_by(|a, b| b.cmp(a));
             for ri in chosen {
-                let Running { mut job, started, .. } = self.running.swap_remove(ri);
+                let Running {
+                    mut job, started, ..
+                } = self.running.swap_remove(ri);
                 self.free_procs += job.spec.width;
                 if self.config.record_segments {
                     self.segments.push(Segment {
@@ -888,8 +931,9 @@ mod tests {
 
     #[test]
     fn rejected_tasks_do_not_run() {
-        let cfg = SiteConfig::new(1)
-            .with_admission(AdmissionPolicy::SlackThreshold { threshold: f64::INFINITY });
+        let cfg = SiteConfig::new(1).with_admission(AdmissionPolicy::SlackThreshold {
+            threshold: f64::INFINITY,
+        });
         let mut site = SiteState::new(cfg);
         let (ok, tokens) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0, 0.5));
         assert!(!ok);
@@ -995,10 +1039,7 @@ mod tests {
             tokens.extend(t);
             // Interleave completions that are due.
             tokens.sort_by_key(|t| std::cmp::Reverse(t.at));
-            while tokens
-                .last()
-                .is_some_and(|t| t.at <= Time::from(i as f64))
-            {
+            while tokens.last().is_some_and(|t| t.at <= Time::from(i as f64)) {
                 let tok = tokens.pop().unwrap();
                 tokens.extend(site.on_completion(tok.at, tok));
             }
@@ -1281,9 +1322,7 @@ mod preemption_mode_tests {
         let (_, t2) = site.submit(Time::from(10.0), spec(1, 10.0, 5.0, 5000.0));
         tokens.extend(t2);
         drain(&mut site, tokens);
-        site.clone().into_outcome().outcomes[0]
-            .finished_at
-            .unwrap()
+        site.clone().into_outcome().outcomes[0].finished_at.unwrap()
     }
 
     #[test]

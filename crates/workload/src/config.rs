@@ -386,9 +386,8 @@ mod tests {
 
     #[test]
     fn serde_roundtrip() {
-        let c = MixConfig::millennium_default().with_bound(BoundPolicy::ProportionalPenalty {
-            fraction: 0.25,
-        });
+        let c = MixConfig::millennium_default()
+            .with_bound(BoundPolicy::ProportionalPenalty { fraction: 0.25 });
         let json = serde_json::to_string(&c).unwrap();
         let back: MixConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(back, c);

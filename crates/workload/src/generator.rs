@@ -62,9 +62,13 @@ pub fn generate_trace(config: &MixConfig, seed: u64) -> Trace {
             tasks.push(spec);
         }
         clock += match config.arrival {
-            ArrivalProcess::Diurnal { period, amplitude } => {
-                diurnal_gap(clock, config.arrival_rate(), period, amplitude, &mut arrivals_rng)
-            }
+            ArrivalProcess::Diurnal { period, amplitude } => diurnal_gap(
+                clock,
+                config.arrival_rate(),
+                period,
+                amplitude,
+                &mut arrivals_rng,
+            ),
             _ => Duration::new(gap_dist.sample(&mut arrivals_rng).max(0.0)),
         };
     }
@@ -84,7 +88,10 @@ fn diurnal_gap(
     rng: &mut mbts_sim::SimRng,
 ) -> Duration {
     use rand::Rng;
-    assert!((0.0..=1.0).contains(&amplitude), "amplitude must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&amplitude),
+        "amplitude must be in [0,1]"
+    );
     assert!(period > 0.0, "period must be positive");
     let start = clock;
     let peak = mean_rate * (1.0 + amplitude);
@@ -100,11 +107,7 @@ fn diurnal_gap(
 }
 
 /// Samples a processor width, capped at the calibration site size.
-fn sample_width(
-    policy: &WidthPolicy,
-    processors: usize,
-    rng: &mut mbts_sim::SimRng,
-) -> usize {
+fn sample_width(policy: &WidthPolicy, processors: usize, rng: &mut mbts_sim::SimRng) -> usize {
     use rand::Rng;
     let w = match policy {
         WidthPolicy::One => 1,
@@ -120,9 +123,7 @@ fn arrival_gap_dist(config: &MixConfig) -> Dist {
     let mean_gap = config.mean_arrival_gap();
     match config.arrival {
         ArrivalProcess::Exponential => Dist::exponential(mean_gap),
-        ArrivalProcess::NormalBatch { cv, .. } => {
-            Dist::normal_min(mean_gap, cv * mean_gap, 0.0)
-        }
+        ArrivalProcess::NormalBatch { cv, .. } => Dist::normal_min(mean_gap, cv * mean_gap, 0.0),
         // Diurnal gaps are generated by thinning (see `diurnal_gap`);
         // this distribution is never sampled for them, but keep the mean
         // right for callers that inspect it.
@@ -145,10 +146,7 @@ mod tests {
     fn trace_has_requested_length_and_sorted_arrivals() {
         let t = generate_trace(&small(), 1);
         assert_eq!(t.tasks.len(), 2000);
-        assert!(t
-            .tasks
-            .windows(2)
-            .all(|w| w[0].arrival <= w[1].arrival));
+        assert!(t.tasks.windows(2).all(|w| w[0].arrival <= w[1].arrival));
         // Ids are dense and arrival-ordered.
         for (i, task) in t.tasks.iter().enumerate() {
             assert_eq!(task.id.index(), i);
@@ -205,7 +203,11 @@ mod tests {
             assert_eq!(x.runtime, y.runtime);
             assert_eq!(x.decay, y.decay);
         }
-        assert!(a.tasks.iter().zip(&b.tasks).any(|(x, y)| x.value != y.value));
+        assert!(a
+            .tasks
+            .iter()
+            .zip(&b.tasks)
+            .any(|(x, y)| x.value != y.value));
     }
 
     #[test]

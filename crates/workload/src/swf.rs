@@ -156,11 +156,9 @@ pub fn parse_swf(text: &str, options: &SwfOptions) -> Result<Trace, SwfError> {
         let bound = match options.mix.bound {
             crate::config::BoundPolicy::Unbounded => PenaltyBound::Unbounded,
             crate::config::BoundPolicy::ZeroFloor => PenaltyBound::ZERO,
-            crate::config::BoundPolicy::ProportionalPenalty { fraction } => {
-                PenaltyBound::Bounded {
-                    max_penalty: fraction * value,
-                }
-            }
+            crate::config::BoundPolicy::ProportionalPenalty { fraction } => PenaltyBound::Bounded {
+                max_penalty: fraction * value,
+            },
         };
         let mut spec =
             TaskSpec::new(i as u64, submit, estimate, value, decay, bound).with_width(width);
@@ -192,10 +190,7 @@ mod tests {
 ";
 
     fn options() -> SwfOptions {
-        SwfOptions::new(
-            MixConfig::millennium_default().with_processors(16),
-            9,
-        )
+        SwfOptions::new(MixConfig::millennium_default().with_processors(16), 9)
     }
 
     #[test]
@@ -239,7 +234,11 @@ mod tests {
         let mut other = options();
         other.seed = 10;
         let c = parse_swf(SAMPLE, &other).unwrap();
-        assert!(a.tasks.iter().zip(&c.tasks).any(|(x, y)| x.value != y.value));
+        assert!(a
+            .tasks
+            .iter()
+            .zip(&c.tasks)
+            .any(|(x, y)| x.value != y.value));
     }
 
     #[test]

@@ -59,11 +59,14 @@ pub fn validate_trace(trace: &Trace) -> ValidationReport {
         if !t.arrival.as_f64().is_finite() || t.arrival.as_f64() < 0.0 {
             errors.push(format!("{id}: bad arrival {}", t.arrival));
         }
-        if !(t.runtime.as_f64() > 0.0) {
+        if t.runtime.as_f64() <= 0.0 || t.runtime.as_f64().is_nan() {
             errors.push(format!("{id}: non-positive runtime {}", t.runtime));
         }
-        if !(t.true_runtime.as_f64() > 0.0) {
-            errors.push(format!("{id}: non-positive true runtime {}", t.true_runtime));
+        if t.true_runtime.as_f64() <= 0.0 || t.true_runtime.as_f64().is_nan() {
+            errors.push(format!(
+                "{id}: non-positive true runtime {}",
+                t.true_runtime
+            ));
         }
         if !t.value.is_finite() || t.value < 0.0 {
             errors.push(format!("{id}: bad value {}", t.value));
@@ -160,8 +163,7 @@ mod tests {
         let mut tasks = Vec::new();
         for i in 0..20 {
             // Arrivals far apart → realized load tiny vs configured 1.0.
-            let mut t =
-                TaskSpec::new(i, i as f64 * 1000.0, 5.0, 10.0, 0.1, PenaltyBound::ZERO);
+            let mut t = TaskSpec::new(i, i as f64 * 1000.0, 5.0, 10.0, 0.1, PenaltyBound::ZERO);
             if i == 3 {
                 t = t.with_width(16); // wider than the 4-proc calibration
             }

@@ -11,9 +11,7 @@
 //! ```
 
 use mbts::core::{AdmissionPolicy, Policy};
-use mbts::market::{
-    BudgetConfig, ClientSelection, Economy, EconomyConfig, PricingStrategy,
-};
+use mbts::market::{BudgetConfig, ClientSelection, Economy, EconomyConfig, PricingStrategy};
 use mbts::site::SiteConfig;
 use mbts::workload::{generate_trace, MixConfig};
 

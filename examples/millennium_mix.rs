@@ -39,7 +39,11 @@ fn main() {
         .iter()
         .zip(&b.tasks)
         .all(|(x, y)| x.arrival == y.arrival && x.runtime == y.runtime && x.value == y.value);
-    let decay_changed = a.tasks.iter().zip(&b.tasks).any(|(x, y)| x.decay != y.decay);
+    let decay_changed = a
+        .tasks
+        .iter()
+        .zip(&b.tasks)
+        .any(|(x, y)| x.decay != y.decay);
     println!(
         "decay skew 3 → 9: arrivals/runtimes/values identical: {same_arrivals}; decays changed: {decay_changed}"
     );

@@ -10,8 +10,8 @@
 
 use mbts::core::value::{LinearDecay, ValueFunction};
 use mbts::core::{AdmissionPolicy, Policy};
-use mbts::site::{Site, SiteConfig};
 use mbts::sim::Time;
+use mbts::site::{Site, SiteConfig};
 use mbts::workload::{generate_trace, MixConfig, PenaltyBound};
 
 fn main() {
@@ -39,12 +39,19 @@ fn figure2() {
             let t = col as f64 * 2.0;
             let v = vf.value_at(Time::from(t));
             let step = (hi - lo) / 11.0;
-            line.push(if (v - level).abs() < step / 2.0 { '*' } else { ' ' });
+            line.push(if (v - level).abs() < step / 2.0 {
+                '*'
+            } else {
+                ' '
+            });
         }
         println!("{level:>8.1} |{line}");
     }
     println!("         +{}", "-".repeat(60));
-    println!("          t=0 … t=120 (expires at t={})\n", vf.expire_time());
+    println!(
+        "          t=0 … t=120 (expires at t={})\n",
+        vf.expire_time()
+    );
 }
 
 fn run_site() {

@@ -240,7 +240,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             let seed = int("--seed", 42)? as u64;
             let swf = get("--swf").map(PathBuf::from);
-            Ok(Command::Gen { out, mix, seed, swf })
+            Ok(Command::Gen {
+                out,
+                mix,
+                seed,
+                swf,
+            })
         }
         "run" => {
             let trace = PathBuf::from(get("--trace").ok_or("run requires --trace FILE")?);
@@ -352,8 +357,8 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             classes,
             audit,
         } => {
-            let trace = Trace::load(&trace)
-                .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+            let trace =
+                Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
             let outcome = Site::new(site.clone()).run_trace(&trace);
             let m = &outcome.metrics;
             writeln!(
@@ -415,14 +420,19 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             if let Some(path) = audit {
                 std::fs::write(&path, mbts_site::audit::to_jsonl(&outcome.audit))
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
-                writeln!(out, "audit log: {} events -> {}", outcome.audit.len(), path.display())
-                    .map_err(|e| e.to_string())?;
+                writeln!(
+                    out,
+                    "audit log: {} events -> {}",
+                    outcome.audit.len(),
+                    path.display()
+                )
+                .map_err(|e| e.to_string())?;
             }
             Ok(())
         }
         Command::Market { trace, economy } => {
-            let trace = Trace::load(&trace)
-                .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+            let trace =
+                Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
             let sites = economy.sites.len();
             let outcome = Economy::new(economy).run_trace(&trace);
             writeln!(
@@ -467,8 +477,8 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             write!(out, "{}", result.render()).map_err(|e| e.to_string())
         }
         Command::Validate { trace } => {
-            let trace = Trace::load(&trace)
-                .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+            let trace =
+                Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
             let report = mbts_workload::validate_trace(&trace);
             write!(out, "{}", report.render()).map_err(|e| e.to_string())?;
             if report.is_valid() {
@@ -477,19 +487,17 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 Err(format!("{} error(s) found", report.errors.len()))
             }
         }
-        Command::Policies => {
-            writeln!(
-                out,
-                "fcfs                       first-come-first-served (baseline)\n\
+        Command::Policies => writeln!(
+            out,
+            "fcfs                       first-come-first-served (baseline)\n\
                  srpt                       shortest remaining processing time (baseline)\n\
                  swpt                       decay/RPT — classic TWCT heuristic\n\
                  first-price                Millennium greedy unit gain (yield/RPT)\n\
                  edf                        earliest deadline first over expiration times\n\
                  pv:<rate>                  present-value discounted unit gain (paper §5.1)\n\
                  first-reward:<a>:<rate>    (a·PV − (1−a)·cost)/RPT — the paper's §5.3 heuristic"
-            )
-            .map_err(|e| e.to_string())
-        }
+        )
+        .map_err(|e| e.to_string()),
     }
 }
 
@@ -560,7 +568,12 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Gen { out, mix, seed, swf } => {
+            Command::Gen {
+                out,
+                mix,
+                seed,
+                swf,
+            } => {
                 assert!(swf.is_none());
                 assert_eq!(out, PathBuf::from("/tmp/t.json"));
                 assert_eq!(mix.num_tasks, 100);

@@ -103,8 +103,8 @@ fn first_reward_alpha_one_zero_discount_is_first_price() {
     // §5.3: with α = 1 and discount 0, FirstReward reduces to FirstPrice.
     let trace = generate_trace(&mix(1.3), 25);
     let fp = Site::new(SiteConfig::new(8).with_policy(Policy::FirstPrice)).run_trace(&trace);
-    let fr = Site::new(SiteConfig::new(8).with_policy(Policy::first_reward(1.0, 0.0)))
-        .run_trace(&trace);
+    let fr =
+        Site::new(SiteConfig::new(8).with_policy(Policy::first_reward(1.0, 0.0))).run_trace(&trace);
     assert_eq!(fp.metrics.total_yield, fr.metrics.total_yield);
 }
 

@@ -47,13 +47,23 @@ fn gang_workloads_with_preemption_and_admission() {
 #[test]
 fn load_calibration_accounts_for_width() {
     // With E[width] > 1 the arrival rate must slow down so that offered
-    // work still matches the load factor.
-    let wide = generate_trace(&gang_mix(1.0), 93);
-    let stats = wide.stats();
+    // work still matches the load factor. A single 400-task draw has
+    // noticeable variance, so check the mean over several seeds (the
+    // estimator must be unbiased) plus a loose per-seed band.
+    let mut mean = 0.0;
+    let seeds = 91..97u64;
+    let n = seeds.clone().count() as f64;
+    for seed in seeds {
+        let load = generate_trace(&gang_mix(1.0), seed).stats().offered_load;
+        assert!(
+            (load - 1.0).abs() < 0.3,
+            "offered load {load} (seed {seed}) far from 1.0"
+        );
+        mean += load / n;
+    }
     assert!(
-        (stats.offered_load - 1.0).abs() < 0.15,
-        "offered load {} should track 1.0",
-        stats.offered_load
+        (mean - 1.0).abs() < 0.1,
+        "mean offered load {mean} should track 1.0"
     );
 }
 
@@ -70,7 +80,10 @@ fn backfilling_improves_utilization_on_gang_mixes() {
     };
     let easy = run(true);
     let strict = run(false);
-    assert!(easy.metrics.backfills > 0, "gang mix must trigger backfills");
+    assert!(
+        easy.metrics.backfills > 0,
+        "gang mix must trigger backfills"
+    );
     assert_eq!(strict.metrics.backfills, 0);
     // Backfilling reduces average delay (fills idle holes).
     assert!(
@@ -100,16 +113,11 @@ fn swf_imported_trace_runs_end_to_end() {
             req_time
         ));
     }
-    let opts = SwfOptions::new(
-        MixConfig::millennium_default().with_processors(8),
-        5,
-    );
+    let opts = SwfOptions::new(MixConfig::millennium_default().with_processors(8), 5);
     let trace = parse_swf(&swf, &opts).unwrap();
     assert_eq!(trace.len(), 60);
-    let out = Site::new(
-        SiteConfig::new(8).with_policy(Policy::first_reward(0.3, 0.01)),
-    )
-    .run_trace(&trace);
+    let out = Site::new(SiteConfig::new(8).with_policy(Policy::first_reward(0.3, 0.01)))
+        .run_trace(&trace);
     assert_eq!(out.metrics.completed, 60);
     // Misestimation is live: estimates (req_time) exceed true runtimes.
     assert!(trace

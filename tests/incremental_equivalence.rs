@@ -1,0 +1,212 @@
+//! The incremental scheduling core is an optimization, not a behavior
+//! change: with `incremental = true` (the default) the site must produce
+//! byte-identical results to the rebuild-per-event baseline
+//! (`with_incremental(false)`), and the pool-driven dynamic candidate
+//! builder must emit the exact schedule a from-scratch rescore emits —
+//! same picks, same tie-breaks, same floating-point bits.
+
+use mbts::core::{
+    build_candidate, AdmissionPolicy, CostModel, Job, Policy, ScheduleEntry, ScheduleMode, ScoreCtx,
+};
+use mbts::sim::Time;
+use mbts::site::{Site, SiteConfig};
+use mbts::workload::{generate_trace, BoundPolicy, MixConfig, WidthPolicy};
+
+/// Every dispatch policy the paper evaluates.
+fn all_policies() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("fcfs", Policy::Fcfs),
+        ("srpt", Policy::Srpt),
+        ("swpt", Policy::Swpt),
+        ("first_price", Policy::FirstPrice),
+        ("edf", Policy::EarliestDeadline),
+        ("pv", Policy::pv(0.01)),
+        ("first_reward", Policy::first_reward(0.3, 0.01)),
+    ]
+}
+
+fn assert_sites_equivalent(cfg: SiteConfig, mix: &MixConfig, seed: u64, label: &str) {
+    let trace = generate_trace(mix, seed);
+    let fast = Site::new(cfg.clone()).run_trace(&trace);
+    let slow = Site::new(cfg.with_incremental(false)).run_trace(&trace);
+    assert_eq!(
+        fast.outcomes, slow.outcomes,
+        "outcomes diverged: {label} seed {seed}"
+    );
+    assert_eq!(
+        fast.metrics.total_yield.to_bits(),
+        slow.metrics.total_yield.to_bits(),
+        "total yield diverged: {label} seed {seed}"
+    );
+}
+
+#[test]
+fn incremental_site_matches_rebuild_for_every_policy() {
+    let mix = MixConfig::millennium_default()
+        .with_tasks(300)
+        .with_processors(4)
+        .with_load_factor(1.6);
+    for (label, policy) in all_policies() {
+        for seed in [11, 12, 13] {
+            let cfg = SiteConfig::new(4).with_policy(policy);
+            assert_sites_equivalent(cfg, &mix, seed, label);
+        }
+    }
+}
+
+#[test]
+fn incremental_site_matches_rebuild_with_preemption_and_admission() {
+    let mix = MixConfig::millennium_default()
+        .with_tasks(250)
+        .with_processors(4)
+        .with_load_factor(2.0)
+        .with_bound(BoundPolicy::ZeroFloor);
+    for (label, policy) in all_policies() {
+        let cfg = SiteConfig::new(4)
+            .with_policy(policy)
+            .with_preemption(true)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 150.0 });
+        assert_sites_equivalent(cfg, &mix, 21, label);
+    }
+}
+
+#[test]
+fn incremental_site_matches_rebuild_on_gang_workloads() {
+    // Gangs exercise the backfilling path, which walks the full score
+    // vector — the pool materializes it lazily only on this path.
+    let mix = MixConfig::millennium_default()
+        .with_tasks(250)
+        .with_processors(8)
+        .with_load_factor(1.8)
+        .with_width(WidthPolicy::PowersOfTwo { max_exp: 3 });
+    for (label, policy) in all_policies() {
+        for backfilling in [true, false] {
+            let cfg = SiteConfig::new(8)
+                .with_policy(policy)
+                .with_backfilling(backfilling);
+            assert_sites_equivalent(cfg, &mix, 31, label);
+        }
+    }
+}
+
+#[test]
+fn incremental_site_matches_rebuild_with_bounded_penalties_and_expiry() {
+    // Bounded penalties give finite expiry windows, so the incremental
+    // cost model's BTree path and the expired-entry skip both engage;
+    // drop_expired removes tasks from the middle of the pool.
+    let mix = MixConfig::millennium_default()
+        .with_tasks(300)
+        .with_processors(4)
+        .with_load_factor(2.2)
+        .with_bound(BoundPolicy::ProportionalPenalty { fraction: 0.5 });
+    for (label, policy) in all_policies() {
+        for drop_expired in [false, true] {
+            let cfg = SiteConfig::new(4)
+                .with_policy(policy)
+                .with_drop_expired(drop_expired);
+            assert_sites_equivalent(cfg, &mix, 41, label);
+        }
+    }
+}
+
+/// The pre-pool dynamic layout algorithm, verbatim: rescore the whole
+/// remaining queue (rebuilding the cost model) at every dispatch
+/// instant, pick the argmax, and place it on the earliest-free
+/// processors via the original repeated-min scan.
+fn reference_dynamic(policy: &Policy, free: &mut [Time], jobs: &[Job]) -> Vec<ScheduleEntry> {
+    let mut remaining: Vec<Job> = jobs.to_vec();
+    let mut entries = Vec::with_capacity(jobs.len());
+    while !remaining.is_empty() {
+        let now = free.iter().copied().min().expect("non-empty");
+        let model = if policy.needs_cost_model() {
+            Some(CostModel::build(now, &remaining))
+        } else {
+            None
+        };
+        let ctx = match &model {
+            Some(m) => ScoreCtx::with_cost(now, m),
+            None => ScoreCtx::simple(now),
+        };
+        let best = policy.select(&remaining, &ctx).expect("non-empty queue");
+        let job = remaining.swap_remove(best);
+
+        // Original placement: width × processors repeated-min scan.
+        let width = job.spec.width;
+        let mut chosen: Vec<usize> = Vec::with_capacity(width);
+        for _ in 0..width {
+            let mut best_p = usize::MAX;
+            for (i, t) in free.iter().enumerate() {
+                if chosen.contains(&i) {
+                    continue;
+                }
+                if best_p == usize::MAX || *t < free[best_p] {
+                    best_p = i;
+                }
+            }
+            chosen.push(best_p);
+        }
+        let start = chosen.iter().map(|&i| free[i]).max().expect("width >= 1");
+        let completion = start + job.rpt;
+        for &i in &chosen {
+            free[i] = completion;
+        }
+        entries.push(ScheduleEntry {
+            id: job.id(),
+            start,
+            completion,
+            expected_yield: job.spec.yield_at(completion),
+            decay: job.spec.decay,
+        });
+    }
+    entries
+}
+
+#[test]
+fn dynamic_candidate_matches_from_scratch_rescore_bit_for_bit() {
+    let mix = MixConfig::millennium_default()
+        .with_tasks(120)
+        .with_processors(6)
+        .with_load_factor(1.5)
+        .with_width(WidthPolicy::PowersOfTwo { max_exp: 2 })
+        .with_bound(BoundPolicy::ProportionalPenalty { fraction: 0.4 });
+    for (label, policy) in all_policies() {
+        for seed in [7, 8, 9] {
+            let trace = generate_trace(&mix, seed);
+            let now = Time::new(5.0);
+            let jobs: Vec<Job> = trace.tasks.iter().map(|s| Job::new(*s)).collect();
+            // Staggered free times so placement order matters.
+            let free: Vec<Time> = (0..6).map(|i| Time::new(i as f64 * 0.75)).collect();
+
+            let candidate = build_candidate(&policy, ScheduleMode::Dynamic, now, &free, &jobs);
+            let mut ref_free: Vec<Time> = free.iter().map(|&t| t.max(now)).collect();
+            let expected = reference_dynamic(&policy, &mut ref_free, &jobs);
+
+            assert_eq!(
+                candidate.entries.len(),
+                expected.len(),
+                "entry count diverged: {label} seed {seed}"
+            );
+            for (got, want) in candidate.entries.iter().zip(&expected) {
+                assert_eq!(got.id, want.id, "pick order diverged: {label} seed {seed}");
+                assert_eq!(
+                    got.start.as_f64().to_bits(),
+                    want.start.as_f64().to_bits(),
+                    "start diverged for {}: {label} seed {seed}",
+                    got.id
+                );
+                assert_eq!(
+                    got.completion.as_f64().to_bits(),
+                    want.completion.as_f64().to_bits(),
+                    "completion diverged for {}: {label} seed {seed}",
+                    got.id
+                );
+                assert_eq!(
+                    got.expected_yield.to_bits(),
+                    want.expected_yield.to_bits(),
+                    "yield diverged for {}: {label} seed {seed}",
+                    got.id
+                );
+            }
+        }
+    }
+}

@@ -2,9 +2,7 @@
 //! across the whole stack.
 
 use mbts::core::{AdmissionPolicy, Policy};
-use mbts::market::{
-    BudgetConfig, ClientSelection, Economy, EconomyConfig, PricingStrategy,
-};
+use mbts::market::{BudgetConfig, ClientSelection, Economy, EconomyConfig, PricingStrategy};
 use mbts::site::SiteConfig;
 use mbts::workload::{generate_trace, MixConfig, Trace};
 
@@ -37,9 +35,7 @@ fn settlements_match_site_yields() {
     // Every contract settled; the sum of settlements equals the sum of
     // value-function yields recorded by the sites.
     assert!(out.contracts.iter().all(|c| c.is_settled()));
-    assert!(
-        (out.total_settled - out.total_yield()).abs() < 1e-6 * (1.0 + out.total_yield().abs())
-    );
+    assert!((out.total_settled - out.total_yield()).abs() < 1e-6 * (1.0 + out.total_yield().abs()));
     // Conservation across the market.
     assert_eq!(out.offered, t.len());
     assert_eq!(out.placed + out.unplaced + out.unfunded, out.offered);
@@ -85,8 +81,7 @@ fn unplaced_tasks_do_not_create_contracts_or_yield() {
     assert!(out.unplaced > 0);
     assert_eq!(out.contracts.len(), out.placed);
     assert_eq!(
-        out.per_site[0].metrics.accepted,
-        out.placed,
+        out.per_site[0].metrics.accepted, out.placed,
         "the single site's accepts are exactly the placements"
     );
 }
@@ -158,7 +153,10 @@ fn heterogeneous_sites_split_the_market() {
     let out = Economy::new(cfg).run_trace(&t);
     let big = out.per_site[0].metrics.accepted;
     let small = out.per_site[1].metrics.accepted;
-    assert!(big > small, "the larger site ({big}) should win more than the smaller ({small})");
+    assert!(
+        big > small,
+        "the larger site ({big}) should win more than the smaller ({small})"
+    );
     assert!(small > 0, "the smaller site still wins some placements");
 }
 

@@ -21,9 +21,8 @@ fn arb_selection() -> impl Strategy<Value = ClientSelection> {
 fn arb_pricing() -> impl Strategy<Value = PricingStrategy> {
     prop_oneof![
         Just(PricingStrategy::PayBid),
-        (0.0f64..=1.0).prop_map(|reserve_fraction| PricingStrategy::SecondPrice {
-            reserve_fraction
-        }),
+        (0.0f64..=1.0)
+            .prop_map(|reserve_fraction| PricingStrategy::SecondPrice { reserve_fraction }),
     ]
 }
 

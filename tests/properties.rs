@@ -29,10 +29,7 @@ fn arb_bound() -> impl Strategy<Value = BoundPolicy> {
 fn arb_width() -> impl Strategy<Value = WidthPolicy> {
     prop_oneof![
         Just(WidthPolicy::One),
-        (1usize..3, 0usize..4).prop_map(|(lo, extra)| WidthPolicy::Uniform {
-            lo,
-            hi: lo + extra,
-        }),
+        (1usize..3, 0usize..4).prop_map(|(lo, extra)| WidthPolicy::Uniform { lo, hi: lo + extra }),
         (0u32..3).prop_map(|max_exp| WidthPolicy::PowersOfTwo { max_exp }),
     ]
 }

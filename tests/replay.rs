@@ -25,7 +25,10 @@ fn trace_json_roundtrip_preserves_simulation_results() {
         .with_preemption(true);
     let a = Site::new(cfg.clone()).run_trace(&original);
     let b = Site::new(cfg).run_trace(&replayed);
-    assert_eq!(a.metrics.total_yield.to_bits(), b.metrics.total_yield.to_bits());
+    assert_eq!(
+        a.metrics.total_yield.to_bits(),
+        b.metrics.total_yield.to_bits()
+    );
     assert_eq!(a.outcomes, b.outcomes);
 }
 
@@ -58,20 +61,22 @@ fn generator_is_stable_across_releases() {
     let t = generate_trace(&mix(), 2024);
     let first = &t.tasks[0];
     // Pin to 6 significant digits — enough to catch any algorithmic
-    // change while robust to doc formatting.
+    // change while robust to doc formatting. The reference stream is
+    // defined by the vendored `rand` shim (vendor/rand), which is part
+    // of this repository and therefore stable across environments.
     assert_eq!(first.arrival.as_f64(), 0.0);
     assert!(
-        (first.runtime.as_f64() - 208.937951).abs() < 1e-5,
+        (first.runtime.as_f64() - 19.766773).abs() < 1e-5,
         "runtime drifted: {}",
         first.runtime
     );
     assert!(
-        (first.value - 424.759790).abs() < 1e-5,
+        (first.value - 15.790429).abs() < 1e-5,
         "value drifted: {}",
         first.value
     );
     assert!(
-        (first.decay - 0.291383).abs() < 1e-5,
+        (first.decay - 1.518003).abs() < 1e-5,
         "decay drifted: {}",
         first.decay
     );

@@ -1,0 +1,102 @@
+//! Vendored, dependency-free subset of the `crossbeam` API.
+//!
+//! The workspace builds offline (no registry access), so the external
+//! crates it references are vendored as minimal shims under `vendor/`.
+//! Only the surface the workspace actually uses is provided: here that is
+//! `crossbeam::channel::unbounded`, backed by `std::sync::mpsc`. The mpsc
+//! `Sender` is `Clone + Send`, and since Rust 1.72 `Receiver` iteration
+//! matches crossbeam's (blocking until all senders drop), so the fan-out
+//! pattern in `mbts-experiments::harness` works unchanged.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel. Cloneable; the channel
+    /// closes when every clone is dropped.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Error returned when the receiving side has disconnected.
+    pub struct SendError<T>(pub T);
+
+    // Like upstream, `Debug` does not require `T: Debug`.
+    impl<T> std::fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Receiving half of an unbounded channel. Iterating blocks until a
+    /// message arrives and ends once all senders are dropped.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; `Err` once the channel is closed and empty.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocking iterator over remaining messages.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// Error returned when the channel is closed and drained.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    /// Creates an unbounded MPSC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fan_in_from_scoped_threads() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let tx = tx.clone();
+                scope.spawn(move || tx.send(i).unwrap());
+            }
+        });
+        drop(tx);
+        let mut got: Vec<usize> = rx.into_iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2, 3]);
+    }
+}

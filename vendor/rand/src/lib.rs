@@ -1,0 +1,264 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! Provides exactly the surface this workspace uses: `rand::rngs::StdRng`
+//! keyed by a 32-byte seed via [`SeedableRng::from_seed`], and the [`Rng`]
+//! extension trait with `gen::<u64>()`, `gen::<f64>()` (uniform in
+//! `[0, 1)`), and `gen_range` over half-open and inclusive integer/float
+//! ranges. The generator is xoshiro256** (Blackman & Vigna), a
+//! high-quality non-cryptographic PRNG; determinism per seed is the only
+//! contract the simulator depends on (streams are derived upstream with
+//! SplitMix64, see `mbts-sim::rng`).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: a source of 64 random bits per step.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Seed material (always `[u8; 32]` for [`rngs::StdRng`]).
+    type Seed;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+}
+
+/// User-facing sampling methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from its standard distribution
+    /// (`u64`/`u32`: uniform over the full range; `f64`: uniform in
+    /// `[0, 1)` with 53 bits of precision; `bool`: fair coin).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `range` (half-open `lo..hi` or inclusive
+    /// `lo..=hi`).
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable from their "standard" distribution via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable via [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        // Closed-interval scaling; endpoint hit has measure ~2^-53.
+        lo + f64::sample(rng) * (hi - lo)
+    }
+}
+
+/// Uniform integer draw from `[0, n)` via Lemire-style widening multiply
+/// (bias ≤ 2^-64; acceptable for a simulation shim, and deterministic).
+fn uniform_below<R: RngCore>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impls!(u32, u64, usize);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256**,
+    /// seeded from 32 bytes. (Upstream `rand` uses ChaCha12 here; this
+    /// shim only guarantees determinism and statistical quality, not
+    /// upstream's exact stream.)
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s == [0u64; 4] {
+                // xoshiro must not start at the all-zero state.
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    fn rng(tag: u8) -> StdRng {
+        StdRng::from_seed([tag; 32])
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..8).map(|_| rng(1).next(0)).collect();
+        let b: Vec<u64> = (0..8).map(|_| rng(1).next(0)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, (0..8).map(|_| rng(2).next(0)).collect::<Vec<_>>());
+    }
+
+    trait Step {
+        fn next(self, skip: usize) -> u64;
+    }
+    impl Step for StdRng {
+        fn next(mut self, skip: usize) -> u64 {
+            for _ in 0..skip {
+                self.gen::<u64>();
+            }
+            self.gen::<u64>()
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = rng(3);
+        for _ in 0..10_000 {
+            let u: f64 = r.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng(4);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3usize..=9);
+            assert!((3..=9).contains(&x));
+            let y = r.gen_range(0u32..=4);
+            assert!(y <= 4);
+            let z = r.gen_range(-2.0f64..5.0);
+            assert!((-2.0..5.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn integer_draws_cover_the_range() {
+        let mut r = rng(5);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn all_zero_seed_is_usable() {
+        let mut r = StdRng::from_seed([0u8; 32]);
+        let a: u64 = r.gen();
+        let b: u64 = r.gen();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,555 @@
+//! Vendored `serde_derive` shim: `#[derive(Serialize, Deserialize)]`
+//! without syn/quote, by walking the raw [`proc_macro::TokenStream`].
+//!
+//! Supported input shapes — exactly what this workspace declares:
+//!
+//! * named-field structs (with `#[serde(default)]` and
+//!   `#[serde(default = "path")]` field attributes),
+//! * tuple structs (newtypes serialize as their inner value, matching
+//!   upstream; `#[serde(transparent)]` is accepted and means the same),
+//! * enums with unit variants (serialized as the variant-name string),
+//!   struct variants and newtype variants (externally tagged single-key
+//!   objects) — upstream serde_json's default representation.
+//!
+//! Generics, `where` clauses, and other serde attributes are rejected
+//! with a compile error naming the construct, so unsupported usage fails
+//! loudly instead of serializing wrongly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---- parsed shape ----------------------------------------------------
+
+struct Input {
+    name: String,
+    data: Data,
+}
+
+enum Data {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+enum Fields {
+    Named(Vec<Field>),
+    /// Tuple struct/variant with this arity.
+    Tuple(usize),
+    Unit,
+}
+
+struct Field {
+    name: String,
+    default: Option<DefaultAttr>,
+}
+
+enum DefaultAttr {
+    /// `#[serde(default)]`
+    DefaultTrait,
+    /// `#[serde(default = "path")]`
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+// ---- token helpers ---------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consumes one attribute (`# [ ... ]`), returning its bracket body.
+    /// Assumes the caller saw `#` at the cursor.
+    fn take_attr(&mut self) -> TokenStream {
+        let hash = self.next();
+        debug_assert!(matches!(hash, Some(TokenTree::Punct(ref p)) if p.as_char() == '#'));
+        match self.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g.stream(),
+            other => panic!("malformed attribute after `#`: {other:?}"),
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, etc.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Returns the serde attribute arguments if `attr_body` is `serde(...)`,
+/// e.g. the tokens `default = "path"` for `#[serde(default = "path")]`.
+fn serde_attr_args(attr_body: &TokenStream) -> Option<TokenStream> {
+    let toks: Vec<TokenTree> = attr_body.clone().into_iter().collect();
+    match toks.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(g)]
+            if id.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            Some(g.stream())
+        }
+        _ => None,
+    }
+}
+
+/// Parses the arguments of one `#[serde(...)]` attribute into flags.
+struct SerdeArgs {
+    transparent: bool,
+    default: Option<DefaultAttr>,
+}
+
+fn parse_serde_args(args: TokenStream) -> SerdeArgs {
+    let mut out = SerdeArgs {
+        transparent: false,
+        default: None,
+    };
+    let mut c = Cursor::new(args);
+    while let Some(tt) = c.next() {
+        match tt {
+            TokenTree::Ident(id) => match id.to_string().as_str() {
+                "transparent" => out.transparent = true,
+                "default" => {
+                    // Bare `default`, or `default = "path"`.
+                    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+                        c.next();
+                        match c.next() {
+                            Some(TokenTree::Literal(lit)) => {
+                                let s = lit.to_string();
+                                let path = s.trim_matches('"').to_string();
+                                out.default = Some(DefaultAttr::Path(path));
+                            }
+                            other => panic!("expected string after `default =`, got {other:?}"),
+                        }
+                    } else {
+                        out.default = Some(DefaultAttr::DefaultTrait);
+                    }
+                }
+                other => panic!(
+                    "vendored serde_derive does not support `#[serde({other})]`; \
+                     extend vendor/serde_derive if the workspace needs it"
+                ),
+            },
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("unexpected token in #[serde(...)]: {other}"),
+        }
+    }
+    out
+}
+
+// ---- item parsing ----------------------------------------------------
+
+fn parse_input(input: TokenStream) -> (Input, bool) {
+    let mut c = Cursor::new(input);
+    let mut transparent = false;
+    // Container attributes.
+    while matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let body = c.take_attr();
+        if let Some(args) = serde_attr_args(&body) {
+            let parsed = parse_serde_args(args);
+            transparent |= parsed.transparent;
+        }
+    }
+    c.skip_visibility();
+    let kind = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match c.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let data = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Struct(Fields::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::Struct(Fields::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Data::Struct(Fields::Unit),
+            other => panic!("unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("cannot derive for `{other} {name}` (unions unsupported)"),
+    };
+    (Input { name, data }, transparent)
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(body);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let mut default = None;
+        while matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            let attr = c.take_attr();
+            if let Some(args) = serde_attr_args(&attr) {
+                let parsed = parse_serde_args(args);
+                if parsed.default.is_some() {
+                    default = parsed.default;
+                }
+            }
+        }
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut c);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma.
+/// Commas inside `<...>` generic argument lists don't terminate the type;
+/// group tokens (parens/brackets/braces) are opaque single trees.
+fn skip_type(c: &mut Cursor) {
+    let mut angle_depth = 0usize;
+    while let Some(tt) = c.next() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut c = Cursor::new(body);
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0usize;
+    while let Some(tt) = c.next() {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    count += 1;
+                    // A trailing comma doesn't add a field.
+                    if c.at_end() {
+                        return count;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(body);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        while matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            // Variant attrs (#[default], doc comments) are inert here.
+            c.take_attr();
+        }
+        if c.at_end() {
+            break;
+        }
+        let name = match c.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                c.next();
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                c.next();
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        match c.next() {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            other => panic!("expected `,` after variant `{name}`, got {other:?}"),
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---- code generation -------------------------------------------------
+
+/// `#[derive(Serialize)]` entry point.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (input, transparent) = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            if transparent {
+                assert!(
+                    fields.len() == 1,
+                    "#[serde(transparent)] requires exactly one field on {name}"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                serialize_named_fields(fields, "self.", "")
+            }
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            // Newtype structs serialize as their inner value (upstream
+            // default; `transparent` means the same here).
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Data::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(\"{vname}\".to_string()),\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vname}(__x0) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Serialize::to_value(__x0))]),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), ::serde::Value::Array(vec![{items}]))]),\n",
+                            binds = binds.join(", "),
+                            items = items.join(", "),
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                        let inner = serialize_named_fields(fields, "", "");
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(vec![(\
+                             \"{vname}\".to_string(), {inner})]),\n",
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Serialize impl parses")
+}
+
+/// Builds a `Value::Object(...)` expression over named fields. `prefix`
+/// is prepended to each field access (`self.` for structs, empty for
+/// match-bound variant fields); `deref` optionally dereferences binds.
+fn serialize_named_fields(fields: &[Field], prefix: &str, deref: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value({deref}&{prefix}{n}))",
+                n = f.name
+            )
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+/// `#[derive(Deserialize)]` entry point.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (input, transparent) = parse_input(input);
+    let name = &input.name;
+    let body = match &input.data {
+        Data::Struct(Fields::Named(fields)) => {
+            if transparent {
+                assert!(
+                    fields.len() == 1,
+                    "#[serde(transparent)] requires exactly one field on {name}"
+                );
+                format!(
+                    "Ok({name} {{ {f}: ::serde::Deserialize::from_value(__v)? }})",
+                    f = fields[0].name
+                )
+            } else {
+                let inits = deserialize_named_fields(name, fields);
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(format!(\"expected object for {name}, found {{}}\", __v.kind())))?;\n\
+                     Ok({name} {{\n{inits}}})"
+                )
+            }
+        }
+        Data::Struct(Fields::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Data::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| \
+                         ::serde::Error::custom(\"array too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __items = match __v {{ ::serde::Value::Array(items) => items, other => \
+                 return Err(::serde::Error::custom(format!(\"expected array for {name}, found {{}}\", other.kind()))) }};\n\
+                 Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Data::Struct(Fields::Unit) => format!("Ok({name})"),
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    Fields::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    Fields::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(__items.get({i}).ok_or_else(|| \
+                                     ::serde::Error::custom(\"array too short for {name}::{vname}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __items = match __inner {{ \
+                             ::serde::Value::Array(items) => items, other => \
+                             return Err(::serde::Error::custom(format!(\
+                             \"expected array for {name}::{vname}, found {{}}\", other.kind()))) }}; \
+                             Ok({name}::{vname}({items})) }}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let inits = deserialize_named_fields(&format!("{name}::{vname}"), fields);
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{ let __obj = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(format!(\"expected object for {name}::{vname}, found {{}}\", __inner.kind())))?; \
+                             Ok({name}::{vname} {{\n{inits}}}) }}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n}},\n\
+                 other => {{\n\
+                 let (__tag, __inner) = other.as_single_object().ok_or_else(|| \
+                 ::serde::Error::custom(format!(\"expected {name} variant, found {{}}\", other.kind())))?;\n\
+                 match __tag {{\n{tagged_arms}\
+                 other => Err(::serde::Error::custom(format!(\"unknown {name} variant `{{other}}`\"))),\n}}\n}}\n}}"
+            )
+        }
+    };
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    );
+    out.parse().expect("generated Deserialize impl parses")
+}
+
+/// Builds `field: <expr>,` initializer lines reading from `__obj`.
+fn deserialize_named_fields(ty_label: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let n = &f.name;
+        let missing = match &f.default {
+            None => format!("return Err(::serde::Error::missing_field(\"{n}\", \"{ty_label}\"))"),
+            Some(DefaultAttr::DefaultTrait) => "::std::default::Default::default()".to_string(),
+            Some(DefaultAttr::Path(path)) => format!("{path}()"),
+        };
+        out.push_str(&format!(
+            "{n}: match ::serde::get_field(__obj, \"{n}\") {{\n\
+             Some(__fv) => ::serde::Deserialize::from_value(__fv)?,\n\
+             None => {missing},\n}},\n"
+        ));
+    }
+    out
+}
