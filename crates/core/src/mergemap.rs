@@ -218,6 +218,86 @@ mod tests {
         assert_eq!(collect(&m)[17], (17, 9));
     }
 
+    proptest::proptest! {
+        /// Satellite invariant: after ANY interleaving of inserts,
+        /// removes, and in-place mutations, the map holds exactly the
+        /// entries a `BTreeMap` oracle does and iterates them in the
+        /// same key order. Small key range → heavy collision/tombstone
+        /// churn exercising both compaction triggers.
+        #[test]
+        fn random_ops_match_btreemap_oracle(
+            ops in proptest::collection::vec((0u8..4u8, 0u64..64, 0u64..1000), 1..400),
+        ) {
+            let mut m = MergeMap::new();
+            let mut oracle = BTreeMap::new();
+            for &(op, key, val) in &ops {
+                match op {
+                    // Bias toward inserts so the map actually grows.
+                    0 | 1 => {
+                        oracle.entry(key).or_insert_with(|| {
+                            m.insert(key, val);
+                            val
+                        });
+                    }
+                    2 => {
+                        proptest::prop_assert_eq!(m.remove(&key), oracle.remove(&key));
+                    }
+                    _ => {
+                        let want = oracle.get_mut(&key);
+                        let got = m.get_mut(&key);
+                        proptest::prop_assert_eq!(got.is_some(), want.is_some());
+                        if let (Some(g), Some(w)) = (got, want) {
+                            *g = val;
+                            *w = val;
+                        }
+                    }
+                }
+                proptest::prop_assert_eq!(m.len(), oracle.len());
+                proptest::prop_assert_eq!(m.is_empty(), oracle.is_empty());
+            }
+            let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            proptest::prop_assert_eq!(collect(&m), want);
+        }
+
+        /// Tombstone-heavy phases: bulk insert (folding the overlay into
+        /// the main run), remove most of the keys (tripping the
+        /// half-dead compaction), then re-insert a subset of the removed
+        /// keys. The oracle must agree after every phase.
+        #[test]
+        fn tombstone_heavy_compaction_matches_oracle(
+            n in 32u64..200,
+            keep_mod in 2u64..7,
+            reinsert in proptest::collection::vec(0u64..200, 0..60),
+        ) {
+            let mut m = MergeMap::new();
+            let mut oracle = BTreeMap::new();
+            for k in 0..n {
+                m.insert(k, k * 3);
+                oracle.insert(k, k * 3);
+            }
+            let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            proptest::prop_assert_eq!(collect(&m), want);
+
+            for k in 0..n {
+                if k % keep_mod != 0 {
+                    proptest::prop_assert_eq!(m.remove(&k), oracle.remove(&k));
+                }
+            }
+            proptest::prop_assert_eq!(m.len(), oracle.len());
+            let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            proptest::prop_assert_eq!(collect(&m), want);
+
+            for &k in &reinsert {
+                oracle.entry(k).or_insert_with(|| {
+                    m.insert(k, k + 10_000);
+                    k + 10_000
+                });
+            }
+            let want: Vec<(u64, u64)> = oracle.iter().map(|(&k, &v)| (k, v)).collect();
+            proptest::prop_assert_eq!(collect(&m), want);
+        }
+    }
+
     #[test]
     fn matches_btreemap_through_random_ops() {
         // Deterministic mixed workload; the reference is a BTreeMap.

@@ -19,9 +19,11 @@
 //! | Admission control vs load factor | Fig. 6 | [`figures::fig6()`](figures::fig6()) |
 //! | Slack-threshold sweep per load | Fig. 7 | [`figures::fig7()`](figures::fig7()) |
 //! | Preemption / admission / schedule-mode / misestimation ablations | §5–6 design choices | [`ablations`] |
+//! | Per-policy yield vs processor failure rate (fault injection) | robustness study | [`faults::fault_sweep()`](faults::fault_sweep()) |
 
 pub mod ablations;
 pub mod compare;
+pub mod faults;
 pub mod figures;
 pub mod harness;
 pub mod report;

@@ -1,7 +1,7 @@
 //! `mbts-experiments` — CLI regenerating the paper's evaluation.
 //!
 //! ```text
-//! mbts-experiments <fig3|fig4|fig5|fig6|fig7|all|ablate [NAME]> [options]
+//! mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|all|ablate [NAME]> [options]
 //!   --quick          reduced scale (1200 tasks, 3 seeds)
 //!   --smoke          tiny scale for CI (250 tasks, 2 seeds)
 //!   --tasks N        trace length (default 5000, as in the paper)
@@ -13,7 +13,7 @@
 
 use mbts_experiments::harness::ExpParams;
 use mbts_experiments::report::FigureResult;
-use mbts_experiments::{ablations, figures};
+use mbts_experiments::{ablations, faults, figures};
 use std::path::PathBuf;
 
 struct Cli {
@@ -75,7 +75,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 fn usage() -> String {
-    "usage: mbts-experiments <fig3|fig4|fig5|fig6|fig7|all|ablate> \
+    "usage: mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|all|ablate> \
      [--quick|--smoke] [--tasks N] [--seeds N] [--processors N] [--out DIR] [--plot]"
         .to_string()
 }
@@ -113,6 +113,7 @@ fn main() {
         "fig5" => vec![figures::fig5(&cli.params)],
         "fig6" => vec![figures::fig6(&cli.params)],
         "fig7" => vec![figures::fig7(&cli.params)],
+        "faults" => vec![faults::fault_sweep(&cli.params)],
         "all" => vec![
             figures::fig3(&cli.params),
             figures::fig4(&cli.params),

@@ -18,8 +18,10 @@ use crate::bid::{ClientSelection, ServerBid, TaskBid};
 use crate::budget::{Account, BudgetConfig};
 use crate::contract::{Contract, ContractTerms};
 use crate::pricing::PricingStrategy;
-use mbts_sim::{rng::splitmix64, Engine, EventQueue, Model, Time};
-use mbts_site::{CompletionToken, SiteConfig, SiteOutcome, SiteState};
+use mbts_sim::{
+    rng::splitmix64, Engine, EventQueue, FaultConfig, FaultInjector, FaultUnit, Model, Time,
+};
+use mbts_site::{AuditViolation, CompletionToken, SiteConfig, SiteOutcome, SiteState};
 use mbts_workload::{TaskSpec, Trace};
 use std::collections::HashMap;
 
@@ -37,6 +39,45 @@ pub struct MigrationConfig {
     pub grace: f64,
     /// How many times a cancelled task may be re-bid to the market.
     pub max_attempts: u32,
+}
+
+/// Fault-injection parameters for an economy run.
+///
+/// A **processor** fault shrinks the site's capacity by one (running work
+/// evicted per the site's [`mbts_site::LostWorkPolicy`]); a **site** fault
+/// takes the whole site down: every queued task is orphaned back to its
+/// client, the contract settles as a breach (the penalty charged against
+/// the site's revenue account), and the client re-enters negotiation with
+/// exponential backoff under a bounded re-bid budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MarketFaultConfig {
+    /// What fails and how often (per processor / per site).
+    pub faults: FaultConfig,
+    /// Seed for the injector's independent per-unit streams.
+    pub seed: u64,
+    /// Base delay before an orphaned task re-bids; doubles per failed
+    /// attempt (exponential backoff).
+    pub orphan_backoff: f64,
+    /// Re-bid budget per orphaning: after this many failed rounds the
+    /// task is abandoned.
+    pub orphan_max_rebids: u32,
+    /// Upper bound on crash events across the whole run (livelock
+    /// backstop for pathological MTTF draws).
+    pub max_crashes: u64,
+}
+
+impl MarketFaultConfig {
+    /// A config with default backoff (60 t.u., 5 re-bids) and crash
+    /// budget (10 000 events).
+    pub fn new(faults: FaultConfig, seed: u64) -> Self {
+        MarketFaultConfig {
+            faults,
+            seed,
+            orphan_backoff: 60.0,
+            orphan_max_rebids: 5,
+            max_crashes: 10_000,
+        }
+    }
 }
 
 /// Client retry behaviour for tasks every site rejected.
@@ -67,6 +108,8 @@ pub struct EconomyConfig {
     /// Client retry/backoff for rejected tasks; `None` = patient clients
     /// give up after one round (the default).
     pub retry: Option<RetryConfig>,
+    /// Crash/repair injection; `None` = reliable hardware (the default).
+    pub faults: Option<MarketFaultConfig>,
     /// Seed for the economy's own randomness (random client selection).
     pub seed: u64,
 }
@@ -82,6 +125,7 @@ impl EconomyConfig {
             migration: None,
             terms: ContractTerms::default(),
             retry: None,
+            faults: None,
             seed: 0,
         }
     }
@@ -114,6 +158,22 @@ pub struct EconomyOutcome {
     pub abandoned: usize,
     /// Per-client total spend (empty when budgets are disabled).
     pub client_spend: Vec<f64>,
+    /// Crash events applied (fault injection enabled).
+    pub crashes: u64,
+    /// Repair events applied.
+    pub repairs: u64,
+    /// Queued tasks orphaned by site outages.
+    pub orphaned: usize,
+    /// Orphaned tasks successfully re-placed at a later negotiation.
+    pub orphans_replaced: usize,
+    /// Orphaned tasks that exhausted their re-bid budget.
+    pub orphans_abandoned: usize,
+    /// Per-site revenue after pricing (Σ payments, breaches included).
+    pub site_revenue: Vec<f64>,
+    /// Market-level conservation failures (money accounting; release
+    /// builds record, debug builds panic). Per-site task/processor/yield
+    /// violations live in each [`SiteOutcome::violations`].
+    pub audit_violations: Vec<AuditViolation>,
 }
 
 impl EconomyOutcome {
@@ -158,6 +218,26 @@ impl Economy {
             .as_ref()
             .map(|b| vec![Account::new(b); b.num_clients])
             .unwrap_or_default();
+        // With faults configured, pre-draw each unit's first failure so
+        // timelines stay independent of event interleaving.
+        let fault_cfg = self.config.faults.clone().filter(|f| !f.faults.is_none());
+        let mut injector = fault_cfg.as_ref().map(|f| {
+            let procs: Vec<usize> = self.config.sites.iter().map(|s| s.processors).collect();
+            FaultInjector::new(f.faults.clone(), f.seed, &procs)
+        });
+        let mut crash_budget = fault_cfg.as_ref().map(|f| f.max_crashes).unwrap_or(0);
+        let mut initial = Vec::new();
+        if let Some(inj) = injector.as_mut() {
+            for unit in inj.units() {
+                if crash_budget == 0 {
+                    break;
+                }
+                if let Some(up) = inj.uptime(unit) {
+                    crash_budget -= 1;
+                    initial.push((Time::ZERO + up, unit));
+                }
+            }
+        }
         let model = EcoModel {
             sites: self
                 .config
@@ -188,10 +268,25 @@ impl Economy {
             attempts: HashMap::new(),
             retries: HashMap::new(),
             coin_state: self.config.seed ^ 0x8E51_2CAF_3B5E_71A9,
+            site_accounts: vec![0.0; self.config.sites.len()],
+            injector,
+            fault_cfg,
+            crash_budget,
+            arrivals_left: trace.tasks.len(),
+            pending_rebids: 0,
+            crashes: 0,
+            repairs: 0,
+            orphaned: 0,
+            orphans_replaced: 0,
+            orphans_abandoned: 0,
+            audit_violations: Vec::new(),
         };
         let mut engine = Engine::new(model);
         for (i, spec) in trace.tasks.iter().enumerate() {
             engine.schedule(spec.arrival, EcoEvent::Arrival(i));
+        }
+        for (at, unit) in initial {
+            engine.schedule(at, EcoEvent::Crash(unit));
         }
         engine.run_to_completion();
         let model = engine.into_model();
@@ -208,6 +303,13 @@ impl Economy {
             cancelled: model.cancelled,
             migrations: model.migrations,
             abandoned: model.abandoned,
+            crashes: model.crashes,
+            repairs: model.repairs,
+            orphaned: model.orphaned,
+            orphans_replaced: model.orphans_replaced,
+            orphans_abandoned: model.orphans_abandoned,
+            site_revenue: model.site_accounts,
+            audit_violations: model.audit_violations,
         }
     }
 }
@@ -227,6 +329,19 @@ enum EcoEvent {
     Retry {
         spec: TaskSpec,
         client: usize,
+    },
+    /// A fault unit goes down.
+    Crash(FaultUnit),
+    /// The unit comes back, restoring the `n` processors its crash took.
+    Repair {
+        unit: FaultUnit,
+        n: usize,
+    },
+    /// An orphaned task re-entering negotiation after its backoff.
+    OrphanRebid {
+        spec: TaskSpec,
+        client: usize,
+        attempt: u32,
     },
 }
 
@@ -259,9 +374,194 @@ struct EcoModel {
     /// Re-bids consumed per task id (for retry limits).
     retries: HashMap<u64, u32>,
     coin_state: u64,
+    /// Per-site revenue after pricing — the market-side half of the
+    /// money-conservation audit (Σ over sites must equal `total_paid`).
+    site_accounts: Vec<f64>,
+    injector: Option<FaultInjector>,
+    fault_cfg: Option<MarketFaultConfig>,
+    crash_budget: u64,
+    /// Arrivals not yet delivered — with the quiescence check this
+    /// detects the end of the workload so crash scheduling stops.
+    arrivals_left: usize,
+    /// Orphan re-bids scheduled but not yet delivered.
+    pending_rebids: usize,
+    crashes: u64,
+    repairs: u64,
+    orphaned: usize,
+    orphans_replaced: usize,
+    orphans_abandoned: usize,
+    audit_violations: Vec<AuditViolation>,
 }
 
 impl EcoModel {
+    /// `true` once the workload is over and nothing is in flight — fault
+    /// scheduling stops here so the run can terminate.
+    fn drained(&self) -> bool {
+        self.arrivals_left == 0
+            && self.pending_rebids == 0
+            && self.sites.iter().all(|s| s.is_quiescent())
+    }
+
+    /// Records a market-level conservation failure: panic in debug
+    /// builds, report in release.
+    #[cold]
+    fn money_violation(&mut self, at: Time, rule: &'static str, detail: String) {
+        debug_assert!(false, "market audit [{rule}] failed at {at}: {detail}");
+        self.audit_violations.push(AuditViolation {
+            at,
+            rule: rule.to_string(),
+            detail,
+        });
+    }
+
+    /// Money-conservation audit, run after every settlement: every unit
+    /// of currency paid by a client is booked to exactly one site's
+    /// revenue account, and (with budgets on) client ledgers record the
+    /// same total. Relative tolerance absorbs summation-order drift.
+    fn audit_money(&mut self, now: Time) {
+        let tol = 1e-6 * (1.0 + self.total_paid.abs());
+        let site_total: f64 = self.site_accounts.iter().sum();
+        if (site_total - self.total_paid).abs() > tol {
+            let total_paid = self.total_paid;
+            self.money_violation(
+                now,
+                "money-conservation",
+                format!("site revenues sum to {site_total} but clients paid {total_paid}"),
+            );
+        }
+        if !self.accounts.is_empty() {
+            let spent: f64 = self.accounts.iter().map(|a| a.spent).sum();
+            if (spent - self.total_paid).abs() > tol {
+                let total_paid = self.total_paid;
+                self.money_violation(
+                    now,
+                    "client-ledger",
+                    format!("client ledgers record {spent} spent but the market paid {total_paid}"),
+                );
+            }
+        }
+    }
+
+    /// Settles the breach of a still-open contract for an orphaned task:
+    /// the site pays the accrued penalty (charged against its revenue)
+    /// and the client is made whole on its ledger.
+    fn settle_orphan_breach(&mut self, now: Time, site: SiteId, task_id: u64) {
+        let Some(&ci) = self.contract_of.get(&task_id) else {
+            return;
+        };
+        if self.contracts[ci].is_settled() {
+            return;
+        }
+        let breach = self.contracts[ci].cancel(now);
+        self.total_settled += breach;
+        let paid = self.pricing.settle(breach, self.second_quote[ci]);
+        self.total_paid += paid;
+        self.site_accounts[site] += paid;
+        if !self.accounts.is_empty() {
+            let client = self.contracts[ci].client;
+            self.accounts[client].debit(paid);
+        }
+    }
+
+    fn handle_crash(&mut self, now: Time, unit: FaultUnit, queue: &mut EventQueue<EcoEvent>) {
+        if self.drained() {
+            return; // workload over: let the event queue run dry
+        }
+        self.crashes += 1;
+        let site = unit.site();
+        let killed = match unit {
+            FaultUnit::Processor { .. } => self.sites[site].crash(1, now),
+            FaultUnit::Site { .. } => {
+                // Whole site down: kill all capacity, then orphan the
+                // queue back to its clients.
+                let cap = self.sites[site].capacity();
+                let killed = self.sites[site].crash(cap, now);
+                let orphans = self.sites[site].orphan_pending(now);
+                let backoff = self
+                    .fault_cfg
+                    .as_ref()
+                    .map(|f| f.orphan_backoff)
+                    .unwrap_or(60.0);
+                for job in orphans {
+                    self.orphaned += 1;
+                    self.settle_orphan_breach(now, site, job.id().0);
+                    let spec = job.spec;
+                    let client = self.client_of(&spec);
+                    self.pending_rebids += 1;
+                    queue.schedule(
+                        now + mbts_sim::Duration::new(backoff),
+                        EcoEvent::OrphanRebid {
+                            spec,
+                            client,
+                            attempt: 0,
+                        },
+                    );
+                }
+                self.audit_money(now);
+                killed
+            }
+        };
+        let injector = self.injector.as_mut().expect("crash without injector");
+        let down = injector.downtime(unit).expect("unit must be configured");
+        queue.schedule(now + down, EcoEvent::Repair { unit, n: killed });
+    }
+
+    fn handle_repair(
+        &mut self,
+        now: Time,
+        unit: FaultUnit,
+        n: usize,
+        queue: &mut EventQueue<EcoEvent>,
+    ) {
+        self.repairs += 1;
+        let site = unit.site();
+        for token in self.sites[site].repair(n, now) {
+            queue.schedule(token.at, EcoEvent::Completion { site, token });
+        }
+        // Schedule the unit's next failure unless the run is winding down
+        // or the crash budget is spent.
+        if self.crash_budget > 0 && !self.drained() {
+            let injector = self.injector.as_mut().expect("repair without injector");
+            if let Some(up) = injector.uptime(unit) {
+                self.crash_budget -= 1;
+                queue.schedule(now + up, EcoEvent::Crash(unit));
+            }
+        }
+    }
+
+    /// An orphaned task re-enters negotiation. Failed rounds back off
+    /// exponentially (`orphan_backoff · 2^attempt`) up to the re-bid
+    /// budget, after which the task is abandoned.
+    fn handle_orphan_rebid(
+        &mut self,
+        now: Time,
+        spec: TaskSpec,
+        client: usize,
+        attempt: u32,
+        queue: &mut EventQueue<EcoEvent>,
+    ) {
+        self.pending_rebids -= 1;
+        if self.place(now, spec, client, queue) {
+            self.orphans_replaced += 1;
+            return;
+        }
+        let f = self.fault_cfg.as_ref().expect("rebid without fault config");
+        if attempt < f.orphan_max_rebids {
+            let delay = f.orphan_backoff * f64::powi(2.0, (attempt + 1) as i32);
+            self.pending_rebids += 1;
+            queue.schedule(
+                now + mbts_sim::Duration::new(delay),
+                EcoEvent::OrphanRebid {
+                    spec,
+                    client,
+                    attempt: attempt + 1,
+                },
+            );
+        } else {
+            self.orphans_abandoned += 1;
+        }
+    }
+
     fn client_of(&self, spec: &TaskSpec) -> usize {
         match &self.budgets {
             Some(b) => spec.id.index() % b.num_clients,
@@ -271,6 +571,7 @@ impl EcoModel {
 
     fn handle_arrival(&mut self, now: Time, idx: usize, queue: &mut EventQueue<EcoEvent>) {
         let mut spec = self.trace[idx];
+        self.arrivals_left -= 1;
         self.offered += 1;
         let client = self.client_of(&spec);
 
@@ -410,9 +711,11 @@ impl EcoModel {
         self.total_settled += breach;
         let paid = self.pricing.settle(breach, self.second_quote[contract_idx]);
         self.total_paid += paid;
+        self.site_accounts[site] += paid;
         if !self.accounts.is_empty() {
             self.accounts[client].debit(paid);
         }
+        self.audit_money(now);
         // Re-bid with the original value function (the user's value keeps
         // decaying from the original timeline).
         if self.attempts.get(&task_id.0).copied().unwrap_or(0) < m.max_attempts {
@@ -440,10 +743,12 @@ impl EcoModel {
                 self.total_settled += settled;
                 let paid = self.pricing.settle(settled, self.second_quote[ci]);
                 self.total_paid += paid;
+                self.site_accounts[site] += paid;
                 let client = self.contracts[ci].client;
                 if !self.accounts.is_empty() {
                     self.accounts[client].debit(paid);
                 }
+                self.audit_money(now);
             }
         }
         for t in tokens {
@@ -467,6 +772,13 @@ impl Model for EcoModel {
                     self.fail_or_retry(now, spec, client, queue);
                 }
             }
+            EcoEvent::Crash(unit) => self.handle_crash(now, unit, queue),
+            EcoEvent::Repair { unit, n } => self.handle_repair(now, unit, n, queue),
+            EcoEvent::OrphanRebid {
+                spec,
+                client,
+                attempt,
+            } => self.handle_orphan_rebid(now, spec, client, attempt, queue),
         }
     }
 }
@@ -656,8 +968,148 @@ mod tests {
             migration: None,
             terms: ContractTerms::default(),
             retry: None,
+            faults: None,
             seed: 0,
         });
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use mbts_core::{AdmissionPolicy, Policy};
+    use mbts_sim::UpDown;
+    use mbts_workload::{generate_trace, MixConfig};
+
+    fn trace(seed: u64) -> Trace {
+        generate_trace(
+            &MixConfig::millennium_default()
+                .with_tasks(300)
+                .with_processors(8)
+                .with_load_factor(1.5),
+            seed,
+        )
+    }
+
+    fn base_cfg() -> EconomyConfig {
+        EconomyConfig::uniform(
+            2,
+            SiteConfig::new(4)
+                .with_policy(Policy::FirstPrice)
+                .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 }),
+        )
+    }
+
+    #[test]
+    fn empty_fault_config_is_identical_to_no_faults() {
+        let trace = trace(21);
+        let plain = Economy::new(base_cfg()).run_trace(&trace);
+        let mut cfg = base_cfg();
+        cfg.faults = Some(MarketFaultConfig::new(FaultConfig::none(), 3));
+        let gated = Economy::new(cfg).run_trace(&trace);
+        assert_eq!(plain.placed, gated.placed);
+        assert_eq!(plain.total_paid, gated.total_paid);
+        assert_eq!(gated.crashes, 0);
+        let a: Vec<usize> = plain.contracts.iter().map(|c| c.site).collect();
+        let b: Vec<usize> = gated.contracts.iter().map(|c| c.site).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn processor_faults_keep_the_books_closed() {
+        let trace = trace(22);
+        let mut cfg = base_cfg();
+        cfg.faults = Some(MarketFaultConfig::new(
+            FaultConfig {
+                processor: Some(UpDown::exponential(3_000.0, 150.0)),
+                site: None,
+            },
+            9,
+        ));
+        let out = Economy::new(cfg).run_trace(&trace);
+        assert!(out.crashes > 0, "faults actually fired");
+        assert_eq!(out.crashes, out.repairs, "every crash was repaired");
+        assert_eq!(out.orphaned, 0, "processor faults never orphan");
+        assert!(out.contracts.iter().all(|c| c.is_settled()));
+        assert!(out.audit_violations.is_empty());
+        for site in &out.per_site {
+            assert!(site.violations.is_empty());
+        }
+        let revenue: f64 = out.site_revenue.iter().sum();
+        assert!((revenue - out.total_paid).abs() < 1e-6 * (1.0 + out.total_paid.abs()));
+    }
+
+    #[test]
+    fn site_outages_orphan_queued_work_and_rebid_it() {
+        let trace = trace(23);
+        let mut cfg = base_cfg();
+        let mut faults = MarketFaultConfig::new(
+            FaultConfig {
+                processor: None,
+                site: Some(UpDown::exponential(2_000.0, 300.0)),
+            },
+            4,
+        );
+        faults.orphan_backoff = 30.0;
+        cfg.faults = Some(faults);
+        let out = Economy::new(cfg).run_trace(&trace);
+        assert!(out.crashes > 0);
+        assert!(out.orphaned > 0, "a site outage must orphan queued work");
+        // Every orphan resolves by the end of the run: re-placed or out
+        // of re-bid budget.
+        assert_eq!(out.orphans_replaced + out.orphans_abandoned, out.orphaned);
+        assert!(out.contracts.iter().all(|c| c.is_settled()));
+        assert!(out.audit_violations.is_empty());
+        for site in &out.per_site {
+            assert!(site.violations.is_empty());
+        }
+        let orphaned_at_sites: usize = out.per_site.iter().map(|s| s.metrics.orphaned).sum();
+        assert_eq!(orphaned_at_sites, out.orphaned);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let trace = trace(24);
+        let mut cfg = base_cfg();
+        cfg.faults = Some(MarketFaultConfig::new(
+            FaultConfig {
+                processor: Some(UpDown::exponential(2_500.0, 120.0)),
+                site: Some(UpDown::exponential(20_000.0, 600.0)),
+            },
+            5,
+        ));
+        let a = Economy::new(cfg.clone()).run_trace(&trace);
+        let b = Economy::new(cfg).run_trace(&trace);
+        assert_eq!(a.crashes, b.crashes);
+        assert_eq!(a.orphaned, b.orphaned);
+        assert_eq!(a.total_paid, b.total_paid);
+        let sa: Vec<usize> = a.contracts.iter().map(|c| c.site).collect();
+        let sb: Vec<usize> = b.contracts.iter().map(|c| c.site).collect();
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn budgets_and_faults_conserve_client_ledgers() {
+        let trace = trace(25);
+        let mut cfg = base_cfg();
+        cfg.budgets = Some(BudgetConfig {
+            num_clients: 4,
+            initial: 100.0,
+            replenish_rate: 0.05,
+            cap: 400.0,
+        });
+        cfg.faults = Some(MarketFaultConfig::new(
+            FaultConfig {
+                processor: Some(UpDown::exponential(3_000.0, 200.0)),
+                site: None,
+            },
+            11,
+        ));
+        let out = Economy::new(cfg).run_trace(&trace);
+        assert!(out.crashes > 0);
+        assert!(out.audit_violations.is_empty());
+        let spent: f64 = out.client_spend.iter().sum();
+        assert!((spent - out.total_paid).abs() < 1e-6 * (1.0 + out.total_paid.abs()));
     }
 }
 

@@ -59,6 +59,8 @@ pub use bid::{ClientSelection, ServerBid, TaskBid};
 pub use bidding::{run_shading_experiment, PopulationReport, ShadingReport};
 pub use budget::BudgetConfig;
 pub use contract::{Contract, ContractStatus, ContractTerms};
-pub use economy::{Economy, EconomyConfig, EconomyOutcome, MigrationConfig, RetryConfig, SiteId};
+pub use economy::{
+    Economy, EconomyConfig, EconomyOutcome, MarketFaultConfig, MigrationConfig, RetryConfig, SiteId,
+};
 pub use pricing::PricingStrategy;
 pub use resource::{run_elastic, ElasticConfig, ElasticOutcome, ProvisioningPolicy, ResourcePool};

@@ -10,6 +10,8 @@
 //! * [`rng`] — deterministic, splittable random-number streams,
 //! * [`dist`] — the distributions used by the paper's synthetic workloads
 //!   (exponential, truncated normal, bimodal class mixtures, …),
+//! * [`fault`] — seeded MTTF/MTTR crash-and-repair timelines for
+//!   fault-injection experiments,
 //! * [`stats`] — online summary statistics, histograms, and confidence
 //!   intervals for multi-seed replication.
 //!
@@ -40,6 +42,7 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -47,6 +50,7 @@ pub mod time;
 pub use dist::Dist;
 pub use engine::{Engine, Model};
 pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultInjector, FaultUnit, UpDown};
 pub use rng::{RngFactory, SimRng};
 pub use stats::{Histogram, OnlineStats, PairedComparison, Summary};
 pub use time::{Duration, Time};

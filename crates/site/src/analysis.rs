@@ -67,10 +67,10 @@ pub fn class_breakdown(trace: &Trace, outcome: &SiteOutcome) -> (ClassReport, Cl
                 acc.dropped += 1;
                 acc.total_earned += out.earned;
             }
-            // Cancelled tasks earn nothing at the site; breach penalties
-            // settle at the market layer and are not class-attributable
-            // here.
-            Disposition::Cancelled => {}
+            // Cancelled and orphaned tasks earn nothing at the site;
+            // breach penalties settle at the market layer and are not
+            // class-attributable here.
+            Disposition::Cancelled | Disposition::Orphaned => {}
         }
     }
     (high.finish(), low.finish())

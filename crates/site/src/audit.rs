@@ -26,6 +26,12 @@ pub enum AuditKind {
     },
     /// A running task was preempted back into the queue.
     Preempted,
+    /// A running task was evicted back into the queue by a crash
+    /// (progress lost per [`crate::config::LostWorkPolicy`]).
+    Evicted,
+    /// A queued task was returned to the market un-run because the site
+    /// died under it.
+    Orphaned,
     /// A task ran to completion.
     Completed {
         /// Yield earned (Eq. 1).
@@ -45,6 +51,36 @@ pub enum AuditKind {
         /// Processors retired.
         n: usize,
     },
+    /// A fault killed `n` processors.
+    Crashed {
+        /// Processors lost.
+        n: usize,
+    },
+    /// A repair restored `n` processors.
+    Repaired {
+        /// Processors restored.
+        n: usize,
+    },
+}
+
+/// One failed conservation check from the always-on auditor.
+///
+/// The auditor re-verifies the site's books after every state
+/// transition: task conservation (accepted = queued + running +
+/// completed + dropped + cancelled + orphaned), submission accounting
+/// (submitted = accepted + rejected), processor conservation
+/// (Σ running widths + free = capacity), and yield consistency (the
+/// per-job outcome records sum to the metrics' total yield). A failure
+/// panics in debug builds; in release it is recorded here and surfaced
+/// through [`SiteOutcome::violations`](crate::SiteOutcome::violations).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditViolation {
+    /// When the check failed.
+    pub at: Time,
+    /// Which conservation rule failed.
+    pub rule: String,
+    /// Human-readable account of the imbalance.
+    pub detail: String,
 }
 
 /// One audit record.

@@ -28,6 +28,28 @@ pub enum PreemptionMode {
     },
 }
 
+/// What survives when a **crash** evicts a running gang. Distinct from
+/// [`PreemptionMode`], which governs voluntary scheduler preemption: a
+/// preempted task is suspended cooperatively, a crashed one loses its
+/// processors mid-flight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum LostWorkPolicy {
+    /// All progress is lost; the task runs from scratch when
+    /// redispatched.
+    #[default]
+    Restart,
+    /// The task checkpoints every `interval` time units: on eviction it
+    /// keeps progress up to its last checkpoint and pays
+    /// `restart_penalty` extra work (added to both the estimated and
+    /// true remaining processing time) when redispatched.
+    Checkpoint {
+        /// Seconds (time units) between checkpoints.
+        interval: f64,
+        /// Extra work each restore must redo.
+        restart_penalty: f64,
+    },
+}
+
 /// Configuration of a task-service site.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteConfig {
@@ -41,6 +63,9 @@ pub struct SiteConfig {
     pub preemption: bool,
     /// Progress semantics when preempted.
     pub preemption_mode: PreemptionMode,
+    /// Progress semantics when a crash evicts a running gang.
+    #[serde(default)]
+    pub lost_work: LostWorkPolicy,
     /// How candidate schedules are built on the admission path.
     pub schedule_mode: ScheduleMode,
     /// Discount rate used for the PV term in the slack computation
@@ -88,6 +113,7 @@ impl SiteConfig {
             admission: AdmissionPolicy::AcceptAll,
             preemption: false,
             preemption_mode: PreemptionMode::Resume,
+            lost_work: LostWorkPolicy::Restart,
             schedule_mode: ScheduleMode::Static,
             admission_discount_rate: 0.01,
             backfilling: true,
@@ -119,6 +145,12 @@ impl SiteConfig {
     /// Sets the preemption progress semantics.
     pub fn with_preemption_mode(mut self, mode: PreemptionMode) -> Self {
         self.preemption_mode = mode;
+        self
+    }
+
+    /// Sets the crash lost-work semantics.
+    pub fn with_lost_work(mut self, policy: LostWorkPolicy) -> Self {
+        self.lost_work = policy;
         self
     }
 
@@ -207,6 +239,28 @@ mod tests {
         let back: SiteConfig = serde_json::from_str(&json).unwrap();
         assert!(!back.incremental);
         c.incremental = true;
+        assert_eq!(
+            serde_json::from_str::<SiteConfig>(&serde_json::to_string(&c).unwrap()).unwrap(),
+            c
+        );
+    }
+
+    #[test]
+    fn lost_work_defaults_to_restart_and_roundtrips() {
+        // Configs recorded before the fault layer existed must keep
+        // deserializing — and get the conservative default.
+        assert_eq!(
+            serde_json::from_str::<SiteConfig>(
+                &serde_json::to_string(&SiteConfig::new(4)).unwrap()
+            )
+            .unwrap()
+            .lost_work,
+            LostWorkPolicy::Restart
+        );
+        let c = SiteConfig::new(4).with_lost_work(LostWorkPolicy::Checkpoint {
+            interval: 30.0,
+            restart_penalty: 5.0,
+        });
         assert_eq!(
             serde_json::from_str::<SiteConfig>(&serde_json::to_string(&c).unwrap()).unwrap(),
             c

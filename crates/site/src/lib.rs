@@ -48,13 +48,13 @@ pub mod metrics;
 pub mod state;
 
 pub use analysis::{class_breakdown, ClassReport};
-pub use audit::{AuditEvent, AuditKind};
-pub use config::{PreemptionMode, SiteConfig};
+pub use audit::{AuditEvent, AuditKind, AuditViolation};
+pub use config::{LostWorkPolicy, PreemptionMode, SiteConfig};
 pub use gantt::{render_gantt, Segment};
 pub use metrics::{JobOutcome, SiteMetrics};
 pub use state::{CompletionToken, SiteState};
 
-use mbts_sim::{Engine, EventQueue, Model, Time};
+use mbts_sim::{Engine, EventQueue, FaultConfig, FaultInjector, FaultUnit, Model, Time};
 use mbts_workload::Trace;
 
 /// A single-site simulator: replays a trace and reports metrics.
@@ -75,6 +75,10 @@ pub struct SiteOutcome {
     /// Structured audit trail (empty unless [`SiteConfig::with_audit`]
     /// was enabled), in event order.
     pub audit: Vec<AuditEvent>,
+    /// Conservation-audit failures recorded by the always-on auditor
+    /// (release builds record; debug builds panic at the first failure,
+    /// so this is always empty there). An honest run has none.
+    pub violations: Vec<AuditViolation>,
 }
 
 impl SiteOutcome {
@@ -120,6 +124,34 @@ fn percentile(values: impl Iterator<Item = f64>, q: f64) -> f64 {
     v[rank - 1]
 }
 
+/// Fault-injection parameters for a single-site trace replay.
+///
+/// The site treats a site-level fault as a full-capacity crash (the queue
+/// survives locally — only the multi-site market layer re-bids a dead
+/// site's queue elsewhere). `max_crashes` bounds the total number of
+/// crash events scheduled, so a pathological MTTF distribution cannot
+/// livelock the run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// What fails and how often.
+    pub faults: FaultConfig,
+    /// Seed for the injector's independent per-unit streams.
+    pub seed: u64,
+    /// Upper bound on crash events across the whole run.
+    pub max_crashes: u64,
+}
+
+impl FaultPlan {
+    /// A plan with the default crash budget (10 000 events).
+    pub fn new(faults: FaultConfig, seed: u64) -> Self {
+        FaultPlan {
+            faults,
+            seed,
+            max_crashes: 10_000,
+        }
+    }
+}
+
 impl Site {
     /// A site with the given configuration.
     pub fn new(config: SiteConfig) -> Self {
@@ -132,10 +164,60 @@ impl Site {
         let model = TraceModel {
             state: SiteState::new(self.config.clone()),
             trace: trace.tasks.clone(),
+            arrivals_left: trace.tasks.len(),
+            injector: None,
+            crash_budget: 0,
         };
         let mut engine = Engine::new(model);
         for (i, spec) in trace.tasks.iter().enumerate() {
             engine.schedule(spec.arrival, TraceEvent::Arrival(i));
+        }
+        engine.run_to_completion();
+        let state = engine.into_model().state;
+        debug_assert!(
+            state.is_quiescent(),
+            "site still busy after event queue drained"
+        );
+        state.into_outcome()
+    }
+
+    /// Like [`run_trace`](Self::run_trace) but with crash/repair events
+    /// injected per `plan`. With `plan.faults` empty this is
+    /// byte-for-byte identical to `run_trace` (the equivalence tests
+    /// hold this invariant): no injector RNG is drawn and no fault
+    /// events enter the queue.
+    pub fn run_trace_with_faults(&self, trace: &Trace, plan: &FaultPlan) -> SiteOutcome {
+        if plan.faults.is_none() {
+            return self.run_trace(trace);
+        }
+        let mut injector =
+            FaultInjector::new(plan.faults.clone(), plan.seed, &[self.config.processors]);
+        let mut crash_budget = plan.max_crashes;
+        // First crash per unit: drawn up front so the timeline of each
+        // unit is independent of event interleaving.
+        let mut initial = Vec::new();
+        for unit in injector.units() {
+            if crash_budget == 0 {
+                break;
+            }
+            if let Some(up) = injector.uptime(unit) {
+                crash_budget -= 1;
+                initial.push((Time::ZERO + up, unit));
+            }
+        }
+        let model = TraceModel {
+            state: SiteState::new(self.config.clone()),
+            trace: trace.tasks.clone(),
+            arrivals_left: trace.tasks.len(),
+            injector: Some(injector),
+            crash_budget,
+        };
+        let mut engine = Engine::new(model);
+        for (i, spec) in trace.tasks.iter().enumerate() {
+            engine.schedule(spec.arrival, TraceEvent::Arrival(i));
+        }
+        for (at, unit) in initial {
+            engine.schedule(at, TraceEvent::Crash(unit));
         }
         engine.run_to_completion();
         let state = engine.into_model().state;
@@ -150,11 +232,30 @@ impl Site {
 enum TraceEvent {
     Arrival(usize),
     Completion(CompletionToken),
+    /// A fault unit goes down.
+    Crash(FaultUnit),
+    /// The unit comes back, restoring the `n` processors its crash took.
+    Repair {
+        unit: FaultUnit,
+        n: usize,
+    },
 }
 
 struct TraceModel {
     state: SiteState,
     trace: Vec<mbts_workload::TaskSpec>,
+    /// Arrivals not yet delivered — lets fault handling detect the end
+    /// of the workload and stop scheduling crashes once the site is
+    /// quiescent (otherwise an injector would tick forever).
+    arrivals_left: usize,
+    injector: Option<FaultInjector>,
+    crash_budget: u64,
+}
+
+impl TraceModel {
+    fn drained(&self) -> bool {
+        self.arrivals_left == 0 && self.state.is_quiescent()
+    }
 }
 
 impl Model for TraceModel {
@@ -162,8 +263,38 @@ impl Model for TraceModel {
 
     fn handle(&mut self, now: Time, event: TraceEvent, queue: &mut EventQueue<TraceEvent>) {
         let tokens = match event {
-            TraceEvent::Arrival(i) => self.state.submit(now, self.trace[i]).1,
+            TraceEvent::Arrival(i) => {
+                self.arrivals_left -= 1;
+                self.state.submit(now, self.trace[i]).1
+            }
             TraceEvent::Completion(tok) => self.state.on_completion(now, tok),
+            TraceEvent::Crash(unit) => {
+                if self.drained() {
+                    return; // nothing left to disturb; let the run end
+                }
+                let want = match unit {
+                    FaultUnit::Site { .. } => self.state.capacity(),
+                    FaultUnit::Processor { .. } => 1,
+                };
+                let killed = self.state.crash(want, now);
+                let injector = self.injector.as_mut().expect("crash without injector");
+                let down = injector.downtime(unit).expect("unit must be configured");
+                queue.schedule(now + down, TraceEvent::Repair { unit, n: killed });
+                Vec::new()
+            }
+            TraceEvent::Repair { unit, n } => {
+                let tokens = self.state.repair(n, now);
+                // Schedule the unit's next failure unless the workload is
+                // over or the crash budget is spent.
+                if self.crash_budget > 0 && !self.drained() {
+                    let injector = self.injector.as_mut().expect("repair without injector");
+                    if let Some(up) = injector.uptime(unit) {
+                        self.crash_budget -= 1;
+                        queue.schedule(now + up, TraceEvent::Crash(unit));
+                    }
+                }
+                tokens
+            }
         };
         for tok in tokens {
             queue.schedule(tok.at, TraceEvent::Completion(tok));
@@ -220,8 +351,68 @@ mod tests {
             outcomes: vec![],
             segments: vec![],
             audit: vec![],
+            violations: vec![],
         };
         assert!(outcome.delay_percentile(0.5).is_nan());
         assert!(outcome.earned_percentile(0.5).is_nan());
+    }
+
+    #[test]
+    fn zero_fault_plan_is_identical_to_plain_replay() {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(200)
+            .with_processors(4)
+            .with_load_factor(1.5);
+        let trace = generate_trace(&mix, 11);
+        let site = Site::new(SiteConfig::new(4).with_policy(Policy::FirstPrice));
+        let plain = site.run_trace(&trace);
+        let faulted =
+            site.run_trace_with_faults(&trace, &FaultPlan::new(mbts_sim::FaultConfig::none(), 7));
+        assert_eq!(plain.outcomes, faulted.outcomes);
+        assert_eq!(plain.metrics.total_yield, faulted.metrics.total_yield);
+    }
+
+    #[test]
+    fn faulty_replay_completes_with_a_clean_audit() {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(300)
+            .with_processors(8)
+            .with_load_factor(1.5);
+        let trace = generate_trace(&mix, 12);
+        let site = Site::new(SiteConfig::new(8).with_policy(Policy::FirstPrice));
+        let faults = mbts_sim::FaultConfig {
+            processor: Some(mbts_sim::UpDown::exponential(5_000.0, 200.0)),
+            site: None,
+        };
+        let outcome = site.run_trace_with_faults(&trace, &FaultPlan::new(faults, 99));
+        // Every accepted task still finishes (restart semantics requeue
+        // evicted work until it completes).
+        assert_eq!(
+            outcome.metrics.completed + outcome.metrics.dropped,
+            outcome.metrics.accepted
+        );
+        assert!(outcome.metrics.crashed_procs > 0, "faults actually fired");
+        assert_eq!(
+            outcome.metrics.crashed_procs, outcome.metrics.repaired_procs,
+            "every crash was repaired before the run ended"
+        );
+        assert!(outcome.violations.is_empty());
+    }
+
+    #[test]
+    fn faulty_replays_are_reproducible() {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(150)
+            .with_processors(4);
+        let trace = generate_trace(&mix, 13);
+        let site = Site::new(SiteConfig::new(4).with_policy(Policy::pv(0.01)));
+        let faults = mbts_sim::FaultConfig {
+            processor: Some(mbts_sim::UpDown::exponential(2_000.0, 100.0)),
+            site: Some(mbts_sim::UpDown::exponential(50_000.0, 500.0)),
+        };
+        let a = site.run_trace_with_faults(&trace, &FaultPlan::new(faults.clone(), 5));
+        let b = site.run_trace_with_faults(&trace, &FaultPlan::new(faults, 5));
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.metrics.crashed_procs, b.metrics.crashed_procs);
     }
 }

@@ -16,6 +16,9 @@ pub enum Disposition {
     /// Accepted but withdrawn by the client/market before running
     /// (contract cancellation, §3).
     Cancelled,
+    /// Accepted but returned to the market un-run because the site died
+    /// under it (fault injection); the client re-bids it elsewhere.
+    Orphaned,
 }
 
 /// Per-task record produced by a site run.
@@ -51,8 +54,16 @@ pub struct SiteMetrics {
     pub dropped: usize,
     /// Accepted tasks withdrawn before completion (market cancellations).
     pub cancelled: usize,
-    /// Total preemption events.
+    /// Accepted tasks returned to the market un-run by a site outage.
+    pub orphaned: usize,
+    /// Total preemption events (including crash evictions).
     pub preemptions: u64,
+    /// Running gangs evicted by crashes (a subset of `preemptions`).
+    pub evictions: u64,
+    /// Processors lost to crashes so far.
+    pub crashed_procs: u64,
+    /// Processors restored by repairs so far.
+    pub repaired_procs: u64,
     /// Tasks started out of score order by EASY backfilling.
     pub backfills: u64,
     /// Σ earned yield over completed + dropped tasks (penalties included).

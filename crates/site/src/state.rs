@@ -15,8 +15,8 @@
 //! they fit the free processors *and* their expected completion does not
 //! push past the reservation.
 
-use crate::audit::{AuditEvent, AuditKind};
-use crate::config::{PreemptionMode, SiteConfig};
+use crate::audit::{AuditEvent, AuditKind, AuditViolation};
+use crate::config::{LostWorkPolicy, PreemptionMode, SiteConfig};
 use crate::gantt::Segment;
 use crate::metrics::{Disposition, JobOutcome, SiteMetrics};
 use crate::SiteOutcome;
@@ -88,6 +88,12 @@ pub struct SiteState {
     outcomes: Vec<JobOutcome>,
     segments: Vec<Segment>,
     audit: Vec<AuditEvent>,
+    /// Yield as re-derived from the per-job outcome records, accumulated
+    /// in push order — the conservation auditor cross-checks it against
+    /// `metrics.total_yield` after every event.
+    earned_recorded: f64,
+    /// Conservation-audit failures (release builds only; debug panics).
+    violations: Vec<AuditViolation>,
 }
 
 impl SiteState {
@@ -108,6 +114,8 @@ impl SiteState {
             outcomes: Vec::new(),
             segments: Vec::new(),
             audit: Vec::new(),
+            earned_recorded: 0.0,
+            violations: Vec::new(),
         }
     }
 
@@ -116,6 +124,82 @@ impl SiteState {
         if self.config.audit {
             self.audit.push(AuditEvent { at, task, kind });
         }
+    }
+
+    /// Records a conservation failure: panic in debug builds, report in
+    /// release (the run keeps going so the operator gets the full list).
+    #[cold]
+    fn violation(&mut self, at: Time, rule: &'static str, detail: String) {
+        debug_assert!(
+            false,
+            "conservation audit [{rule}] failed at {at}: {detail}"
+        );
+        self.violations.push(AuditViolation {
+            at,
+            rule: rule.to_string(),
+            detail,
+        });
+    }
+
+    /// The always-on conservation auditor: re-verifies the site's books
+    /// after every externally driven state transition. All checks are
+    /// O(running gangs) and read-only, so enabling faults (or not)
+    /// never changes scheduling behaviour.
+    fn audit_check(&mut self, now: Time) {
+        let queued = self.pending.len();
+        let running = self.running.len();
+        let m = &self.metrics;
+        let (submitted, accepted, rejected) = (m.submitted, m.accepted, m.rejected);
+        let (completed, dropped, cancelled, orphaned) =
+            (m.completed, m.dropped, m.cancelled, m.orphaned);
+        let total_yield = m.total_yield;
+        let accounted = queued + running + completed + dropped + cancelled + orphaned;
+        if accepted != accounted {
+            self.violation(
+                now,
+                "task-conservation",
+                format!(
+                    "accepted {accepted} != queued {queued} + running {running} + \
+                     completed {completed} + dropped {dropped} + cancelled {cancelled} + \
+                     orphaned {orphaned}"
+                ),
+            );
+        }
+        if submitted != accepted + rejected {
+            self.violation(
+                now,
+                "submission-accounting",
+                format!("submitted {submitted} != accepted {accepted} + rejected {rejected}"),
+            );
+        }
+        let busy: usize = self.running.iter().map(|r| r.job.spec.width).sum();
+        if busy + self.free_procs != self.capacity {
+            self.violation(
+                now,
+                "processor-conservation",
+                format!(
+                    "busy {busy} + free {} != capacity {}",
+                    self.free_procs, self.capacity
+                ),
+            );
+        }
+        let drift = (self.earned_recorded - total_yield).abs();
+        if drift > 1e-9 * (1.0 + total_yield.abs()) {
+            self.violation(
+                now,
+                "yield-consistency",
+                format!(
+                    "per-job outcomes sum to {} but metrics report {total_yield}",
+                    self.earned_recorded
+                ),
+            );
+        }
+    }
+
+    /// Conservation-audit failures recorded so far (always empty in
+    /// debug builds, which panic at the first failed check instead).
+    pub fn violations(&self) -> &[AuditViolation] {
+        &self.violations
     }
 
     /// The configuration.
@@ -157,7 +241,9 @@ impl SiteState {
         if extra > 0 {
             self.note_audit(now, None, AuditKind::Grew { n: extra });
         }
-        self.dispatch(now)
+        let tokens = self.dispatch(now);
+        self.audit_check(now);
+        tokens
     }
 
     /// Retires up to `by` processors: idle ones leave immediately, the
@@ -338,6 +424,7 @@ impl SiteState {
                 delay: 0.0,
                 preemptions: 0,
             });
+            self.audit_check(now);
             return (false, Vec::new());
         }
         let tokens = self.accept(now, spec);
@@ -360,6 +447,7 @@ impl SiteState {
         if self.config.preemption {
             tokens.extend(self.try_preempt(now));
         }
+        self.audit_check(now);
         tokens
     }
 
@@ -395,6 +483,7 @@ impl SiteState {
                 .as_f64(),
             preemptions: job.preemptions,
         });
+        self.audit_check(now);
         true
     }
 
@@ -450,8 +539,11 @@ impl SiteState {
             delay: delay.as_f64(),
             preemptions: job.preemptions,
         };
+        self.earned_recorded += outcome.earned;
         self.outcomes.push(outcome);
-        (Some(outcome), self.dispatch(now))
+        let tokens = self.dispatch(now);
+        self.audit_check(now);
+        (Some(outcome), tokens)
     }
 
     /// Consumes the site, producing the final outcome (per-job records
@@ -465,6 +557,7 @@ impl SiteState {
             outcomes: self.outcomes,
             segments,
             audit: self.audit,
+            violations: self.violations,
         }
     }
 
@@ -640,6 +733,7 @@ impl SiteState {
                 self.note_audit(now, Some(job.id()), AuditKind::Dropped);
                 self.metrics.dropped += 1;
                 self.metrics.note_finish(now, floor);
+                self.earned_recorded += floor;
                 self.outcomes.push(JobOutcome {
                     id: job.id(),
                     disposition: Disposition::Dropped,
@@ -757,6 +851,126 @@ impl SiteState {
             tokens.push(self.start(winner, now));
         }
         tokens
+    }
+
+    /// A fault kills up to `n` processors at `now`. Idle processors die
+    /// first; if more must go, running gangs are evicted back into the
+    /// queue (most recently started first, so the gang with the least
+    /// sunk work absorbs the hit), losing progress per
+    /// [`LostWorkPolicy`]. An evicted gang's surviving processors become
+    /// free; its completion token goes stale via the epoch counter. The
+    /// decay clocks of evicted tasks keep running — crash delay is real
+    /// delay. Returns how many processors actually died (bounded by the
+    /// current capacity; the site may end at zero capacity, in which
+    /// state every submission is rejected until a repair).
+    pub fn crash(&mut self, n: usize, now: Time) -> usize {
+        let dead = n.min(self.capacity);
+        if dead == 0 {
+            return 0;
+        }
+        self.note_audit(now, None, AuditKind::Crashed { n: dead });
+        self.metrics.crashed_procs += dead as u64;
+        let idle = dead.min(self.free_procs);
+        self.free_procs -= idle;
+        self.capacity -= idle;
+        let mut still = dead - idle;
+        while still > 0 {
+            let victim = self
+                .running
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.epoch)
+                .map(|(i, _)| i)
+                .expect("processors still owed but nothing is running");
+            let Running {
+                mut job, started, ..
+            } = self.running.swap_remove(victim);
+            let width = job.spec.width;
+            if self.config.record_segments {
+                self.segments.push(Segment {
+                    id: job.id(),
+                    width,
+                    start: started,
+                    end: now,
+                    preempted: true,
+                });
+            }
+            match self.config.lost_work {
+                LostWorkPolicy::Restart => {
+                    job.rpt = job.spec.runtime;
+                    job.true_rpt = job.spec.true_runtime;
+                }
+                LostWorkPolicy::Checkpoint {
+                    interval,
+                    restart_penalty,
+                } => {
+                    // Progress survives only up to the last checkpoint;
+                    // the restore pays `restart_penalty` on top.
+                    let ran = (now - started).as_f64();
+                    let lost = if interval > 0.0 {
+                        ran - (ran / interval).floor() * interval
+                    } else {
+                        ran
+                    };
+                    job.advance(now - started);
+                    job.rpt += Duration::new(lost + restart_penalty);
+                    job.true_rpt += Duration::new(lost + restart_penalty);
+                }
+            }
+            job.preemptions += 1;
+            self.metrics.preemptions += 1;
+            self.metrics.evictions += 1;
+            self.note_audit(now, Some(job.id()), AuditKind::Evicted);
+            self.pending.push(job);
+            // Of the gang's released processors, `died` go down with the
+            // fault and the rest return to the free pool.
+            let died = still.min(width);
+            self.capacity -= died;
+            self.free_procs += width - died;
+            still -= died;
+        }
+        self.audit_check(now);
+        dead
+    }
+
+    /// A repair restores `n` processors; queued work dispatches onto
+    /// them immediately. The returned tokens are the new run segments.
+    pub fn repair(&mut self, n: usize, now: Time) -> Vec<CompletionToken> {
+        if n == 0 {
+            return Vec::new();
+        }
+        self.note_audit(now, None, AuditKind::Repaired { n });
+        self.metrics.repaired_procs += n as u64;
+        self.capacity += n;
+        self.free_procs += n;
+        let tokens = self.dispatch(now);
+        self.audit_check(now);
+        tokens
+    }
+
+    /// Empties the pending queue, returning the jobs to the caller — the
+    /// market layer orphans a dead site's queue this way and re-bids
+    /// each task (whose decay clock keeps running from its original
+    /// arrival). Each orphan is recorded as a
+    /// [`Disposition::Orphaned`] outcome earning nothing here.
+    pub fn orphan_pending(&mut self, now: Time) -> Vec<Job> {
+        let jobs = self.pending.drain_all();
+        for job in &jobs {
+            self.metrics.orphaned += 1;
+            self.note_audit(now, Some(job.id()), AuditKind::Orphaned);
+            self.outcomes.push(JobOutcome {
+                id: job.id(),
+                disposition: Disposition::Orphaned,
+                finished_at: Some(now),
+                earned: 0.0,
+                delay: (now - (job.spec.arrival + job.spec.runtime))
+                    .max_zero()
+                    .as_f64(),
+                preemptions: job.preemptions,
+            });
+        }
+        self.audit_check(now);
+        jobs
     }
 }
 
@@ -1289,6 +1503,157 @@ mod backfill_toggle_tests {
         assert!(t3.is_empty(), "no backfilling: short task waits in line");
         assert_eq!(site.metrics().backfills, 0);
         assert_eq!(site.pending_len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use mbts_core::Policy;
+    use mbts_workload::PenaltyBound;
+
+    fn spec(id: u64, arrival: f64, runtime: f64, value: f64) -> TaskSpec {
+        TaskSpec::new(id, arrival, runtime, value, 0.1, PenaltyBound::Unbounded)
+    }
+
+    fn drain(site: &mut SiteState, mut tokens: Vec<CompletionToken>) {
+        while !tokens.is_empty() {
+            tokens.sort_by_key(|t| std::cmp::Reverse(t.at));
+            let tok = tokens.pop().unwrap();
+            tokens.extend(site.on_completion(tok.at, tok));
+        }
+    }
+
+    #[test]
+    fn crash_takes_idle_processors_first() {
+        let mut site = SiteState::new(SiteConfig::new(4));
+        let (_, t) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0));
+        assert_eq!(site.free_processors(), 3);
+        // Two idle processors die; the running task is untouched.
+        assert_eq!(site.crash(2, Time::from(1.0)), 2);
+        assert_eq!(site.capacity(), 2);
+        assert_eq!(site.free_processors(), 1);
+        assert_eq!(site.metrics().evictions, 0);
+        assert_eq!(site.metrics().crashed_procs, 2);
+        drain(&mut site, t);
+        assert_eq!(site.metrics().completed, 1);
+        assert!(site.violations().is_empty());
+    }
+
+    #[test]
+    fn crash_evicts_running_work_and_restart_loses_progress() {
+        let mut site = SiteState::new(SiteConfig::new(1));
+        let (_, t) = site.submit(Time::ZERO, spec(0, 0.0, 100.0, 1000.0));
+        // The lone processor dies at t = 40: the task restarts from
+        // scratch once a repair restores capacity at t = 50.
+        assert_eq!(site.crash(1, Time::from(40.0)), 1);
+        assert_eq!(site.capacity(), 0);
+        assert_eq!(site.metrics().evictions, 1);
+        assert_eq!(site.pending_len(), 1);
+        // The original completion token (t = 100) is stale now.
+        assert!(site.on_completion(t[0].at, t[0]).is_empty());
+        let t2 = site.repair(1, Time::from(50.0));
+        assert_eq!(t2.len(), 1);
+        assert_eq!(t2[0].at, Time::from(150.0), "restart loses 40 units");
+        assert_eq!(site.metrics().repaired_procs, 1);
+        drain(&mut site, t2);
+        assert_eq!(site.metrics().completed, 1);
+        assert!(site.violations().is_empty());
+    }
+
+    #[test]
+    fn checkpoint_policy_keeps_progress_up_to_the_last_checkpoint() {
+        let mut site = SiteState::new(SiteConfig::new(1).with_lost_work(
+            LostWorkPolicy::Checkpoint {
+                interval: 15.0,
+                restart_penalty: 2.0,
+            },
+        ));
+        site.submit(Time::ZERO, spec(0, 0.0, 100.0, 1000.0));
+        // Crash at t = 40: checkpoints at 15 and 30 → 10 units lost,
+        // plus the 2-unit restore penalty.
+        site.crash(1, Time::from(40.0));
+        let t = site.repair(1, Time::from(50.0));
+        // Remaining true work: 100 − 40 + 10 + 2 = 72 → completes at 122.
+        assert_eq!(t[0].at, Time::from(122.0));
+        drain(&mut site, t);
+        assert!(site.violations().is_empty());
+    }
+
+    #[test]
+    fn site_at_zero_capacity_rejects_submissions_until_repair() {
+        let mut site = SiteState::new(SiteConfig::new(2));
+        site.crash(2, Time::ZERO);
+        assert_eq!(site.capacity(), 0);
+        let (ok, _) = site.submit(Time::from(1.0), spec(0, 1.0, 5.0, 10.0));
+        assert!(!ok, "a dead site accepts nothing");
+        site.repair(2, Time::from(2.0));
+        let (ok, t) = site.submit(Time::from(3.0), spec(1, 3.0, 5.0, 10.0));
+        assert!(ok);
+        assert_eq!(t.len(), 1);
+        drain(&mut site, t);
+        assert!(site.violations().is_empty());
+    }
+
+    #[test]
+    fn crash_wider_than_victim_gang_evicts_multiple_gangs() {
+        let mut site = SiteState::new(SiteConfig::new(4).with_policy(Policy::Fcfs));
+        let mut tokens = Vec::new();
+        for i in 0..4 {
+            let (_, t) = site.submit(Time::ZERO, spec(i, 0.0, 50.0, 100.0));
+            tokens.extend(t);
+        }
+        assert_eq!(site.running_tasks(), 4);
+        // Three processors die: three gangs evicted (most recent first).
+        assert_eq!(site.crash(3, Time::from(10.0)), 3);
+        assert_eq!(site.capacity(), 1);
+        assert_eq!(site.running_tasks(), 1);
+        assert_eq!(site.pending_len(), 3);
+        assert_eq!(site.metrics().evictions, 3);
+        tokens.extend(site.repair(3, Time::from(20.0)));
+        drain(&mut site, tokens);
+        assert_eq!(site.metrics().completed, 4);
+        assert!(site.violations().is_empty());
+    }
+
+    #[test]
+    fn orphan_pending_returns_the_queue_and_records_outcomes() {
+        let mut site = SiteState::new(SiteConfig::new(1).with_policy(Policy::Fcfs));
+        let (_, t) = site.submit(Time::ZERO, spec(0, 0.0, 50.0, 100.0));
+        site.submit(Time::ZERO, spec(1, 0.0, 5.0, 10.0));
+        site.submit(Time::ZERO, spec(2, 0.0, 5.0, 10.0));
+        assert_eq!(site.pending_len(), 2);
+        let orphans = site.orphan_pending(Time::from(3.0));
+        assert_eq!(orphans.len(), 2);
+        assert_eq!(site.pending_len(), 0);
+        assert_eq!(site.metrics().orphaned, 2);
+        drain(&mut site, t);
+        let out = site.clone().into_outcome();
+        assert_eq!(
+            out.outcomes
+                .iter()
+                .filter(|o| o.disposition == Disposition::Orphaned)
+                .count(),
+            2
+        );
+        assert!(out.violations.is_empty());
+    }
+
+    #[test]
+    fn audit_trail_counts_crash_events() {
+        let mut site = SiteState::new(SiteConfig::new(2).with_audit(true));
+        let (_, t) = site.submit(Time::ZERO, spec(0, 0.0, 10.0, 100.0));
+        site.crash(2, Time::from(1.0));
+        site.repair(2, Time::from(2.0));
+        let audit = site.clone().into_outcome().audit;
+        assert!(audit
+            .iter()
+            .any(|e| matches!(e.kind, AuditKind::Crashed { n: 2 })));
+        assert!(audit
+            .iter()
+            .any(|e| matches!(e.kind, AuditKind::Repaired { n: 2 })));
+        assert!(audit.iter().any(|e| matches!(e.kind, AuditKind::Evicted)));
+        drop(t);
     }
 }
 

@@ -45,6 +45,12 @@ pub struct SwfOptions {
     pub clamp_widths: bool,
     /// Import at most this many jobs (0 = no limit).
     pub max_jobs: usize,
+    /// If `true`, malformed data lines are skipped (and counted — see
+    /// [`parse_swf_counting`]) instead of aborting the import. Real
+    /// archive logs occasionally carry truncated or corrupt records;
+    /// strict mode (the default) surfaces them, lenient mode works
+    /// around them.
+    pub lenient: bool,
 }
 
 impl SwfOptions {
@@ -56,7 +62,14 @@ impl SwfOptions {
             time_scale: 1.0,
             clamp_widths: true,
             max_jobs: 0,
+            lenient: false,
         }
+    }
+
+    /// Enables or disables lenient (skip-and-count) parsing.
+    pub fn with_lenient(mut self, on: bool) -> Self {
+        self.lenient = on;
+        self
     }
 }
 
@@ -77,11 +90,25 @@ impl std::fmt::Display for SwfError {
 
 impl std::error::Error for SwfError {}
 
+/// Canonical name for the import error type.
+pub type ParseError = SwfError;
+
 /// Parses SWF text into a trace, assigning values/decay from the options'
-/// mix. Malformed data lines are an error; comment (`;`) and blank lines
-/// are skipped; unusable jobs (zero runtime/processors) are silently
-/// dropped like the archive's own tooling does.
+/// mix. Malformed data lines are an error unless [`SwfOptions::lenient`]
+/// is set; comment (`;`) and blank lines are skipped; unusable jobs (zero
+/// runtime/processors) are silently dropped like the archive's own
+/// tooling does.
 pub fn parse_swf(text: &str, options: &SwfOptions) -> Result<Trace, SwfError> {
+    parse_swf_counting(text, options).map(|(trace, _)| trace)
+}
+
+/// Like [`parse_swf`], but also reports how many malformed data lines
+/// were skipped. In strict mode (the default) the count is always 0 —
+/// the first malformed line is an error. In lenient mode each bad record
+/// (too few fields, or a non-numeric field) is counted and skipped;
+/// unusable-but-well-formed jobs (non-positive runtime/processors) are
+/// not counted, matching [`parse_swf`]'s silent archive-practice drop.
+pub fn parse_swf_counting(text: &str, options: &SwfOptions) -> Result<(Trace, usize), SwfError> {
     let factory = RngFactory::new(options.seed);
     let mut value_rng = factory.stream("swf-unit-values");
     let mut decay_rng = factory.stream("swf-decays");
@@ -89,6 +116,7 @@ pub fn parse_swf(text: &str, options: &SwfOptions) -> Result<Trace, SwfError> {
     let decay_dist = options.mix.decay_dist();
 
     let mut rows: Vec<(f64, f64, f64, usize)> = Vec::new(); // submit, est, run, width
+    let mut skipped = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with(';') {
@@ -96,6 +124,10 @@ pub fn parse_swf(text: &str, options: &SwfOptions) -> Result<Trace, SwfError> {
         }
         let fields: Vec<&str> = line.split_whitespace().collect();
         if fields.len() < 8 {
+            if options.lenient {
+                skipped += 1;
+                continue;
+            }
             return Err(SwfError {
                 line: lineno + 1,
                 message: format!("expected ≥ 8 fields, found {}", fields.len()),
@@ -107,12 +139,23 @@ pub fn parse_swf(text: &str, options: &SwfOptions) -> Result<Trace, SwfError> {
                 message: format!("field {} ('{}') is not a number", i + 1, fields[i]),
             })
         };
-        let submit = parse(1)?;
-        let run_time = parse(3)?;
-        let allocated = parse(4)?;
-        let requested_procs = parse(7)?;
-        // Field 9 (requested time) is optional in practice; −1 = missing.
-        let requested_time = if fields.len() > 8 { parse(8)? } else { -1.0 };
+        let numerics = (|| -> Result<_, SwfError> {
+            let submit = parse(1)?;
+            let run_time = parse(3)?;
+            let allocated = parse(4)?;
+            let requested_procs = parse(7)?;
+            // Field 9 (requested time) is optional in practice; −1 = missing.
+            let requested_time = if fields.len() > 8 { parse(8)? } else { -1.0 };
+            Ok((submit, run_time, allocated, requested_procs, requested_time))
+        })();
+        let (submit, run_time, allocated, requested_procs, requested_time) = match numerics {
+            Ok(v) => v,
+            Err(_) if options.lenient => {
+                skipped += 1;
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
 
         let width = if requested_procs > 0.0 {
             requested_procs as usize
@@ -165,7 +208,10 @@ pub fn parse_swf(text: &str, options: &SwfOptions) -> Result<Trace, SwfError> {
         spec.true_runtime = Duration::new(run_time.max(1e-6));
         tasks.push(spec);
     }
-    Ok(Trace::new(options.mix.clone(), options.seed, tasks))
+    Ok((
+        Trace::new(options.mix.clone(), options.seed, tasks),
+        skipped,
+    ))
 }
 
 /// Reads and parses an SWF file.
@@ -275,6 +321,36 @@ mod tests {
         let err = parse_swf("; ok\n1 x 0 10 1 -1 -1 1\n", &options()).unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("not a number"));
+    }
+
+    #[test]
+    fn lenient_mode_skips_and_counts_bad_records() {
+        // SAMPLE plus one truncated line and one with a non-numeric field.
+        let dirty = format!("{SAMPLE}1 2 3\n6 90 0 10 1 -1 -1 oops 20 -1 1 1 1 1 1 -1 -1 -1\n");
+        let strict = parse_swf(&dirty, &options());
+        assert!(strict.is_err(), "strict mode must reject corrupt records");
+
+        let opts = options().with_lenient(true);
+        let (trace, skipped) = parse_swf_counting(&dirty, &opts).unwrap();
+        assert_eq!(skipped, 2, "both corrupt lines counted");
+        // The good records are unaffected by the corrupt neighbours.
+        assert_eq!(trace, parse_swf(SAMPLE, &options()).unwrap());
+    }
+
+    #[test]
+    fn strict_mode_reports_zero_skips_on_clean_input() {
+        let (trace, skipped) = parse_swf_counting(SAMPLE, &options()).unwrap();
+        assert_eq!(skipped, 0);
+        // Unusable-but-well-formed jobs are dropped without being counted.
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn lenient_does_not_count_unusable_but_well_formed_jobs() {
+        let opts = options().with_lenient(true);
+        let (trace, skipped) = parse_swf_counting(SAMPLE, &opts).unwrap();
+        assert_eq!(skipped, 0, "archive-practice drops are not parse skips");
+        assert_eq!(trace.len(), 3);
     }
 
     #[test]

@@ -8,8 +8,8 @@
 use mbts::core::{
     build_candidate, AdmissionPolicy, CostModel, Job, Policy, ScheduleEntry, ScheduleMode, ScoreCtx,
 };
-use mbts::sim::Time;
-use mbts::site::{Site, SiteConfig};
+use mbts::sim::{FaultConfig, Time};
+use mbts::site::{FaultPlan, Site, SiteConfig};
 use mbts::workload::{generate_trace, BoundPolicy, MixConfig, WidthPolicy};
 
 /// Every dispatch policy the paper evaluates.
@@ -105,6 +105,43 @@ fn incremental_site_matches_rebuild_with_bounded_penalties_and_expiry() {
                 .with_policy(policy)
                 .with_drop_expired(drop_expired);
             assert_sites_equivalent(cfg, &mix, 41, label);
+        }
+    }
+}
+
+#[test]
+fn zero_fault_replay_is_byte_identical_to_plain_replay() {
+    // The fault layer must be pay-for-what-you-use: an empty fault
+    // config routes through the exact same event sequence as a plain
+    // replay — same outcome stream, same floating-point bits, and a
+    // clean audit — for every policy the paper evaluates.
+    let mix = MixConfig::millennium_default()
+        .with_tasks(300)
+        .with_processors(4)
+        .with_load_factor(1.8)
+        .with_width(WidthPolicy::PowersOfTwo { max_exp: 2 });
+    for (label, policy) in all_policies() {
+        for seed in [11, 12] {
+            let trace = generate_trace(&mix, seed);
+            let cfg = SiteConfig::new(4).with_policy(policy).with_preemption(true);
+            let plain = Site::new(cfg.clone()).run_trace(&trace);
+            let faulted = Site::new(cfg)
+                .run_trace_with_faults(&trace, &FaultPlan::new(FaultConfig::none(), 99));
+            assert_eq!(
+                plain.outcomes, faulted.outcomes,
+                "outcome stream diverged: {label} seed {seed}"
+            );
+            assert_eq!(
+                plain.metrics.total_yield.to_bits(),
+                faulted.metrics.total_yield.to_bits(),
+                "total yield diverged: {label} seed {seed}"
+            );
+            assert_eq!(
+                plain.metrics.completed, faulted.metrics.completed,
+                "{label} seed {seed}"
+            );
+            assert_eq!(faulted.metrics.crashed_procs, 0, "{label} seed {seed}");
+            assert!(faulted.violations.is_empty(), "{label} seed {seed}");
         }
     }
 }
