@@ -26,6 +26,7 @@ pub mod compare;
 pub mod faults;
 pub mod figures;
 pub mod harness;
+pub mod metrics;
 pub mod report;
 
 pub use compare::{compare_sites, ComparisonResult};

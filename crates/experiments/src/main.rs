@@ -1,7 +1,7 @@
 //! `mbts-experiments` — CLI regenerating the paper's evaluation.
 //!
 //! ```text
-//! mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|all|ablate [NAME]> [options]
+//! mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|metrics|all|ablate [NAME]> [options]
 //!   --quick          reduced scale (1200 tasks, 3 seeds)
 //!   --smoke          tiny scale for CI (250 tasks, 2 seeds)
 //!   --tasks N        trace length (default 5000, as in the paper)
@@ -9,11 +9,12 @@
 //!   --processors N   site size (default 16)
 //!   --out DIR        also write <fig>.csv and <fig>.json under DIR
 //!   --plot           render ASCII plots in addition to tables
+//!   --trace FILE     (metrics) also write the full event streams as JSONL
 //! ```
 
 use mbts_experiments::harness::ExpParams;
 use mbts_experiments::report::FigureResult;
-use mbts_experiments::{ablations, faults, figures};
+use mbts_experiments::{ablations, faults, figures, metrics};
 use std::path::PathBuf;
 
 struct Cli {
@@ -22,6 +23,7 @@ struct Cli {
     params: ExpParams,
     out: Option<PathBuf>,
     plot: bool,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -38,6 +40,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut params = ExpParams::paper();
     let mut out = None;
     let mut plot = false;
+    let mut trace = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => params = ExpParams::quick(),
@@ -62,6 +65,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--out" => out = Some(PathBuf::from(args.next().ok_or("--out needs a path")?)),
             "--plot" => plot = true,
+            "--trace" => trace = Some(PathBuf::from(args.next().ok_or("--trace needs a path")?)),
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
@@ -71,12 +75,14 @@ fn parse_args() -> Result<Cli, String> {
         params,
         out,
         plot,
+        trace,
     })
 }
 
 fn usage() -> String {
-    "usage: mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|all|ablate> \
-     [--quick|--smoke] [--tasks N] [--seeds N] [--processors N] [--out DIR] [--plot]"
+    "usage: mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|metrics|all|ablate> \
+     [--quick|--smoke] [--tasks N] [--seeds N] [--processors N] [--out DIR] [--plot] \
+     [--trace FILE]"
         .to_string()
 }
 
@@ -107,6 +113,16 @@ fn main() {
         cli.target, cli.params.tasks, cli.params.seeds, cli.params.processors
     );
     let started = std::time::Instant::now();
+    if cli.target == "metrics" {
+        let report = metrics::run_metrics(&cli.params);
+        println!("{}", report.registry.render());
+        if let Some(path) = &cli.trace {
+            std::fs::write(path, report.trace_jsonl()).expect("write trace JSONL");
+            eprintln!("wrote {}", path.display());
+        }
+        eprintln!("done in {:.1?}", started.elapsed());
+        return;
+    }
     let figs: Vec<FigureResult> = match cli.target.as_str() {
         "fig3" => vec![figures::fig3(&cli.params)],
         "fig4" => vec![figures::fig4(&cli.params)],

@@ -22,7 +22,8 @@ use mbts_sim::{
     rng::splitmix64, Engine, EventQueue, FaultConfig, FaultInjector, FaultUnit, Model, Time,
 };
 use mbts_site::{AuditViolation, CompletionToken, SiteConfig, SiteOutcome, SiteState};
-use mbts_workload::{TaskSpec, Trace};
+use mbts_trace::{TraceEvent, TraceKind, Tracer};
+use mbts_workload::{TaskId, TaskSpec, Trace};
 use std::collections::HashMap;
 
 /// Index of a site within an economy.
@@ -212,6 +213,16 @@ impl Economy {
     /// Replays `trace` as the market's submission stream and runs until
     /// all accepted work completes.
     pub fn run_trace(&self, trace: &Trace) -> EconomyOutcome {
+        self.run_trace_traced(trace, Tracer::Off).0
+    }
+
+    /// Like [`run_trace`](Self::run_trace) but with a structured-event
+    /// [`Tracer`] installed on the market layer for the whole run: every
+    /// contract settlement (completion payout, deadline breach, orphan
+    /// breach) emits a [`TraceKind::ContractSettled`] event stamped with
+    /// the site it ran on. Observational only — the outcome is
+    /// bit-identical to an untraced run.
+    pub fn run_trace_traced(&self, trace: &Trace, tracer: Tracer) -> (EconomyOutcome, Tracer) {
         let accounts = self
             .config
             .budgets
@@ -280,6 +291,7 @@ impl Economy {
             orphans_replaced: 0,
             orphans_abandoned: 0,
             audit_violations: Vec::new(),
+            tracer,
         };
         let mut engine = Engine::new(model);
         for (i, spec) in trace.tasks.iter().enumerate() {
@@ -289,8 +301,9 @@ impl Economy {
             engine.schedule(at, EcoEvent::Crash(unit));
         }
         engine.run_to_completion();
-        let model = engine.into_model();
-        EconomyOutcome {
+        let mut model = engine.into_model();
+        let tracer = std::mem::take(&mut model.tracer);
+        let outcome = EconomyOutcome {
             client_spend: model.accounts.iter().map(|a| a.spent).collect(),
             per_site: model.sites.into_iter().map(|s| s.into_outcome()).collect(),
             contracts: model.contracts,
@@ -310,7 +323,8 @@ impl Economy {
             orphans_abandoned: model.orphans_abandoned,
             site_revenue: model.site_accounts,
             audit_violations: model.audit_violations,
-        }
+        };
+        (outcome, tracer)
     }
 }
 
@@ -391,6 +405,9 @@ struct EcoModel {
     orphans_replaced: usize,
     orphans_abandoned: usize,
     audit_violations: Vec<AuditViolation>,
+    /// Market-layer structured-event sink (settlement events only; off
+    /// by default).
+    tracer: Tracer,
 }
 
 impl EcoModel {
@@ -442,6 +459,20 @@ impl EcoModel {
         }
     }
 
+    /// Emits a [`TraceKind::ContractSettled`] event (no-op when the
+    /// tracer is off).
+    #[inline]
+    fn trace_settlement(&mut self, at: Time, site: SiteId, task: TaskId, amount: f64) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent {
+                at,
+                task: Some(task),
+                site: Some(site),
+                kind: TraceKind::ContractSettled { amount },
+            });
+        }
+    }
+
     /// Settles the breach of a still-open contract for an orphaned task:
     /// the site pays the accrued penalty (charged against its revenue)
     /// and the client is made whole on its ledger.
@@ -461,6 +492,7 @@ impl EcoModel {
             let client = self.contracts[ci].client;
             self.accounts[client].debit(paid);
         }
+        self.trace_settlement(now, site, TaskId(task_id), paid);
     }
 
     fn handle_crash(&mut self, now: Time, unit: FaultUnit, queue: &mut EventQueue<EcoEvent>) {
@@ -715,6 +747,7 @@ impl EcoModel {
         if !self.accounts.is_empty() {
             self.accounts[client].debit(paid);
         }
+        self.trace_settlement(now, site, task_id, paid);
         self.audit_money(now);
         // Re-bid with the original value function (the user's value keeps
         // decaying from the original timeline).
@@ -748,6 +781,7 @@ impl EcoModel {
                 if !self.accounts.is_empty() {
                     self.accounts[client].debit(paid);
                 }
+                self.trace_settlement(now, site, outcome.id, paid);
                 self.audit_money(now);
             }
         }
@@ -803,6 +837,42 @@ mod tests {
         SiteConfig::new(procs)
             .with_policy(Policy::FirstPrice)
             .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 })
+    }
+
+    #[test]
+    fn traced_settlements_account_for_every_unit_paid() {
+        let trace = small_trace(300, 0.8, 1);
+        let eco = Economy::new(EconomyConfig::uniform(2, site(4)));
+        let plain = eco.run_trace(&trace);
+        let (traced, tracer) = eco.run_trace_traced(&trace, Tracer::buffer());
+        // Tracing is observational: same economy outcome, bit for bit.
+        assert_eq!(
+            plain.total_paid.to_bits(),
+            traced.total_paid.to_bits(),
+            "tracing changed the replay"
+        );
+        let events = tracer.into_events().unwrap();
+        assert_eq!(events.len(), traced.contracts.len());
+        let traced_paid: f64 = events
+            .iter()
+            .map(|e| match e.kind {
+                TraceKind::ContractSettled { amount } => amount,
+                other => panic!("market tracer emitted {other:?}"),
+            })
+            .sum();
+        assert!((traced_paid - traced.total_paid).abs() < 1e-9 * (1.0 + traced.total_paid.abs()));
+        // Per-site settlement sums match the revenue ledgers.
+        for (i, revenue) in traced.site_revenue.iter().enumerate() {
+            let site_sum: f64 = events
+                .iter()
+                .filter(|e| e.site == Some(i))
+                .map(|e| match e.kind {
+                    TraceKind::ContractSettled { amount } => amount,
+                    _ => 0.0,
+                })
+                .sum();
+            assert!((site_sum - revenue).abs() < 1e-9 * (1.0 + revenue.abs()));
+        }
     }
 
     #[test]

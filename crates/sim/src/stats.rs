@@ -198,6 +198,20 @@ impl Histogram {
         self.bins[i]
     }
 
+    /// Folds another histogram with the same range and bin count into
+    /// this one (bin-wise sum, tails included).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different ranges or bin counts"
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// Number of bins.
     pub fn num_bins(&self) -> usize {
         self.bins.len()

@@ -55,6 +55,7 @@ pub use metrics::{JobOutcome, SiteMetrics};
 pub use state::{CompletionToken, SiteState};
 
 use mbts_sim::{Engine, EventQueue, FaultConfig, FaultInjector, FaultUnit, Model, Time};
+use mbts_trace::Tracer;
 use mbts_workload::Trace;
 
 /// A single-site simulator: replays a trace and reports metrics.
@@ -161,8 +162,19 @@ impl Site {
     /// Runs `trace` to completion (all accepted tasks finished) and
     /// returns the outcome.
     pub fn run_trace(&self, trace: &Trace) -> SiteOutcome {
+        self.run_trace_traced(trace, Tracer::Off).0
+    }
+
+    /// Like [`run_trace`](Self::run_trace) but with a structured-event
+    /// [`Tracer`] installed for the whole replay; returns the outcome
+    /// together with the tracer (holding whatever its sink captured).
+    /// Tracing is observational only: the outcome is bit-identical to an
+    /// untraced replay.
+    pub fn run_trace_traced(&self, trace: &Trace, tracer: Tracer) -> (SiteOutcome, Tracer) {
+        let mut state = SiteState::new(self.config.clone());
+        state.set_tracer(tracer);
         let model = TraceModel {
-            state: SiteState::new(self.config.clone()),
+            state,
             trace: trace.tasks.clone(),
             arrivals_left: trace.tasks.len(),
             injector: None,
@@ -170,15 +182,16 @@ impl Site {
         };
         let mut engine = Engine::new(model);
         for (i, spec) in trace.tasks.iter().enumerate() {
-            engine.schedule(spec.arrival, TraceEvent::Arrival(i));
+            engine.schedule(spec.arrival, SimEvent::Arrival(i));
         }
         engine.run_to_completion();
-        let state = engine.into_model().state;
+        let mut state = engine.into_model().state;
         debug_assert!(
             state.is_quiescent(),
             "site still busy after event queue drained"
         );
-        state.into_outcome()
+        let tracer = state.take_tracer();
+        (state.into_outcome(), tracer)
     }
 
     /// Like [`run_trace`](Self::run_trace) but with crash/repair events
@@ -187,8 +200,20 @@ impl Site {
     /// hold this invariant): no injector RNG is drawn and no fault
     /// events enter the queue.
     pub fn run_trace_with_faults(&self, trace: &Trace, plan: &FaultPlan) -> SiteOutcome {
+        self.run_trace_with_faults_traced(trace, plan, Tracer::Off)
+            .0
+    }
+
+    /// Fault-injected replay with a structured-event [`Tracer`]
+    /// installed (see [`run_trace_traced`](Self::run_trace_traced)).
+    pub fn run_trace_with_faults_traced(
+        &self,
+        trace: &Trace,
+        plan: &FaultPlan,
+        tracer: Tracer,
+    ) -> (SiteOutcome, Tracer) {
         if plan.faults.is_none() {
-            return self.run_trace(trace);
+            return self.run_trace_traced(trace, tracer);
         }
         let mut injector =
             FaultInjector::new(plan.faults.clone(), plan.seed, &[self.config.processors]);
@@ -205,8 +230,10 @@ impl Site {
                 initial.push((Time::ZERO + up, unit));
             }
         }
+        let mut state = SiteState::new(self.config.clone());
+        state.set_tracer(tracer);
         let model = TraceModel {
-            state: SiteState::new(self.config.clone()),
+            state,
             trace: trace.tasks.clone(),
             arrivals_left: trace.tasks.len(),
             injector: Some(injector),
@@ -214,22 +241,23 @@ impl Site {
         };
         let mut engine = Engine::new(model);
         for (i, spec) in trace.tasks.iter().enumerate() {
-            engine.schedule(spec.arrival, TraceEvent::Arrival(i));
+            engine.schedule(spec.arrival, SimEvent::Arrival(i));
         }
         for (at, unit) in initial {
-            engine.schedule(at, TraceEvent::Crash(unit));
+            engine.schedule(at, SimEvent::Crash(unit));
         }
         engine.run_to_completion();
-        let state = engine.into_model().state;
+        let mut state = engine.into_model().state;
         debug_assert!(
             state.is_quiescent(),
             "site still busy after event queue drained"
         );
-        state.into_outcome()
+        let tracer = state.take_tracer();
+        (state.into_outcome(), tracer)
     }
 }
 
-enum TraceEvent {
+enum SimEvent {
     Arrival(usize),
     Completion(CompletionToken),
     /// A fault unit goes down.
@@ -259,16 +287,16 @@ impl TraceModel {
 }
 
 impl Model for TraceModel {
-    type Event = TraceEvent;
+    type Event = SimEvent;
 
-    fn handle(&mut self, now: Time, event: TraceEvent, queue: &mut EventQueue<TraceEvent>) {
+    fn handle(&mut self, now: Time, event: SimEvent, queue: &mut EventQueue<SimEvent>) {
         let tokens = match event {
-            TraceEvent::Arrival(i) => {
+            SimEvent::Arrival(i) => {
                 self.arrivals_left -= 1;
                 self.state.submit(now, self.trace[i]).1
             }
-            TraceEvent::Completion(tok) => self.state.on_completion(now, tok),
-            TraceEvent::Crash(unit) => {
+            SimEvent::Completion(tok) => self.state.on_completion(now, tok),
+            SimEvent::Crash(unit) => {
                 if self.drained() {
                     return; // nothing left to disturb; let the run end
                 }
@@ -279,10 +307,10 @@ impl Model for TraceModel {
                 let killed = self.state.crash(want, now);
                 let injector = self.injector.as_mut().expect("crash without injector");
                 let down = injector.downtime(unit).expect("unit must be configured");
-                queue.schedule(now + down, TraceEvent::Repair { unit, n: killed });
+                queue.schedule(now + down, SimEvent::Repair { unit, n: killed });
                 Vec::new()
             }
-            TraceEvent::Repair { unit, n } => {
+            SimEvent::Repair { unit, n } => {
                 let tokens = self.state.repair(n, now);
                 // Schedule the unit's next failure unless the workload is
                 // over or the crash budget is spent.
@@ -290,14 +318,14 @@ impl Model for TraceModel {
                     let injector = self.injector.as_mut().expect("repair without injector");
                     if let Some(up) = injector.uptime(unit) {
                         self.crash_budget -= 1;
-                        queue.schedule(now + up, TraceEvent::Crash(unit));
+                        queue.schedule(now + up, SimEvent::Crash(unit));
                     }
                 }
                 tokens
             }
         };
         for tok in tokens {
-            queue.schedule(tok.at, TraceEvent::Completion(tok));
+            queue.schedule(tok.at, SimEvent::Completion(tok));
         }
     }
 }
@@ -355,6 +383,43 @@ mod tests {
         };
         assert!(outcome.delay_percentile(0.5).is_nan());
         assert!(outcome.earned_percentile(0.5).is_nan());
+    }
+
+    #[test]
+    fn traced_replay_captures_the_full_lifecycle() {
+        use mbts_trace::{TraceKind, Tracer};
+        let mix = MixConfig::millennium_default()
+            .with_tasks(120)
+            .with_processors(4)
+            .with_load_factor(1.5);
+        let trace = generate_trace(&mix, 21);
+        let site = Site::new(
+            SiteConfig::new(4)
+                .with_policy(Policy::first_reward(0.3, 0.01))
+                .with_preemption(true),
+        );
+        let (outcome, tracer) = site.run_trace_traced(&trace, Tracer::buffer());
+        let events = tracer.into_events().unwrap();
+        let arrived = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::TaskArrived { .. }))
+            .count();
+        let completed = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Completed { .. }))
+            .count();
+        let scheduled = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::Scheduled { .. }))
+            .count();
+        assert_eq!(arrived as u64, outcome.metrics.submitted as u64);
+        assert_eq!(completed as u64, outcome.metrics.completed as u64);
+        assert!(
+            scheduled >= completed,
+            "every completion was preceded by at least one start"
+        );
+        // Events arrive in nondecreasing time order.
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use mbts_core::{
     evaluate_admission, AdmissionDecision, AdmissionPolicy, CostModel, Job, PendingPool, ScoreCtx,
 };
 use mbts_sim::{Duration, Time};
+use mbts_trace::{TraceEvent, TraceKind, Tracer};
 use mbts_workload::TaskSpec;
 
 /// Handle for a scheduled run-to-completion: fires at `at` unless the
@@ -94,6 +95,11 @@ pub struct SiteState {
     earned_recorded: f64,
     /// Conservation-audit failures (release builds only; debug panics).
     violations: Vec<AuditViolation>,
+    /// Structured-event sink ([`Tracer::Off`] by default: every emission
+    /// site reduces to one never-taken branch).
+    tracer: Tracer,
+    /// Site index stamped on emitted events (multi-site economy runs).
+    trace_site: Option<usize>,
 }
 
 impl SiteState {
@@ -116,6 +122,40 @@ impl SiteState {
             audit: Vec::new(),
             earned_recorded: 0.0,
             violations: Vec::new(),
+            tracer: Tracer::Off,
+            trace_site: None,
+        }
+    }
+
+    /// Installs a trace sink; subsequent transitions emit structured
+    /// [`TraceEvent`]s into it. Tracing is observational only — a traced
+    /// replay takes exactly the same decisions as an untraced one.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Stamps a site index on every event this state emits (used by the
+    /// multi-site economy; single-site runs leave it unset).
+    pub fn set_trace_site(&mut self, site: usize) {
+        self.trace_site = Some(site);
+    }
+
+    /// Detaches and returns the tracer (typically right before
+    /// [`into_outcome`](Self::into_outcome)), leaving tracing off.
+    pub fn take_tracer(&mut self) -> Tracer {
+        std::mem::take(&mut self.tracer)
+    }
+
+    #[inline]
+    fn trace(&mut self, at: Time, task: Option<mbts_workload::TaskId>, kind: TraceKind) {
+        if self.tracer.is_enabled() {
+            let site = self.trace_site;
+            self.tracer.emit(TraceEvent {
+                at,
+                task,
+                site,
+                kind,
+            });
         }
     }
 
@@ -414,6 +454,11 @@ impl SiteState {
             Some(spec.id),
             AuditKind::Submitted { accepted: accept },
         );
+        self.trace(
+            now,
+            Some(spec.id),
+            TraceKind::TaskArrived { accepted: accept },
+        );
         if !accept {
             self.metrics.rejected += 1;
             self.outcomes.push(JobOutcome {
@@ -473,6 +518,7 @@ impl SiteState {
         let job = self.pending.swap_remove(idx);
         self.metrics.cancelled += 1;
         self.note_audit(now, Some(job.id()), AuditKind::Cancelled);
+        self.trace(now, Some(job.id()), TraceKind::Cancelled);
         self.outcomes.push(JobOutcome {
             id: job.id(),
             disposition: Disposition::Cancelled,
@@ -531,6 +577,16 @@ impl SiteState {
         self.metrics.note_finish(now, earned);
         self.metrics.delay.push(delay.as_f64());
         self.note_audit(now, Some(job.id()), AuditKind::Completed { earned });
+        self.trace(
+            now,
+            Some(job.id()),
+            TraceKind::Completed {
+                earned,
+                delay: delay.as_f64(),
+                width: job.spec.width,
+                preemptions: job.preemptions,
+            },
+        );
         let outcome = JobOutcome {
             id: job.id(),
             disposition: Disposition::Completed,
@@ -627,7 +683,7 @@ impl SiteState {
             let width = self.pending.jobs()[best].spec.width;
             if width <= self.free_procs {
                 let job = self.pending.swap_remove(best);
-                tokens.push(self.start(job, now));
+                tokens.push(self.start(job, now, false));
                 continue;
             }
             if !self.config.backfilling {
@@ -666,7 +722,7 @@ impl SiteState {
             };
             let job = self.pending.swap_remove(fill);
             self.metrics.backfills += 1;
-            tokens.push(self.start(job, now));
+            tokens.push(self.start(job, now, true));
         }
         tokens
     }
@@ -698,11 +754,74 @@ impl SiteState {
         }
     }
 
+    /// Decision diagnostics for a `Scheduled` trace event: the started
+    /// job's Eq. 3 present value, its Eq. 8 opportunity cost against the
+    /// tasks left behind in the queue, the resulting Eq. 7 slack, and
+    /// its 1-based rank under the site policy at start time. Read-only —
+    /// scores are computed against a throwaway cost model (never the
+    /// pool's lazily maintained one), so tracing cannot perturb replay.
+    fn schedule_event(&self, job: &Job, now: Time, backfill: bool) -> TraceEvent {
+        let pv = job.present_value(now, self.config.admission_discount_rate);
+        let behind_decay: f64 = self
+            .pending
+            .jobs()
+            .iter()
+            .map(|j| j.effective_decay(now))
+            .sum();
+        let cost = behind_decay * job.spec.runtime.as_f64();
+        let decay = job.effective_decay(now);
+        let slack = if decay > 0.0 {
+            (pv - cost) / decay
+        } else if pv - cost >= 0.0 {
+            f64::INFINITY
+        } else {
+            f64::NEG_INFINITY
+        };
+        let mut competing: Vec<Job> = self.pending.jobs().to_vec();
+        competing.push(job.clone());
+        let model = self
+            .config
+            .policy
+            .needs_cost_model()
+            .then(|| CostModel::build(now, &competing));
+        let ctx = match &model {
+            Some(m) => ScoreCtx::with_cost(now, m),
+            None => ScoreCtx::simple(now),
+        };
+        let own = self.config.policy.score(job, &ctx);
+        let rank = 1 + self
+            .pending
+            .jobs()
+            .iter()
+            .filter(|j| {
+                let s = self.config.policy.score(j, &ctx);
+                s > own || (s == own && j.id() < job.id())
+            })
+            .count();
+        TraceEvent {
+            at: now,
+            task: Some(job.id()),
+            site: self.trace_site,
+            kind: TraceKind::Scheduled {
+                rank,
+                pv,
+                cost,
+                slack: TraceEvent::finite(slack),
+                width: job.spec.width,
+                backfill,
+            },
+        }
+    }
+
     /// Starts `job` at `now`, consuming its gang's processors; returns the
     /// completion token.
-    fn start(&mut self, mut job: Job, now: Time) -> CompletionToken {
+    fn start(&mut self, mut job: Job, now: Time, backfill: bool) -> CompletionToken {
         let width = job.spec.width;
         assert!(width <= self.free_procs, "gang does not fit");
+        if self.tracer.is_enabled() {
+            let ev = self.schedule_event(&job, now, backfill);
+            self.tracer.emit(ev);
+        }
         self.free_procs -= width;
         if job.first_start.is_none() {
             job.first_start = Some(now);
@@ -731,6 +850,7 @@ impl SiteState {
                 let job = self.pending.swap_remove(i);
                 let floor = job.spec.bound.floor();
                 self.note_audit(now, Some(job.id()), AuditKind::Dropped);
+                self.trace(now, Some(job.id()), TraceKind::Dropped { earned: floor });
                 self.metrics.dropped += 1;
                 self.metrics.note_finish(now, floor);
                 self.earned_recorded += floor;
@@ -844,11 +964,13 @@ impl SiteState {
                 job.preemptions += 1;
                 self.metrics.preemptions += 1;
                 self.note_audit(now, Some(job.id()), AuditKind::Preempted);
+                let (id, width) = (job.id(), job.spec.width);
+                self.trace(now, Some(id), TraceKind::Preempted { width });
                 self.pending.push(job);
             }
             // …and start the winner in their place.
             let winner = self.pending.swap_remove(best_idx);
-            tokens.push(self.start(winner, now));
+            tokens.push(self.start(winner, now, false));
         }
         tokens
     }
@@ -869,6 +991,7 @@ impl SiteState {
             return 0;
         }
         self.note_audit(now, None, AuditKind::Crashed { n: dead });
+        self.trace(now, None, TraceKind::Crashed { procs: dead });
         self.metrics.crashed_procs += dead as u64;
         let idle = dead.min(self.free_procs);
         self.free_procs -= idle;
@@ -921,6 +1044,8 @@ impl SiteState {
             self.metrics.preemptions += 1;
             self.metrics.evictions += 1;
             self.note_audit(now, Some(job.id()), AuditKind::Evicted);
+            let id = job.id();
+            self.trace(now, Some(id), TraceKind::Requeued { width });
             self.pending.push(job);
             // Of the gang's released processors, `died` go down with the
             // fault and the rest return to the free pool.
@@ -940,6 +1065,7 @@ impl SiteState {
             return Vec::new();
         }
         self.note_audit(now, None, AuditKind::Repaired { n });
+        self.trace(now, None, TraceKind::Repaired { procs: n });
         self.metrics.repaired_procs += n as u64;
         self.capacity += n;
         self.free_procs += n;
@@ -958,6 +1084,7 @@ impl SiteState {
         for job in &jobs {
             self.metrics.orphaned += 1;
             self.note_audit(now, Some(job.id()), AuditKind::Orphaned);
+            self.trace(now, Some(job.id()), TraceKind::Orphaned);
             self.outcomes.push(JobOutcome {
                 id: job.id(),
                 disposition: Disposition::Orphaned,

@@ -1,0 +1,167 @@
+//! The event taxonomy: one typed record per schedulable decision.
+//!
+//! Events are plain data — emitting one never reads back scheduler state,
+//! so a traced replay takes exactly the same decisions as an untraced one.
+//! All payload floats are kept finite (`±f64::MAX` stands in for ±∞ slack)
+//! so every event round-trips through JSONL.
+
+use mbts_sim::Time;
+use mbts_workload::TaskId;
+use serde::{Deserialize, Serialize};
+
+/// What happened. Payload fields carry the decision diagnostics the paper
+/// reasons about: Eq. 3 present value, Eq. 8 opportunity cost, and the
+/// slack between them for `Scheduled`; realized yield for `Completed`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// A task reached admission control (`accepted == false` means the
+    /// site turned it away at the door).
+    TaskArrived { accepted: bool },
+    /// A gang started running. `rank` is the task's 1-based position in
+    /// the queue ordering at start time; `backfill` marks an EASY
+    /// backfill start ahead of a held reservation.
+    Scheduled {
+        rank: usize,
+        pv: f64,
+        cost: f64,
+        slack: f64,
+        width: usize,
+        backfill: bool,
+    },
+    /// A running gang was preempted by a better-scoring arrival and moved
+    /// back into the queue.
+    Preempted { width: usize },
+    /// A running gang lost its processors to a crash and was requeued
+    /// under the site's lost-work policy.
+    Requeued { width: usize },
+    /// A task ran to completion. `earned` is the realized (decayed)
+    /// yield; `delay` is time past the no-wait finish.
+    Completed {
+        earned: f64,
+        delay: f64,
+        width: usize,
+        preemptions: u32,
+    },
+    /// A fully-decayed pending task was dropped at its penalty floor.
+    Dropped { earned: f64 },
+    /// A pending task was withdrawn by the submitter.
+    Cancelled,
+    /// A pending task was stranded by a site outage.
+    Orphaned,
+    /// `procs` processors crashed.
+    Crashed { procs: usize },
+    /// `procs` processors came back.
+    Repaired { procs: usize },
+    /// A contract paid out (positive) or charged a breach (negative).
+    ContractSettled { amount: f64 },
+}
+
+/// One timestamped event. `task` is absent for site-wide events
+/// (crash/repair); `site` is set only by the multi-site economy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Simulation time of the decision.
+    pub at: Time,
+    /// The task involved, if any.
+    pub task: Option<TaskId>,
+    /// Originating site index (multi-site runs only).
+    pub site: Option<usize>,
+    /// The decision itself.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Clamps a possibly-infinite diagnostic (zero-decay slack) to the
+    /// finite range so the event survives a JSONL round-trip.
+    pub fn finite(x: f64) -> f64 {
+        x.clamp(-f64::MAX, f64::MAX)
+    }
+}
+
+/// Serializes events one-per-line, newline-terminated — the on-disk
+/// format of golden fixtures and `--trace` output.
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&serde_json::to_string(ev).expect("trace events always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the JSONL form back; blank lines are ignored.
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, serde_json::Error> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(serde_json::from_str)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent {
+                at: Time::new(0.0),
+                task: Some(TaskId(1)),
+                site: None,
+                kind: TraceKind::TaskArrived { accepted: true },
+            },
+            TraceEvent {
+                at: Time::new(1.5),
+                task: Some(TaskId(1)),
+                site: Some(2),
+                kind: TraceKind::Scheduled {
+                    rank: 1,
+                    pv: 9.75,
+                    cost: 0.25,
+                    slack: TraceEvent::finite(f64::INFINITY),
+                    width: 4,
+                    backfill: false,
+                },
+            },
+            TraceEvent {
+                at: Time::new(7.0),
+                task: Some(TaskId(1)),
+                site: None,
+                kind: TraceKind::Completed {
+                    earned: 8.5,
+                    delay: 1.5,
+                    width: 4,
+                    preemptions: 0,
+                },
+            },
+            TraceEvent {
+                at: Time::new(9.0),
+                task: None,
+                site: Some(0),
+                kind: TraceKind::Crashed { procs: 3 },
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let events = sample();
+        let text = to_jsonl(&events);
+        assert_eq!(text.lines().count(), events.len());
+        let back = from_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn infinite_slack_is_clamped_to_finite() {
+        assert_eq!(TraceEvent::finite(f64::INFINITY), f64::MAX);
+        assert_eq!(TraceEvent::finite(f64::NEG_INFINITY), -f64::MAX);
+        assert_eq!(TraceEvent::finite(1.25), 1.25);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored_on_parse() {
+        let events = sample();
+        let text = format!("\n{}\n\n", to_jsonl(&events));
+        assert_eq!(from_jsonl(&text).unwrap(), events);
+    }
+}

@@ -1,0 +1,24 @@
+//! # mbts-trace — structured observability for the task service
+//!
+//! A zero-cost-when-disabled event layer: every schedulable decision in
+//! the site scheduler and the market economy can emit a typed
+//! [`TraceEvent`] into a pluggable sink. The [`Tracer`] handle defaults
+//! to [`Tracer::Off`], in which case emission sites reduce to a single
+//! branch — replays are bit-identical with tracing on or off because the
+//! emitters only *read* scheduler state, never mutate it.
+//!
+//! Sinks:
+//! - [`RingSink`] — bounded tail capture for tests and soaks;
+//! - [`BufferSink`] — full capture, serialized to JSONL for golden
+//!   fixtures and the experiments CLI `--trace out.jsonl`;
+//! - [`MetricsRegistry`] — per-policy histograms (delay, yield,
+//!   preemption count), per-site utilization and fault-recovery latency,
+//!   rendered by the `metrics` experiments subcommand.
+
+pub mod event;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{from_jsonl, to_jsonl, TraceEvent, TraceKind};
+pub use metrics::{MetricsRegistry, PolicyMetrics};
+pub use sink::{BufferSink, RingSink, TraceSink, Tracer};

@@ -1,0 +1,228 @@
+//! Pluggable event sinks and the [`Tracer`] handle threaded through the
+//! schedulers.
+//!
+//! `Tracer` is a concrete `Clone + Send` enum rather than a boxed trait
+//! object so that `SiteState` keeps its derived `Clone` and the
+//! experiments harness can still fan site runs out across threads. The
+//! disabled arm is the default: an untraced replay pays one predictable
+//! branch per decision and never constructs an event.
+
+use crate::event::TraceEvent;
+use crate::metrics::MetricsRegistry;
+use std::collections::VecDeque;
+
+/// Anything that can consume a stream of trace events. The built-in sinks
+/// all implement it, and tests can post-process a captured buffer by
+/// replaying it into any other sink.
+pub trait TraceSink {
+    /// Consumes one event.
+    fn record(&mut self, ev: &TraceEvent);
+}
+
+/// Bounded sink keeping only the most recent `capacity` events — the
+/// cheap always-on choice for long soaks and unit tests that only care
+/// about the tail of a run.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    /// Total events offered, including ones that have since been evicted.
+    seen: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (`capacity` ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring sink needs room for at least one event");
+        RingSink {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            seen: 0,
+        }
+    }
+
+    /// The retained tail, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Total events ever offered (retained or evicted).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(*ev);
+        self.seen += 1;
+    }
+}
+
+/// Unbounded sink capturing the complete event stream in order — the
+/// substrate for golden fixtures and `--trace out.jsonl`.
+#[derive(Debug, Clone, Default)]
+pub struct BufferSink {
+    events: Vec<TraceEvent>,
+}
+
+impl BufferSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BufferSink::default()
+    }
+
+    /// The captured stream, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Consumes the sink, returning the captured stream.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.events
+    }
+}
+
+impl TraceSink for BufferSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        self.events.push(*ev);
+    }
+}
+
+/// The tracing handle carried by `SiteState` and the market economy.
+/// Defaults to [`Tracer::Off`], which makes every emission a single
+/// never-taken branch.
+#[derive(Debug, Clone, Default)]
+pub enum Tracer {
+    /// Tracing disabled: events are neither constructed nor stored.
+    #[default]
+    Off,
+    /// Keep the last N events.
+    Ring(RingSink),
+    /// Keep every event.
+    Buffer(BufferSink),
+    /// Fold events straight into per-policy metrics.
+    Metrics(Box<MetricsRegistry>),
+}
+
+impl Tracer {
+    /// A full-capture tracer.
+    pub fn buffer() -> Self {
+        Tracer::Buffer(BufferSink::new())
+    }
+
+    /// A tail-capture tracer retaining `capacity` events.
+    pub fn ring(capacity: usize) -> Self {
+        Tracer::Ring(RingSink::new(capacity))
+    }
+
+    /// A metrics-folding tracer labelled with the policy under test.
+    pub fn metrics(policy: &str, processors: usize) -> Self {
+        Tracer::Metrics(Box::new(MetricsRegistry::new(policy, processors)))
+    }
+
+    /// Whether emissions do anything. Callers gate any event-payload
+    /// computation behind this so the disabled path stays free.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, Tracer::Off)
+    }
+
+    /// Routes one event to the active sink (no-op when disabled).
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) {
+        match self {
+            Tracer::Off => {}
+            Tracer::Ring(s) => s.record(&ev),
+            Tracer::Buffer(s) => s.record(&ev),
+            Tracer::Metrics(r) => r.record(&ev),
+        }
+    }
+
+    /// The captured stream, if this tracer kept one (`Buffer` only —
+    /// rings forget their head, registries keep aggregates).
+    pub fn into_events(self) -> Option<Vec<TraceEvent>> {
+        match self {
+            Tracer::Buffer(s) => Some(s.into_events()),
+            _ => None,
+        }
+    }
+
+    /// The metrics registry, if this tracer folded into one.
+    pub fn into_registry(self) -> Option<MetricsRegistry> {
+        match self {
+            Tracer::Metrics(r) => Some(*r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+    use mbts_sim::Time;
+    use mbts_workload::TaskId;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent {
+            at: Time::new(i as f64),
+            task: Some(TaskId(i)),
+            site: None,
+            kind: TraceKind::Cancelled,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_tail() {
+        let mut ring = RingSink::new(3);
+        for i in 0..7 {
+            ring.record(&ev(i));
+        }
+        assert_eq!(ring.seen(), 7);
+        assert_eq!(ring.len(), 3);
+        let ids: Vec<u64> = ring.events().map(|e| e.task.unwrap().0).collect();
+        assert_eq!(ids, vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn buffer_keeps_everything_in_order() {
+        let mut buf = BufferSink::new();
+        for i in 0..5 {
+            buf.record(&ev(i));
+        }
+        let ids: Vec<u64> = buf
+            .into_events()
+            .iter()
+            .map(|e| e.task.unwrap().0)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn off_tracer_is_disabled_and_captures_nothing() {
+        let mut t = Tracer::default();
+        assert!(!t.is_enabled());
+        t.emit(ev(0));
+        assert!(t.into_events().is_none());
+    }
+
+    #[test]
+    fn tracer_is_send_and_clone() {
+        fn assert_send_clone<T: Send + Clone>() {}
+        assert_send_clone::<Tracer>();
+    }
+}

@@ -354,6 +354,52 @@ mod tests {
     }
 
     #[test]
+    fn empty_input_yields_an_empty_trace() {
+        for text in ["", "\n", "\n\n\n"] {
+            let (trace, skipped) = parse_swf_counting(text, &options()).unwrap();
+            assert_eq!(trace.len(), 0, "{text:?}");
+            assert_eq!(skipped, 0, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn comment_only_input_yields_an_empty_trace() {
+        let text = "; UnixStartTime: 0\n; MaxJobs: 1000\n;\n   ; indented comment\n";
+        for lenient in [false, true] {
+            let opts = options().with_lenient(lenient);
+            let (trace, skipped) = parse_swf_counting(text, &opts).unwrap();
+            assert_eq!(trace.len(), 0);
+            assert_eq!(skipped, 0, "comments are not parse skips");
+        }
+    }
+
+    #[test]
+    fn all_bad_records_strict_vs_lenient() {
+        let text = "1 2 3\n4 5 6 7\nx y z w v u t s\n";
+        // Strict: the first malformed line is the error, with its location.
+        let err = parse_swf_counting(text, &options()).unwrap_err();
+        assert_eq!(err.line, 1);
+        // Lenient: every line is counted, nothing imported.
+        let opts = options().with_lenient(true);
+        let (trace, skipped) = parse_swf_counting(text, &opts).unwrap();
+        assert_eq!(trace.len(), 0);
+        assert_eq!(skipped, 3);
+    }
+
+    #[test]
+    fn trailing_newline_is_irrelevant() {
+        let with = SAMPLE.to_string();
+        let without = SAMPLE.trim_end().to_string();
+        assert!(with.ends_with('\n') && !without.ends_with('\n'));
+        let a = parse_swf_counting(&with, &options()).unwrap();
+        let b = parse_swf_counting(&without, &options()).unwrap();
+        assert_eq!(a, b);
+        // Nor is a run of trailing blank lines.
+        let padded = format!("{SAMPLE}\n\n");
+        assert_eq!(parse_swf_counting(&padded, &options()).unwrap(), a);
+    }
+
+    #[test]
     fn imported_trace_runs_through_a_site() {
         use mbts_sim::Time;
         let trace = parse_swf(SAMPLE, &options()).unwrap();

@@ -50,4 +50,5 @@ pub use mbts_experiments as experiments;
 pub use mbts_market as market;
 pub use mbts_sim as sim;
 pub use mbts_site as site;
+pub use mbts_trace as trace;
 pub use mbts_workload as workload;

@@ -1,0 +1,152 @@
+//! Golden-trace conformance tests: small deterministic workloads whose
+//! *complete* structured-event streams are committed as JSONL fixtures
+//! under `tests/golden/` and diffed exactly. Any change to admission,
+//! dispatch order, preemption, decay accounting, or the event layer
+//! itself shows up as a fixture diff — the paper's policy-ordering
+//! claims become executable conformance checks, decision by decision.
+//!
+//! To regenerate after an intentional behavior change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_trace
+//! ```
+//!
+//! On failure each test writes the actual stream to
+//! `target/golden-diff/<name>.jsonl` so CI can upload the diff as an
+//! artifact.
+
+use mbts::core::Policy;
+use mbts::site::{Site, SiteConfig};
+use mbts::trace::{from_jsonl, to_jsonl, Tracer};
+use mbts::workload::{generate_trace, BoundPolicy, MixConfig, WidthPolicy};
+use std::path::PathBuf;
+
+/// The six headline policies of the paper's evaluation (Figures 3–6).
+fn roster() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("fcfs", Policy::Fcfs),
+        ("srpt", Policy::Srpt),
+        ("swpt", Policy::Swpt),
+        ("first_price", Policy::FirstPrice),
+        ("pv", Policy::pv(0.01)),
+        ("first_reward", Policy::first_reward(0.3, 0.01)),
+    ]
+}
+
+/// Three seeded mini-workloads per policy. Overloaded two-processor site
+/// with gangs, bounded penalties and expiry shedding, so the streams
+/// exercise queueing, backfilling, preemption, and drops — not just
+/// arrive/start/complete.
+const SEEDS: [u64; 3] = [101, 102, 103];
+
+fn mini_mix() -> MixConfig {
+    MixConfig::millennium_default()
+        .with_tasks(16)
+        .with_processors(2)
+        .with_load_factor(2.5)
+        .with_width(WidthPolicy::PowersOfTwo { max_exp: 1 })
+        .with_bound(BoundPolicy::ProportionalPenalty { fraction: 0.5 })
+}
+
+fn site(policy: Policy) -> Site {
+    Site::new(
+        SiteConfig::new(2)
+            .with_policy(policy)
+            .with_preemption(true)
+            .with_drop_expired(true),
+    )
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn diff_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("target")
+        .join("golden-diff")
+}
+
+fn actual_stream(policy: Policy, seed: u64) -> String {
+    let trace = generate_trace(&mini_mix(), seed);
+    let (_, tracer) = site(policy).run_trace_traced(&trace, Tracer::buffer());
+    to_jsonl(&tracer.into_events().expect("buffer tracer keeps events"))
+}
+
+#[test]
+fn golden_traces_match_committed_fixtures() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for (label, policy) in roster() {
+        for seed in SEEDS {
+            let name = format!("{label}_{seed}.jsonl");
+            let fixture = golden_dir().join(&name);
+            let actual = actual_stream(policy, seed);
+            if update {
+                std::fs::create_dir_all(golden_dir()).expect("create fixture dir");
+                std::fs::write(&fixture, &actual).expect("write fixture");
+                continue;
+            }
+            let expected = std::fs::read_to_string(&fixture)
+                .unwrap_or_else(|e| panic!("missing fixture {}: {e}", fixture.display()));
+            if actual != expected {
+                std::fs::create_dir_all(diff_dir()).expect("create diff dir");
+                let diff_path = diff_dir().join(&name);
+                std::fs::write(&diff_path, &actual).expect("write actual stream");
+                let first_diff = actual
+                    .lines()
+                    .zip(expected.lines())
+                    .position(|(a, e)| a != e)
+                    .map(|i| i + 1)
+                    .unwrap_or_else(|| actual.lines().count().min(expected.lines().count()) + 1);
+                failures.push(format!(
+                    "{name}: first divergence at line {first_diff} \
+                     (actual written to {})",
+                    diff_path.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden traces diverged (rerun with UPDATE_GOLDEN=1 to accept):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_fixtures_parse_and_exercise_rich_events() {
+    // The committed fixtures must stay valid JSONL and, collectively,
+    // cover more than the trivial arrive/start/complete path.
+    use mbts::trace::TraceKind;
+    let mut preempted = 0usize;
+    let mut dropped = 0usize;
+    let mut backfills = 0usize;
+    for (label, _) in roster() {
+        for seed in SEEDS {
+            let path = golden_dir().join(format!("{label}_{seed}.jsonl"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+            let events = from_jsonl(&text)
+                .unwrap_or_else(|e| panic!("fixture {} does not parse: {e:?}", path.display()));
+            assert!(!events.is_empty(), "{label}_{seed} is empty");
+            assert!(
+                events.windows(2).all(|w| w[0].at <= w[1].at),
+                "{label}_{seed} is not time-ordered"
+            );
+            for ev in &events {
+                match ev.kind {
+                    TraceKind::Preempted { .. } => preempted += 1,
+                    TraceKind::Dropped { .. } => dropped += 1,
+                    TraceKind::Scheduled { backfill: true, .. } => backfills += 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+    assert!(preempted > 0, "no fixture exercises preemption");
+    assert!(dropped > 0, "no fixture exercises expiry drops");
+    assert!(backfills > 0, "no fixture exercises backfilling");
+}

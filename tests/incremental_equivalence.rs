@@ -146,6 +146,96 @@ fn zero_fault_replay_is_byte_identical_to_plain_replay() {
     }
 }
 
+#[test]
+fn traced_replay_is_bit_identical_to_untraced_replay() {
+    // The structured-event layer must be observational only: with any
+    // sink installed (full buffer, bounded ring, or metrics registry)
+    // the replay takes the same decisions, produces the same outcome
+    // stream, and earns the same floating-point yield bits as with
+    // tracing off.
+    use mbts::trace::{TraceKind, Tracer};
+    let mix = MixConfig::millennium_default()
+        .with_tasks(300)
+        .with_processors(4)
+        .with_load_factor(1.8)
+        .with_width(WidthPolicy::PowersOfTwo { max_exp: 2 })
+        .with_bound(BoundPolicy::ProportionalPenalty { fraction: 0.5 });
+    for (label, policy) in all_policies() {
+        for seed in [11, 12] {
+            let trace = generate_trace(&mix, seed);
+            let cfg = SiteConfig::new(4)
+                .with_policy(policy)
+                .with_preemption(true)
+                .with_drop_expired(true);
+            let plain = Site::new(cfg.clone()).run_trace(&trace);
+            for tracer in [
+                Tracer::buffer(),
+                Tracer::ring(64),
+                Tracer::metrics(label, 4),
+            ] {
+                let (traced, tracer) = Site::new(cfg.clone()).run_trace_traced(&trace, tracer);
+                assert_eq!(
+                    plain.outcomes, traced.outcomes,
+                    "outcome stream diverged under tracing: {label} seed {seed}"
+                );
+                assert_eq!(
+                    plain.metrics.total_yield.to_bits(),
+                    traced.metrics.total_yield.to_bits(),
+                    "total yield diverged under tracing: {label} seed {seed}"
+                );
+                assert_eq!(
+                    plain.metrics.completed, traced.metrics.completed,
+                    "completions diverged under tracing: {label} seed {seed}"
+                );
+                assert_eq!(
+                    plain.metrics.preemptions, traced.metrics.preemptions,
+                    "preemptions diverged under tracing: {label} seed {seed}"
+                );
+                // The buffer sink really captured the replay.
+                if let Some(events) = tracer.into_events() {
+                    let completions = events
+                        .iter()
+                        .filter(|e| matches!(e.kind, TraceKind::Completed { .. }))
+                        .count();
+                    assert_eq!(
+                        completions as u64, plain.metrics.completed as u64,
+                        "trace completions diverged: {label} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn traced_faulty_replay_is_bit_identical_to_untraced_faulty_replay() {
+    use mbts::sim::UpDown;
+    use mbts::trace::Tracer;
+    let mix = MixConfig::millennium_default()
+        .with_tasks(200)
+        .with_processors(4)
+        .with_load_factor(1.5);
+    let faults = FaultConfig {
+        processor: Some(UpDown::exponential(3_000.0, 150.0)),
+        site: None,
+    };
+    for (label, policy) in all_policies() {
+        let trace = generate_trace(&mix, 17);
+        let cfg = SiteConfig::new(4).with_policy(policy);
+        let plan = FaultPlan::new(faults.clone(), 5);
+        let plain = Site::new(cfg.clone()).run_trace_with_faults(&trace, &plan);
+        let (traced, _) =
+            Site::new(cfg).run_trace_with_faults_traced(&trace, &plan, Tracer::buffer());
+        assert_eq!(plain.outcomes, traced.outcomes, "{label}");
+        assert_eq!(
+            plain.metrics.total_yield.to_bits(),
+            traced.metrics.total_yield.to_bits(),
+            "{label}"
+        );
+        assert_eq!(plain.metrics.crashed_procs, traced.metrics.crashed_procs);
+    }
+}
+
 /// The pre-pool dynamic layout algorithm, verbatim: rescore the whole
 /// remaining queue (rebuilding the cost model) at every dispatch
 /// instant, pick the argmax, and place it on the earliest-free

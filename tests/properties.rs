@@ -4,6 +4,7 @@
 
 use mbts::core::{AdmissionPolicy, Policy};
 use mbts::site::{PreemptionMode, Site, SiteConfig};
+use mbts::trace::{TraceKind, Tracer};
 use mbts::workload::{generate_trace, BoundPolicy, MixConfig, WidthPolicy};
 use proptest::prelude::*;
 
@@ -142,5 +143,69 @@ proptest! {
         // endpoints bound every run.
         prop_assert!(strict <= lenient);
         prop_assert!(middle <= lenient);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The trace is a complete account of value flow: summing the
+    /// per-task `Completed`/`Dropped` earnings in the event stream
+    /// reproduces the aggregate yield the site reports, and the event
+    /// counts match the metrics counters, for arbitrary configurations.
+    #[test]
+    fn trace_yield_matches_outcome_yield(
+        seed in any::<u64>(),
+        load in 0.3f64..3.0,
+        policy in arb_policy(),
+        bound in arb_bound(),
+        preemption in any::<bool>(),
+        drop_expired in any::<bool>(),
+        procs in 1usize..6,
+    ) {
+        let mix = MixConfig::millennium_default()
+            .with_tasks(120)
+            .with_processors(procs)
+            .with_load_factor(load)
+            .with_bound(bound);
+        let trace = generate_trace(&mix, seed);
+        let cfg = SiteConfig::new(procs)
+            .with_policy(policy)
+            .with_preemption(preemption)
+            .with_drop_expired(drop_expired);
+        let (out, tracer) = Site::new(cfg).run_trace_traced(&trace, Tracer::buffer());
+        let events = tracer.into_events().expect("buffer tracer keeps events");
+        let mut traced_yield = 0.0f64;
+        let mut completed = 0usize;
+        let mut dropped = 0usize;
+        let mut arrived = 0usize;
+        for ev in &events {
+            match ev.kind {
+                TraceKind::Completed { earned, .. } => {
+                    traced_yield += earned;
+                    completed += 1;
+                }
+                TraceKind::Dropped { earned } => {
+                    traced_yield += earned;
+                    dropped += 1;
+                }
+                TraceKind::TaskArrived { .. } => arrived += 1,
+                _ => {}
+            }
+        }
+        let m = &out.metrics;
+        prop_assert_eq!(arrived, m.submitted);
+        prop_assert_eq!(completed, m.completed);
+        prop_assert_eq!(dropped, m.dropped);
+        // Events are emitted at the very points the aggregate is
+        // accumulated, in the same order, so the sums agree to within
+        // one-reassociation rounding.
+        let tolerance = 1e-9 * m.total_yield.abs().max(1.0);
+        prop_assert!(
+            (traced_yield - m.total_yield).abs() <= tolerance,
+            "traced {} vs aggregate {}",
+            traced_yield,
+            m.total_yield
+        );
     }
 }

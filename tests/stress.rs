@@ -88,11 +88,24 @@ fn kitchen_sink_economy_stays_consistent() {
     assert!(out.contracts.iter().all(|c| c.is_settled()));
     assert_eq!(out.migrations + out.abandoned, out.cancelled);
 
+    // The conservation auditor found nothing wrong — at the market level
+    // or inside any site — with every feature interacting.
+    assert!(
+        out.audit_violations.is_empty(),
+        "market-level audit violations: {:?}",
+        out.audit_violations
+    );
+
     // Per-site conservation with every disposition in play.
     for site in &out.per_site {
         let m = &site.metrics;
         assert_eq!(m.completed + m.dropped + m.cancelled, m.accepted);
         assert!(m.total_yield.is_finite());
+        assert!(
+            site.violations.is_empty(),
+            "site audit violations: {:?}",
+            site.violations
+        );
     }
 
     // Budgets: client debits equal charges.
@@ -126,5 +139,17 @@ fn kitchen_sink_under_every_preemption_mode() {
         let out = Economy::new(cfg).run_trace(&trace);
         assert!(out.contracts.iter().all(|c| c.is_settled()), "{mode:?}");
         assert!(out.total_yield().is_finite(), "{mode:?}");
+        assert!(
+            out.audit_violations.is_empty(),
+            "{mode:?}: {:?}",
+            out.audit_violations
+        );
+        for site in &out.per_site {
+            assert!(
+                site.violations.is_empty(),
+                "{mode:?}: {:?}",
+                site.violations
+            );
+        }
     }
 }
