@@ -78,6 +78,24 @@ impl DecaySum {
     pub fn count(&self) -> usize {
         self.count
     }
+
+    /// Exact internal state `(sum, compensation, count)`. The accumulator
+    /// is history-dependent (Kahan compensation), so checkpoint/restore
+    /// must carry this verbatim rather than rebuilding by re-adding —
+    /// re-adding can differ in the low-order bits and flip near-tied
+    /// scheduling comparisons on recovery.
+    pub fn state(&self) -> (f64, f64, usize) {
+        (self.sum, self.compensation, self.count)
+    }
+
+    /// Rebuilds the accumulator from [`state`](Self::state) output.
+    pub fn from_state(state: (f64, f64, usize)) -> Self {
+        DecaySum {
+            sum: state.0,
+            compensation: state.1,
+            count: state.2,
+        }
+    }
 }
 
 /// A snapshot of the competing-task set at one scheduling point, answering

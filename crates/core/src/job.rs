@@ -7,9 +7,10 @@
 
 use mbts_sim::{Duration, Time};
 use mbts_workload::{TaskId, TaskSpec};
+use serde::{Deserialize, Serialize};
 
 /// A task in flight: spec + remaining processing time.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Job {
     /// The immutable submitted description.
     pub spec: TaskSpec,

@@ -55,6 +55,6 @@ pub use admission::{evaluate_admission, AdmissionDecision, AdmissionPolicy};
 pub use cost::{CostModel, DecaySum};
 pub use heuristics::{Policy, ScoreCtx};
 pub use job::Job;
-pub use pool::{IncrementalCostModel, PendingPool};
+pub use pool::{IncrementalCostModel, PendingPool, PoolCheckpoint};
 pub use schedule::{build_candidate, CandidateSchedule, ScheduleEntry, ScheduleMode};
 pub use value::{LinearDecay, PiecewiseLinear, ValueFunction};

@@ -58,6 +58,7 @@ use crate::heuristics::{Policy, ScoreCtx};
 use crate::job::Job;
 use crate::mergemap::MergeMap;
 use mbts_sim::{Duration, Time};
+use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap};
 
 /// Persistently maintained inputs of the Eq. 4 opportunity-cost model.
@@ -573,6 +574,39 @@ impl PendingPool {
         self.scratch = scratch;
     }
 
+    /// Serializable checkpoint: the queued jobs in slot order plus the
+    /// exact state of the Kahan decay accumulator. Everything else in
+    /// the pool (indexes, heaps, tombstones, cached models) is derived
+    /// state that [`from_checkpoint`](Self::from_checkpoint) rebuilds
+    /// with selection-identical behavior.
+    pub fn checkpoint(&self) -> PoolCheckpoint {
+        PoolCheckpoint {
+            policy: self.policy,
+            jobs: self.jobs.clone(),
+            decay_sum: self.cost.infinite.state(),
+        }
+    }
+
+    /// Rebuilds a pool from a [`checkpoint`](Self::checkpoint). Jobs are
+    /// re-pushed in slot order, reproducing the jobs vector (and thus
+    /// every future `swap_remove` position) exactly; the decay
+    /// accumulator is then overwritten with its checkpointed state, since
+    /// Kahan compensation is history-dependent and re-adding could differ
+    /// in the low-order bits that near-tied scheduling comparisons see.
+    /// Lazy-deletion heap tombstones and generation counters are *not*
+    /// carried over: they are performance artifacts that never change
+    /// which job `select_best` returns.
+    pub fn from_checkpoint(c: PoolCheckpoint) -> Self {
+        let mut pool = PendingPool::new(c.policy);
+        for job in c.jobs {
+            pool.push(job);
+        }
+        debug_assert_eq!(pool.cost.infinite.count(), c.decay_sum.2);
+        pool.cost.infinite = DecaySum::from_state(c.decay_sum);
+        pool.cost.model_now = None;
+        pool
+    }
+
     /// Rescores every job and heapifies in `O(n)`; reuses the heap's
     /// buffer. Time-invariant policies are scored at `Time::ZERO` (any
     /// instant gives the same value) so the heap stays valid forever.
@@ -599,6 +633,19 @@ impl PendingPool {
         self.heap = BinaryHeap::from(entries);
         self.heap_now = Some(at);
     }
+}
+
+/// Serializable state of a [`PendingPool`] — see
+/// [`PendingPool::checkpoint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolCheckpoint {
+    /// The ranking policy.
+    pub policy: Policy,
+    /// Queued jobs in slot order.
+    pub jobs: Vec<Job>,
+    /// Exact `(sum, compensation, count)` of the infinite-window decay
+    /// accumulator.
+    pub decay_sum: (f64, f64, usize),
 }
 
 #[cfg(test)]
@@ -769,6 +816,47 @@ mod tests {
                 (incremental[i] - policy.score(j, &ctx)).abs() < 1e-9,
                 "slot {i}"
             );
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_selection_sequence() {
+        for policy in [
+            Policy::Fcfs,
+            Policy::Srpt,
+            Policy::FirstPrice,
+            Policy::pv(0.01),
+            Policy::first_reward(0.3, 0.01),
+        ] {
+            let mut pool = PendingPool::new(policy);
+            for i in 0..8 {
+                if i % 2 == 0 {
+                    pool.push(job(i, 0.1 * i as f64, 2.0 + i as f64, 40.0, 0.5));
+                } else {
+                    pool.push(bounded(i, 1.0 + i as f64, 25.0, 1.5));
+                }
+            }
+            // Churn: dispatch a couple so the accumulator has history.
+            for t in [1.0, 2.0] {
+                let best = pool.select_best(Time::from(t)).unwrap();
+                pool.swap_remove(best);
+            }
+            let ck = pool.checkpoint();
+            let json = serde_json::to_string(&ck).unwrap();
+            let back: PoolCheckpoint = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, ck, "{}", policy.name());
+            let mut restored = PendingPool::from_checkpoint(back);
+            assert_eq!(restored.jobs(), pool.jobs());
+            // Both pools must dispatch identically from here on.
+            let mut t = 3.0;
+            while !pool.is_empty() {
+                let a = pool.select_best(Time::from(t)).unwrap();
+                let b = restored.select_best(Time::from(t)).unwrap();
+                assert_eq!(a, b, "{} at t={t}", policy.name());
+                assert_eq!(pool.swap_remove(a), restored.swap_remove(b));
+                t += 0.7;
+            }
+            assert!(restored.is_empty());
         }
     }
 

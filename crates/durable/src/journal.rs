@@ -1,0 +1,245 @@
+//! The journal: an append-only record stream, optionally mirrored to a
+//! file, plus the recovery scan that turns raw bytes back into "latest
+//! snapshot + event suffix".
+//!
+//! Appends are write-ahead: the caller journals an event *before*
+//! applying it, and file-backed journals flush every record, so after a
+//! crash the journal is never behind the in-memory state — at worst it
+//! is one torn record ahead, which [`recover_bytes`] discards.
+
+use crate::framing::{self, FramingError, RecordTag, ScanOutcome};
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// An append-only snapshot + event journal.
+///
+/// Always buffers the full byte stream in memory (tests and kill-point
+/// harnesses slice it directly); [`Journal::create`] additionally
+/// mirrors every record to a file, flushed per append, so the on-disk
+/// journal is as durable as the host's write pipeline allows.
+#[derive(Debug)]
+pub struct Journal {
+    bytes: Vec<u8>,
+    file: Option<File>,
+    path: Option<PathBuf>,
+}
+
+impl Journal {
+    /// A journal that lives only in memory.
+    pub fn in_memory() -> Self {
+        let mut bytes = Vec::new();
+        framing::write_header(&mut bytes);
+        Journal {
+            bytes,
+            file: None,
+            path: None,
+        }
+    }
+
+    /// Creates (truncating) a file-backed journal at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = File::create(&path)?;
+        let mut bytes = Vec::new();
+        framing::write_header(&mut bytes);
+        file.write_all(&bytes)?;
+        file.flush()?;
+        Ok(Journal {
+            bytes,
+            file: Some(file),
+            path: Some(path),
+        })
+    }
+
+    fn append(&mut self, tag: RecordTag, payload: &[u8]) -> io::Result<()> {
+        let start = self.bytes.len();
+        framing::append_record(&mut self.bytes, tag, payload);
+        if let Some(file) = self.file.as_mut() {
+            file.write_all(&self.bytes[start..])?;
+            file.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Appends a snapshot record (serialized replay state).
+    pub fn append_snapshot(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.append(RecordTag::Snapshot, payload)
+    }
+
+    /// Appends an event record (one sim event, pre-apply).
+    pub fn append_event(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.append(RecordTag::Event, payload)
+    }
+
+    /// The full byte stream written so far (header included).
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Bytes written so far — a kill point, for harnesses that truncate.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when only the header has been written.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.len() == framing::HEADER_LEN
+    }
+
+    /// The backing file's path, if file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+}
+
+/// Why recovery could not produce a runnable state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoverError {
+    /// The bytes are not a journal of a version we can read.
+    Framing(FramingError),
+    /// The valid prefix contains no intact snapshot record.
+    NoSnapshot,
+    /// The latest intact snapshot failed to deserialize.
+    BadSnapshot(String),
+    /// A journaled event did not match the event the restored state was
+    /// about to apply — the journal belongs to a different run.
+    Divergence {
+        /// Index of the offending event record after the snapshot.
+        index: usize,
+        /// Human-readable mismatch description.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Framing(e) => write!(f, "{e}"),
+            RecoverError::NoSnapshot => write!(f, "journal holds no intact snapshot"),
+            RecoverError::BadSnapshot(e) => write!(f, "snapshot failed to deserialize: {e}"),
+            RecoverError::Divergence { index, detail } => {
+                write!(f, "journal event {index} diverges from replay: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<FramingError> for RecoverError {
+    fn from(e: FramingError) -> Self {
+        RecoverError::Framing(e)
+    }
+}
+
+/// The recoverable content of a journal byte stream: the latest intact
+/// snapshot and every intact event journaled after it.
+#[derive(Debug)]
+pub struct Recovered<'a> {
+    /// Payload of the latest intact snapshot record.
+    pub snapshot: &'a [u8],
+    /// Event payloads following that snapshot, in journal order.
+    pub events: Vec<&'a [u8]>,
+    /// Event records before the chosen snapshot (already folded into it).
+    pub events_superseded: usize,
+    /// Torn/corrupt trailing bytes that were discarded.
+    pub dropped_bytes: usize,
+}
+
+/// Scans `bytes` and resolves the latest intact snapshot plus its event
+/// suffix. Corruption in the tail only shrinks the suffix; corruption
+/// *before* the latest snapshot is irrelevant by construction (the scan
+/// stops there, so such a snapshot is never chosen).
+pub fn recover_bytes(bytes: &[u8]) -> Result<Recovered<'_>, RecoverError> {
+    let ScanOutcome {
+        records,
+        dropped_bytes,
+        ..
+    } = framing::scan(bytes)?;
+    let last_snap = records
+        .iter()
+        .rposition(|(tag, _)| *tag == RecordTag::Snapshot)
+        .ok_or(RecoverError::NoSnapshot)?;
+    let events: Vec<&[u8]> = records[last_snap + 1..]
+        .iter()
+        .map(|(_, payload)| *payload)
+        .collect();
+    let events_superseded = records[..last_snap]
+        .iter()
+        .filter(|(tag, _)| *tag == RecordTag::Event)
+        .count();
+    Ok(Recovered {
+        snapshot: records[last_snap].1,
+        events,
+        events_superseded,
+        dropped_bytes,
+    })
+}
+
+/// Reads a journal file fully into memory.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Vec<u8>> {
+    std::fs::read(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_the_latest_snapshot_and_its_suffix() {
+        let mut j = Journal::in_memory();
+        j.append_snapshot(b"s0").unwrap();
+        j.append_event(b"e0").unwrap();
+        j.append_event(b"e1").unwrap();
+        j.append_snapshot(b"s1").unwrap();
+        j.append_event(b"e2").unwrap();
+        let r = recover_bytes(j.bytes()).unwrap();
+        assert_eq!(r.snapshot, b"s1");
+        assert_eq!(r.events, vec![b"e2".as_slice()]);
+        assert_eq!(r.events_superseded, 2);
+        assert_eq!(r.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn a_torn_tail_falls_back_to_the_previous_snapshot() {
+        let mut j = Journal::in_memory();
+        j.append_snapshot(b"s0").unwrap();
+        j.append_event(b"e0").unwrap();
+        let keep = j.len();
+        j.append_snapshot(b"s1").unwrap();
+        // Cut mid-way through the s1 record: recovery must land on s0.
+        let cut = keep + 3;
+        let r = recover_bytes(&j.bytes()[..cut]).unwrap();
+        assert_eq!(r.snapshot, b"s0");
+        assert_eq!(r.events, vec![b"e0".as_slice()]);
+        assert_eq!(r.dropped_bytes, cut - keep);
+    }
+
+    #[test]
+    fn no_snapshot_is_an_error_not_a_panic() {
+        let mut j = Journal::in_memory();
+        assert_eq!(
+            recover_bytes(j.bytes()).unwrap_err(),
+            RecoverError::NoSnapshot
+        );
+        j.append_event(b"orphan event").unwrap();
+        assert_eq!(
+            recover_bytes(j.bytes()).unwrap_err(),
+            RecoverError::NoSnapshot
+        );
+    }
+
+    #[test]
+    fn file_backed_journals_mirror_the_memory_stream() {
+        let dir = std::env::temp_dir().join("mbts-journal-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("mirror-{}.mbtsj", std::process::id()));
+        let mut j = Journal::create(&path).unwrap();
+        j.append_snapshot(b"state").unwrap();
+        j.append_event(b"ev").unwrap();
+        let on_disk = load(&path).unwrap();
+        assert_eq!(on_disk, j.bytes());
+        std::fs::remove_file(&path).ok();
+    }
+}

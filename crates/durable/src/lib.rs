@@ -1,0 +1,65 @@
+//! # mbts-durable — crash-consistent simulation runs
+//!
+//! A snapshot + write-ahead-journal layer that makes [`mbts_site`] and
+//! [`mbts_market`] runs recoverable at **any event boundary**: kill the
+//! process after any event — or mid-write, tearing the journal's tail —
+//! and recovery reproduces the uninterrupted run bit for bit (schedule,
+//! yields, account balances and trace stream included).
+//!
+//! Three layers:
+//!
+//! * [`framing`] — CRC-framed records (magic + version header; each
+//!   record is `tag | len | crc32 | payload`). A scan stops at the first
+//!   damaged record, so any torn tail degrades to a clean valid prefix.
+//! * [`journal`] — the append-only record stream (in-memory, optionally
+//!   mirrored to a flushed file) and the byte-level recovery scan.
+//! * [`run`] — the [`Recoverable`] trait (implemented by
+//!   [`SiteRun`](mbts_site::SiteRun) and
+//!   [`EconomyRun`](mbts_market::EconomyRun)) and [`DurableRun`], which
+//!   journals every event ahead of applying it, snapshots on a cadence,
+//!   and recovers by snapshot-restore + verified event replay.
+//!
+//! Determinism does the heavy lifting: because the simulations derive
+//! every draw from owned RNG streams and the event queue breaks ties by
+//! sequence number, a snapshot of *state* (not history) plus the event
+//! suffix is enough to reproduce the exact future.
+//!
+//! ```
+//! use mbts_core::Policy;
+//! use mbts_durable::{DurableRun, Journal};
+//! use mbts_site::{SiteConfig, SiteRun};
+//! use mbts_trace::Tracer;
+//! use mbts_workload::{generate_trace, MixConfig};
+//!
+//! let trace = generate_trace(
+//!     &MixConfig::millennium_default().with_tasks(40).with_processors(4),
+//!     7,
+//! );
+//! let config = SiteConfig::new(4).with_policy(Policy::first_reward(0.3, 0.01));
+//!
+//! // Journal a run, "crashing" after 30 events.
+//! let run = SiteRun::new(config.clone(), &trace, Tracer::Off);
+//! let mut durable = DurableRun::new(run, Journal::in_memory(), 16).unwrap();
+//! for _ in 0..30 {
+//!     durable.step().unwrap();
+//! }
+//! let (_, journal) = durable.into_parts();
+//!
+//! // Recover and run to completion: same outcome as never crashing.
+//! let (mut recovered, report) = DurableRun::<SiteRun>::recover(journal.bytes()).unwrap();
+//! assert_eq!(recovered.events_handled(), 30);
+//! assert_eq!(report.dropped_bytes, 0);
+//! recovered.run_to_completion();
+//!
+//! let mut uninterrupted = SiteRun::new(config, &trace, Tracer::Off);
+//! uninterrupted.run_to_completion();
+//! assert_eq!(recovered.finish().0, uninterrupted.finish().0);
+//! ```
+
+pub mod framing;
+pub mod journal;
+pub mod run;
+
+pub use framing::{FramingError, RecordTag, ScanOutcome};
+pub use journal::{load, recover_bytes, Journal, RecoverError, Recovered};
+pub use run::{durable_economy_run, durable_site_run, DurableRun, Recoverable, RecoveryReport};

@@ -17,9 +17,100 @@
 //! rules quantifies the incentive the paper gestures at.
 
 use crate::economy::{Economy, EconomyConfig};
-use mbts_sim::OnlineStats;
+use mbts_sim::{OnlineStats, SimRng};
 use mbts_workload::Trace;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Capped exponential backoff with seeded jitter for tasks re-entering
+/// negotiation (orphan re-bids after a site outage).
+///
+/// The raw curve is `base · 2^attempt`, saturating at `cap`; each delay
+/// is then scaled by `1 − jitter · U` with `U ~ Uniform[0, 1)` drawn
+/// from a dedicated seeded stream, so simultaneous orphans from one
+/// outage fan out instead of re-bidding in lockstep. With `jitter == 0`
+/// no random draw is consumed and the delay is exactly the capped
+/// exponential — byte-identical to the un-jittered schedule.
+///
+/// The RNG stream is part of the replay state: [`state`](Self::state) /
+/// [`from_state`](Self::from_state) carry it across a durable-recovery
+/// checkpoint so resumed runs draw the same jitter sequence.
+#[derive(Debug, Clone)]
+pub struct RebidBackoff {
+    base: f64,
+    cap: f64,
+    jitter: f64,
+    rng: SimRng,
+}
+
+/// Serializable image of a [`RebidBackoff`] (raw xoshiro state words).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebidBackoffState {
+    /// First-attempt delay.
+    pub base: f64,
+    /// Delay ceiling (`None` = uncapped; infinities don't survive JSON).
+    pub cap: Option<f64>,
+    /// Jitter fraction in `[0, 1]`.
+    pub jitter: f64,
+    /// Raw xoshiro state words of the jitter stream.
+    pub rng: (u64, u64, u64, u64),
+}
+
+impl RebidBackoff {
+    /// A backoff schedule starting at `base`, capped at `cap`, with the
+    /// given `jitter` fraction drawn from `rng`.
+    pub fn new(base: f64, cap: f64, jitter: f64, rng: SimRng) -> Self {
+        assert!(base >= 0.0, "backoff base must be non-negative");
+        assert!(cap >= 0.0, "backoff cap must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&jitter),
+            "jitter must be a fraction in [0, 1]"
+        );
+        RebidBackoff {
+            base,
+            cap,
+            jitter,
+            rng,
+        }
+    }
+
+    /// The delay before re-bid number `attempt` (0-based). Never exceeds
+    /// the cap: jitter only shrinks the capped exponential.
+    pub fn delay(&mut self, attempt: u32) -> f64 {
+        // powi on a clamped exponent: past ~2^1024 the raw curve is
+        // infinite anyway and the min() saturates at the cap.
+        let raw = self.base * f64::powi(2.0, attempt.min(1024) as i32);
+        let capped = raw.min(self.cap);
+        if self.jitter > 0.0 {
+            let u: f64 = self.rng.gen();
+            capped * (1.0 - self.jitter * u)
+        } else {
+            capped
+        }
+    }
+
+    /// Captures the schedule parameters and the jitter stream.
+    pub fn state(&self) -> RebidBackoffState {
+        let s = self.rng.state();
+        RebidBackoffState {
+            base: self.base,
+            cap: self.cap.is_finite().then_some(self.cap),
+            jitter: self.jitter,
+            rng: (s[0], s[1], s[2], s[3]),
+        }
+    }
+
+    /// Rebuilds a backoff whose next draws continue `state`'s stream.
+    pub fn from_state(state: RebidBackoffState) -> Self {
+        let (a, b, c, d) = state.rng;
+        RebidBackoff {
+            base: state.base,
+            cap: state.cap.unwrap_or(f64::INFINITY),
+            jitter: state.jitter,
+            rng: SimRng::from_state([a, b, c, d]),
+        }
+    }
+}
 
 /// Aggregate outcomes for one bidding population.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -147,6 +238,83 @@ impl Accounts {
             true_value_realized: self.true_value,
             mean_utility: self.utilities.mean(),
         }
+    }
+}
+
+#[cfg(test)]
+mod backoff_tests {
+    use super::*;
+    use mbts_sim::RngFactory;
+
+    fn stream(seed: u64) -> SimRng {
+        RngFactory::new(seed).stream("orphan-backoff")
+    }
+
+    #[test]
+    fn unjittered_delay_is_the_exact_capped_exponential() {
+        let mut b = RebidBackoff::new(60.0, 500.0, 0.0, stream(1));
+        assert_eq!(b.delay(0), 60.0);
+        assert_eq!(b.delay(1), 120.0);
+        assert_eq!(b.delay(2), 240.0);
+        assert_eq!(b.delay(3), 480.0);
+        // 960 would exceed the cap.
+        assert_eq!(b.delay(4), 500.0);
+        assert_eq!(b.delay(30), 500.0);
+    }
+
+    #[test]
+    fn backoff_cap_is_respected_under_jitter() {
+        let mut b = RebidBackoff::new(60.0, 900.0, 0.5, stream(2));
+        for attempt in 0..64 {
+            for _ in 0..50 {
+                let d = b.delay(attempt);
+                assert!(d <= 900.0, "attempt {attempt}: delay {d} exceeds cap");
+                assert!(d >= 0.0);
+                // Jitter shrinks by at most the jitter fraction.
+                let capped = (60.0 * f64::powi(2.0, attempt as i32)).min(900.0);
+                assert!(d >= capped * 0.5 - 1e-9, "attempt {attempt}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_draws_are_seeded_and_spread() {
+        let mut a = RebidBackoff::new(60.0, 1e6, 0.3, stream(3));
+        let mut b = RebidBackoff::new(60.0, 1e6, 0.3, stream(3));
+        let da: Vec<f64> = (0..16).map(|_| a.delay(2)).collect();
+        let db: Vec<f64> = (0..16).map(|_| b.delay(2)).collect();
+        assert_eq!(da, db, "same seed, same jitter sequence");
+        let distinct: std::collections::BTreeSet<u64> = da.iter().map(|d| d.to_bits()).collect();
+        assert!(distinct.len() > 8, "jitter actually varies the delays");
+    }
+
+    #[test]
+    fn huge_attempt_counts_saturate_at_the_cap() {
+        let mut b = RebidBackoff::new(1.0, 3600.0, 0.0, stream(4));
+        assert_eq!(b.delay(u32::MAX), 3600.0);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_the_jitter_stream() {
+        let mut b = RebidBackoff::new(60.0, 2000.0, 0.4, stream(5));
+        for k in 0..7 {
+            b.delay(k);
+        }
+        let json = serde_json::to_string(&b.state()).unwrap();
+        let restored: RebidBackoffState = serde_json::from_str(&json).unwrap();
+        let mut c = RebidBackoff::from_state(restored);
+        for k in 0..32 {
+            assert_eq!(b.delay(k % 6).to_bits(), c.delay(k % 6).to_bits());
+        }
+    }
+
+    #[test]
+    fn uncapped_state_roundtrips_through_json() {
+        let b = RebidBackoff::new(60.0, f64::INFINITY, 0.0, stream(6));
+        let json = serde_json::to_string(&b.state()).unwrap();
+        let restored: RebidBackoffState = serde_json::from_str(&json).unwrap();
+        let mut c = RebidBackoff::from_state(restored);
+        assert_eq!(c.delay(4), 60.0 * 16.0, "cap restored as infinite");
     }
 }
 

@@ -37,7 +37,7 @@ impl BudgetConfig {
 }
 
 /// One client's account.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Account {
     balance: f64,
     last_accrual: Time,

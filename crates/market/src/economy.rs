@@ -15,15 +15,20 @@
 //!    or pay a penalty, filtered through the [`PricingStrategy`].
 
 use crate::bid::{ClientSelection, ServerBid, TaskBid};
+use crate::bidding::{RebidBackoff, RebidBackoffState};
 use crate::budget::{Account, BudgetConfig};
 use crate::contract::{Contract, ContractTerms};
 use crate::pricing::PricingStrategy;
 use mbts_sim::{
-    rng::splitmix64, Engine, EventQueue, FaultConfig, FaultInjector, FaultUnit, Model, Time,
+    rng::splitmix64, Engine, EventQueue, FaultConfig, FaultInjector, FaultInjectorState, FaultUnit,
+    Model, RngFactory, Time,
 };
-use mbts_site::{AuditViolation, CompletionToken, SiteConfig, SiteOutcome, SiteState};
-use mbts_trace::{TraceEvent, TraceKind, Tracer};
+use mbts_site::{
+    AuditViolation, CompletionToken, SiteConfig, SiteOutcome, SiteSnapshot, SiteState,
+};
+use mbts_trace::{TraceEvent, TraceKind, Tracer, TracerSnapshot};
 use mbts_workload::{TaskId, TaskSpec, Trace};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Index of a site within an economy.
@@ -33,7 +38,7 @@ pub type SiteId = usize;
 /// function is "a disincentive for a site to … discard an accepted task
 /// if circumstances prevent the site from completing \[it\] in a timely
 /// fashion").
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MigrationConfig {
     /// How long past the negotiated completion a client waits before
     /// cancelling a still-queued task.
@@ -50,7 +55,7 @@ pub struct MigrationConfig {
 /// client, the contract settles as a breach (the penalty charged against
 /// the site's revenue account), and the client re-enters negotiation with
 /// exponential backoff under a bounded re-bid budget.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MarketFaultConfig {
     /// What fails and how often (per processor / per site).
     pub faults: FaultConfig,
@@ -59,6 +64,16 @@ pub struct MarketFaultConfig {
     /// Base delay before an orphaned task re-bids; doubles per failed
     /// attempt (exponential backoff).
     pub orphan_backoff: f64,
+    /// Ceiling on any single re-bid delay (`None` = uncapped): the
+    /// exponential curve saturates here instead of growing unboundedly.
+    #[serde(default)]
+    pub orphan_backoff_cap: Option<f64>,
+    /// Jitter fraction in `[0, 1]`: each re-bid delay is scaled by
+    /// `1 − jitter · U`, `U ~ Uniform[0, 1)` from a seeded stream, so a
+    /// mass orphaning fans out instead of re-bidding in lockstep. `0`
+    /// (the default) draws nothing and reproduces the exact exponential.
+    #[serde(default)]
+    pub orphan_jitter: f64,
     /// Re-bid budget per orphaning: after this many failed rounds the
     /// task is abandoned.
     pub orphan_max_rebids: u32,
@@ -68,21 +83,51 @@ pub struct MarketFaultConfig {
 }
 
 impl MarketFaultConfig {
-    /// A config with default backoff (60 t.u., 5 re-bids) and crash
-    /// budget (10 000 events).
+    /// A config with default backoff (60 t.u., uncapped, no jitter,
+    /// 5 re-bids) and crash budget (10 000 events).
     pub fn new(faults: FaultConfig, seed: u64) -> Self {
         MarketFaultConfig {
             faults,
             seed,
             orphan_backoff: 60.0,
+            orphan_backoff_cap: None,
+            orphan_jitter: 0.0,
             orphan_max_rebids: 5,
             max_crashes: 10_000,
         }
     }
+
+    /// Caps every re-bid delay at `cap` time units.
+    pub fn with_backoff_cap(mut self, cap: f64) -> Self {
+        assert!(cap >= 0.0, "backoff cap must be non-negative");
+        self.orphan_backoff_cap = Some(cap);
+        self
+    }
+
+    /// Sets the jitter fraction (see [`orphan_jitter`](Self::orphan_jitter)).
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&jitter),
+            "jitter must be a fraction in [0, 1]"
+        );
+        self.orphan_jitter = jitter;
+        self
+    }
+
+    /// The [`RebidBackoff`] schedule this config describes, with its
+    /// jitter stream seeded from the config's seed.
+    pub fn backoff(&self) -> RebidBackoff {
+        RebidBackoff::new(
+            self.orphan_backoff,
+            self.orphan_backoff_cap.unwrap_or(f64::INFINITY),
+            self.orphan_jitter,
+            RngFactory::new(self.seed).stream("orphan-backoff"),
+        )
+    }
 }
 
 /// Client retry behaviour for tasks every site rejected.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RetryConfig {
     /// How long a client waits before re-bidding a rejected task.
     pub backoff: f64,
@@ -91,7 +136,7 @@ pub struct RetryConfig {
 }
 
 /// Configuration of a multi-site economy.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EconomyConfig {
     /// One config per site (sites may differ in capacity and policy).
     pub sites: Vec<SiteConfig>,
@@ -133,7 +178,7 @@ impl EconomyConfig {
 }
 
 /// Result of running a trace through an economy.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EconomyOutcome {
     /// Per-site outcomes (metrics + per-job records).
     pub per_site: Vec<SiteOutcome>,
@@ -223,19 +268,38 @@ impl Economy {
     /// the site it ran on. Observational only — the outcome is
     /// bit-identical to an untraced run.
     pub fn run_trace_traced(&self, trace: &Trace, tracer: Tracer) -> (EconomyOutcome, Tracer) {
-        let accounts = self
-            .config
+        let mut run = EconomyRun::new(self.config.clone(), trace, tracer);
+        run.run_to_completion();
+        run.finish()
+    }
+}
+
+/// A stepwise economy simulation: the same replay [`Economy::run_trace`]
+/// performs, exposed one event at a time so callers (journals, debuggers,
+/// kill-point harnesses) can observe, checkpoint and resume it at any
+/// event boundary.
+pub struct EconomyRun {
+    engine: Engine<EcoModel>,
+}
+
+impl EconomyRun {
+    /// Sets up the economy over `trace` with all arrivals (and, with
+    /// faults configured, each unit's pre-drawn first crash) scheduled.
+    pub fn new(config: EconomyConfig, trace: &Trace, tracer: Tracer) -> Self {
+        assert!(!config.sites.is_empty(), "economy needs at least one site");
+        let accounts = config
             .budgets
             .as_ref()
             .map(|b| vec![Account::new(b); b.num_clients])
             .unwrap_or_default();
         // With faults configured, pre-draw each unit's first failure so
         // timelines stay independent of event interleaving.
-        let fault_cfg = self.config.faults.clone().filter(|f| !f.faults.is_none());
+        let fault_cfg = config.faults.clone().filter(|f| !f.faults.is_none());
         let mut injector = fault_cfg.as_ref().map(|f| {
-            let procs: Vec<usize> = self.config.sites.iter().map(|s| s.processors).collect();
+            let procs: Vec<usize> = config.sites.iter().map(|s| s.processors).collect();
             FaultInjector::new(f.faults.clone(), f.seed, &procs)
         });
+        let rebid_backoff = fault_cfg.as_ref().map(|f| f.backoff());
         let mut crash_budget = fault_cfg.as_ref().map(|f| f.max_crashes).unwrap_or(0);
         let mut initial = Vec::new();
         if let Some(inj) = injector.as_mut() {
@@ -250,19 +314,18 @@ impl Economy {
             }
         }
         let model = EcoModel {
-            sites: self
-                .config
+            sites: config
                 .sites
                 .iter()
                 .map(|c| SiteState::new(c.clone()))
                 .collect(),
             trace: trace.tasks.clone(),
-            selection: self.config.selection,
-            pricing: self.config.pricing,
-            budgets: self.config.budgets,
-            migration: self.config.migration,
-            terms: self.config.terms,
-            retry: self.config.retry,
+            selection: config.selection,
+            pricing: config.pricing,
+            budgets: config.budgets,
+            migration: config.migration,
+            terms: config.terms,
+            retry: config.retry,
             accounts,
             contracts: Vec::new(),
             contract_of: HashMap::new(),
@@ -278,10 +341,11 @@ impl Economy {
             abandoned: 0,
             attempts: HashMap::new(),
             retries: HashMap::new(),
-            coin_state: self.config.seed ^ 0x8E51_2CAF_3B5E_71A9,
-            site_accounts: vec![0.0; self.config.sites.len()],
+            coin_state: config.seed ^ 0x8E51_2CAF_3B5E_71A9,
+            site_accounts: vec![0.0; config.sites.len()],
             injector,
             fault_cfg,
+            rebid_backoff,
             crash_budget,
             arrivals_left: trace.tasks.len(),
             pending_rebids: 0,
@@ -300,8 +364,156 @@ impl Economy {
         for (at, unit) in initial {
             engine.schedule(at, EcoEvent::Crash(unit));
         }
-        engine.run_to_completion();
-        let mut model = engine.into_model();
+        EconomyRun { engine }
+    }
+
+    /// Applies the next event; `false` once the queue has run dry.
+    pub fn step(&mut self) -> bool {
+        self.engine.step()
+    }
+
+    /// Runs every remaining event.
+    pub fn run_to_completion(&mut self) {
+        self.engine.run_to_completion();
+    }
+
+    /// `true` once no events remain.
+    pub fn is_done(&self) -> bool {
+        self.engine.queue().is_empty()
+    }
+
+    /// Events applied so far.
+    pub fn events_handled(&self) -> u64 {
+        self.engine.events_handled()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+
+    /// The next event due, if any (FIFO among ties, as the engine pops).
+    pub fn next_event(&self) -> Option<(Time, &EcoEvent)> {
+        self.engine.queue().peek()
+    }
+
+    /// Captures the complete replay state at the current event boundary.
+    pub fn snapshot(&self) -> EconomySnapshot {
+        let m = self.engine.model();
+        let sorted = |map: &HashMap<u64, u32>| {
+            let mut v: Vec<(u64, u32)> = map.iter().map(|(&k, &n)| (k, n)).collect();
+            v.sort_unstable();
+            v
+        };
+        let mut contract_of: Vec<(u64, usize)> =
+            m.contract_of.iter().map(|(&k, &v)| (k, v)).collect();
+        contract_of.sort_unstable();
+        EconomySnapshot {
+            sites: m.sites.iter().map(|s| s.snapshot()).collect(),
+            trace: m.trace.clone(),
+            selection: m.selection,
+            pricing: m.pricing,
+            budgets: m.budgets,
+            accounts: m.accounts.clone(),
+            contracts: m.contracts.clone(),
+            contract_of,
+            second_quote: m.second_quote.clone(),
+            migration: m.migration,
+            terms: m.terms,
+            retry: m.retry,
+            offered: m.offered,
+            placed: m.placed,
+            unplaced: m.unplaced,
+            unfunded: m.unfunded,
+            total_settled: m.total_settled,
+            total_paid: m.total_paid,
+            cancelled: m.cancelled,
+            migrations: m.migrations,
+            abandoned: m.abandoned,
+            attempts: sorted(&m.attempts),
+            retries: sorted(&m.retries),
+            coin_state: m.coin_state,
+            site_accounts: m.site_accounts.clone(),
+            injector: m.injector.as_ref().map(|i| i.state()),
+            fault_cfg: m.fault_cfg.clone(),
+            rebid_backoff: m.rebid_backoff.as_ref().map(|b| b.state()),
+            crash_budget: m.crash_budget,
+            arrivals_left: m.arrivals_left,
+            pending_rebids: m.pending_rebids,
+            crashes: m.crashes,
+            repairs: m.repairs,
+            orphaned: m.orphaned,
+            orphans_replaced: m.orphans_replaced,
+            orphans_abandoned: m.orphans_abandoned,
+            audit_violations: m.audit_violations.clone(),
+            tracer: m.tracer.snapshot(),
+            queue: self.engine.queue().snapshot_entries(),
+            next_seq: self.engine.queue().next_seq(),
+            now: self.engine.now(),
+            handled: self.engine.events_handled(),
+        }
+    }
+
+    /// Reconstructs a run from a [`snapshot`](Self::snapshot); the resumed
+    /// run replays bit-identically to the one that was captured.
+    pub fn from_snapshot(snap: EconomySnapshot) -> Self {
+        let model = EcoModel {
+            sites: snap
+                .sites
+                .into_iter()
+                .map(SiteState::from_snapshot)
+                .collect(),
+            trace: snap.trace,
+            selection: snap.selection,
+            pricing: snap.pricing,
+            budgets: snap.budgets,
+            accounts: snap.accounts,
+            contracts: snap.contracts,
+            contract_of: snap.contract_of.into_iter().collect(),
+            second_quote: snap.second_quote,
+            migration: snap.migration,
+            terms: snap.terms,
+            retry: snap.retry,
+            offered: snap.offered,
+            placed: snap.placed,
+            unplaced: snap.unplaced,
+            unfunded: snap.unfunded,
+            total_settled: snap.total_settled,
+            total_paid: snap.total_paid,
+            cancelled: snap.cancelled,
+            migrations: snap.migrations,
+            abandoned: snap.abandoned,
+            attempts: snap.attempts.into_iter().collect(),
+            retries: snap.retries.into_iter().collect(),
+            coin_state: snap.coin_state,
+            site_accounts: snap.site_accounts,
+            injector: snap.injector.map(FaultInjector::from_state),
+            fault_cfg: snap.fault_cfg,
+            rebid_backoff: snap.rebid_backoff.map(RebidBackoff::from_state),
+            crash_budget: snap.crash_budget,
+            arrivals_left: snap.arrivals_left,
+            pending_rebids: snap.pending_rebids,
+            crashes: snap.crashes,
+            repairs: snap.repairs,
+            orphaned: snap.orphaned,
+            orphans_replaced: snap.orphans_replaced,
+            orphans_abandoned: snap.orphans_abandoned,
+            audit_violations: snap.audit_violations,
+            tracer: Tracer::from_snapshot(snap.tracer),
+        };
+        let queue = EventQueue::restore(snap.queue, snap.next_seq);
+        EconomyRun {
+            engine: Engine::from_parts(model, queue, snap.now, snap.handled),
+        }
+    }
+
+    /// Consumes the (finished) run, yielding the outcome and the tracer.
+    pub fn finish(self) -> (EconomyOutcome, Tracer) {
+        debug_assert!(
+            self.engine.queue().is_empty(),
+            "finish() on a run with pending events"
+        );
+        let mut model = self.engine.into_model();
         let tracer = std::mem::take(&mut model.tracer);
         let outcome = EconomyOutcome {
             client_spend: model.accounts.iter().map(|a| a.spent).collect(),
@@ -328,33 +540,142 @@ impl Economy {
     }
 }
 
-enum EcoEvent {
+/// Complete replay state of an [`EconomyRun`] at an event boundary:
+/// restoring it and running to completion is bit-identical to never
+/// having stopped. Hash-keyed ledgers are flattened to sorted vectors so
+/// serialized snapshots are deterministic byte-for-byte.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EconomySnapshot {
+    /// Per-site replay state.
+    pub sites: Vec<SiteSnapshot>,
+    /// The full submission stream (arrivals index into it).
+    pub trace: Vec<TaskSpec>,
+    /// Client selection rule.
+    pub selection: ClientSelection,
+    /// Settlement pricing strategy.
+    pub pricing: PricingStrategy,
+    /// Budget parameters, if budgets are enforced.
+    pub budgets: Option<BudgetConfig>,
+    /// Client account ledgers.
+    pub accounts: Vec<Account>,
+    /// The contract ledger.
+    pub contracts: Vec<Contract>,
+    /// task id → contract index, sorted by task id.
+    pub contract_of: Vec<(u64, usize)>,
+    /// Runner-up quote per contract (second pricing).
+    pub second_quote: Vec<Option<f64>>,
+    /// Migration (deadline-enforcement) settings.
+    pub migration: Option<MigrationConfig>,
+    /// Contract terms applied to new contracts.
+    pub terms: ContractTerms,
+    /// Rejected-bid retry settings.
+    pub retry: Option<RetryConfig>,
+    /// Tasks offered so far.
+    pub offered: usize,
+    /// Contracts formed so far.
+    pub placed: usize,
+    /// Tasks that exhausted placement attempts.
+    pub unplaced: usize,
+    /// Tasks whose clients could not fund any bid.
+    pub unfunded: usize,
+    /// Σ contract settlements.
+    pub total_settled: f64,
+    /// Σ amounts actually paid after pricing.
+    pub total_paid: f64,
+    /// Contracts cancelled by deadline enforcement.
+    pub cancelled: usize,
+    /// Successful migrations after cancellation.
+    pub migrations: usize,
+    /// Tasks abandoned after cancellation.
+    pub abandoned: usize,
+    /// Negotiation attempts per task id, sorted by task id.
+    pub attempts: Vec<(u64, u32)>,
+    /// Retry rounds per task id, sorted by task id.
+    pub retries: Vec<(u64, u32)>,
+    /// Selection-coin PRNG state.
+    pub coin_state: u64,
+    /// Per-site revenue ledgers.
+    pub site_accounts: Vec<f64>,
+    /// Fault injector RNG streams and config, if faults are on.
+    pub injector: Option<FaultInjectorState>,
+    /// Market fault settings, if faults are on.
+    pub fault_cfg: Option<MarketFaultConfig>,
+    /// Orphan re-bid schedule state, if faults are on.
+    pub rebid_backoff: Option<RebidBackoffState>,
+    /// Remaining crash-event budget.
+    pub crash_budget: u64,
+    /// Arrivals not yet delivered.
+    pub arrivals_left: usize,
+    /// Orphan re-bids scheduled but not yet delivered.
+    pub pending_rebids: usize,
+    /// Crash events applied.
+    pub crashes: u64,
+    /// Repair events applied.
+    pub repairs: u64,
+    /// Tasks orphaned by site crashes.
+    pub orphaned: usize,
+    /// Orphans successfully re-placed.
+    pub orphans_replaced: usize,
+    /// Orphans abandoned after exhausting re-bids.
+    pub orphans_abandoned: usize,
+    /// Money-conservation violations recorded so far.
+    pub audit_violations: Vec<AuditViolation>,
+    /// Market-layer tracer state.
+    pub tracer: TracerSnapshot,
+    /// Pending event-queue entries `(at, seq, event)`.
+    pub queue: Vec<(Time, u64, EcoEvent)>,
+    /// The queue's next sequence number.
+    pub next_seq: u64,
+    /// Simulation clock.
+    pub now: Time,
+    /// Events applied so far.
+    pub handled: u64,
+}
+
+/// One scheduled occurrence in the economy's discrete-event timeline.
+///
+/// Public (with serde support) so durability layers can journal the
+/// pending event queue verbatim; user code never constructs these.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum EcoEvent {
+    /// Task `trace[i]` arrives and enters negotiation.
     Arrival(usize),
+    /// A site's schedule predicts a completion at this token.
     Completion {
+        /// Which site the completion fires on.
         site: SiteId,
+        /// The site-local completion token.
         token: CompletionToken,
     },
     /// Client-side contract enforcement: fires `grace` after the
     /// negotiated completion of the contract at this index.
     DeadlineCheck {
+        /// Index into the economy's contract ledger.
         contract: usize,
     },
     /// A rejected task re-bidding after its backoff.
     Retry {
+        /// The task being re-bid (budget-capped value included).
         spec: TaskSpec,
+        /// The owning client account.
         client: usize,
     },
     /// A fault unit goes down.
     Crash(FaultUnit),
     /// The unit comes back, restoring the `n` processors its crash took.
     Repair {
+        /// The recovering unit.
         unit: FaultUnit,
+        /// Processors restored.
         n: usize,
     },
     /// An orphaned task re-entering negotiation after its backoff.
     OrphanRebid {
+        /// The orphaned task.
         spec: TaskSpec,
+        /// The owning client account.
         client: usize,
+        /// Failed re-bid rounds so far.
         attempt: u32,
     },
 }
@@ -393,6 +714,8 @@ struct EcoModel {
     site_accounts: Vec<f64>,
     injector: Option<FaultInjector>,
     fault_cfg: Option<MarketFaultConfig>,
+    /// Orphan re-bid delay schedule (present iff faults are configured).
+    rebid_backoff: Option<RebidBackoff>,
     crash_budget: u64,
     /// Arrivals not yet delivered — with the quiescence check this
     /// detects the end of the workload so crash scheduling stops.
@@ -509,19 +832,20 @@ impl EcoModel {
                 let cap = self.sites[site].capacity();
                 let killed = self.sites[site].crash(cap, now);
                 let orphans = self.sites[site].orphan_pending(now);
-                let backoff = self
-                    .fault_cfg
-                    .as_ref()
-                    .map(|f| f.orphan_backoff)
-                    .unwrap_or(60.0);
                 for job in orphans {
                     self.orphaned += 1;
                     self.settle_orphan_breach(now, site, job.id().0);
                     let spec = job.spec;
                     let client = self.client_of(&spec);
                     self.pending_rebids += 1;
+                    // Each orphan draws its own first delay so jittered
+                    // configs fan the re-bid storm out.
+                    let delay = match self.rebid_backoff.as_mut() {
+                        Some(b) => b.delay(0),
+                        None => 60.0,
+                    };
                     queue.schedule(
-                        now + mbts_sim::Duration::new(backoff),
+                        now + mbts_sim::Duration::new(delay),
                         EcoEvent::OrphanRebid {
                             spec,
                             client,
@@ -562,8 +886,9 @@ impl EcoModel {
     }
 
     /// An orphaned task re-enters negotiation. Failed rounds back off
-    /// exponentially (`orphan_backoff · 2^attempt`) up to the re-bid
-    /// budget, after which the task is abandoned.
+    /// exponentially (`orphan_backoff · 2^attempt`, capped and jittered
+    /// per [`MarketFaultConfig`]) up to the re-bid budget, after which
+    /// the task is abandoned.
     fn handle_orphan_rebid(
         &mut self,
         now: Time,
@@ -577,9 +902,17 @@ impl EcoModel {
             self.orphans_replaced += 1;
             return;
         }
-        let f = self.fault_cfg.as_ref().expect("rebid without fault config");
-        if attempt < f.orphan_max_rebids {
-            let delay = f.orphan_backoff * f64::powi(2.0, (attempt + 1) as i32);
+        let max_rebids = self
+            .fault_cfg
+            .as_ref()
+            .expect("rebid without fault config")
+            .orphan_max_rebids;
+        if attempt < max_rebids {
+            let delay = self
+                .rebid_backoff
+                .as_mut()
+                .expect("rebid without fault config")
+                .delay(attempt + 1);
             self.pending_rebids += 1;
             queue.schedule(
                 now + mbts_sim::Duration::new(delay),
@@ -1180,6 +1513,94 @@ mod fault_tests {
         assert!(out.audit_violations.is_empty());
         let spent: f64 = out.client_spend.iter().sum();
         assert!((spent - out.total_paid).abs() < 1e-6 * (1.0 + out.total_paid.abs()));
+    }
+
+    /// The widest-state config we can build: budgets, migration, retry,
+    /// second pricing, processor + site faults with a capped jittered
+    /// re-bid schedule, and a buffering tracer.
+    fn kitchen_sink_cfg() -> EconomyConfig {
+        let mut cfg = base_cfg();
+        cfg.budgets = Some(BudgetConfig {
+            num_clients: 4,
+            initial: 150.0,
+            replenish_rate: 0.05,
+            cap: 500.0,
+        });
+        cfg.migration = Some(MigrationConfig {
+            grace: 120.0,
+            max_attempts: 3,
+        });
+        cfg.retry = Some(RetryConfig {
+            backoff: 45.0,
+            max_retries: 2,
+        });
+        cfg.pricing = PricingStrategy::second_price();
+        cfg.faults = Some(
+            MarketFaultConfig::new(
+                FaultConfig {
+                    processor: Some(UpDown::exponential(2_500.0, 120.0)),
+                    site: Some(UpDown::exponential(6_000.0, 400.0)),
+                },
+                13,
+            )
+            .with_backoff_cap(240.0)
+            .with_jitter(0.5),
+        );
+        cfg
+    }
+
+    #[test]
+    fn snapshot_midway_resumes_bit_identically() {
+        let trace = trace(26);
+        let mut base = EconomyRun::new(kitchen_sink_cfg(), &trace, Tracer::buffer());
+        base.run_to_completion();
+        let total = base.events_handled();
+        let (want, want_tracer) = base.finish();
+        assert!(want.crashes > 0 && want.orphaned > 0, "faults must fire");
+        let want_events = want_tracer.into_events().unwrap();
+
+        for k in [0, 1, 9, total / 2, total - 1, total] {
+            let mut run = EconomyRun::new(kitchen_sink_cfg(), &trace, Tracer::buffer());
+            for _ in 0..k {
+                assert!(run.step(), "ran dry before event {k}");
+            }
+            // Round-trip through JSON: what a journal would persist.
+            let json = serde_json::to_string(&run.snapshot()).unwrap();
+            let snap: EconomySnapshot = serde_json::from_str(&json).unwrap();
+            let mut resumed = EconomyRun::from_snapshot(snap);
+            assert_eq!(resumed.events_handled(), k);
+            resumed.run_to_completion();
+            assert_eq!(resumed.events_handled(), total);
+            let (got, got_tracer) = resumed.finish();
+            assert_eq!(got, want, "outcome diverged after kill at event {k}");
+            assert_eq!(
+                got_tracer.into_events().unwrap(),
+                want_events,
+                "trace diverged after kill at event {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn jittered_rebids_still_resolve_every_orphan() {
+        let trace = trace(27);
+        let mut cfg = base_cfg();
+        cfg.faults = Some(
+            MarketFaultConfig::new(
+                FaultConfig {
+                    processor: None,
+                    site: Some(UpDown::exponential(2_000.0, 300.0)),
+                },
+                4,
+            )
+            .with_backoff_cap(120.0)
+            .with_jitter(0.3),
+        );
+        let out = Economy::new(cfg).run_trace(&trace);
+        assert!(out.orphaned > 0, "a site outage must orphan queued work");
+        assert_eq!(out.orphans_replaced + out.orphans_abandoned, out.orphaned);
+        assert!(out.audit_violations.is_empty());
+        assert!(out.contracts.iter().all(|c| c.is_settled()));
     }
 }
 

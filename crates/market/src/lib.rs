@@ -56,11 +56,14 @@ pub mod pricing;
 pub mod resource;
 
 pub use bid::{ClientSelection, ServerBid, TaskBid};
-pub use bidding::{run_shading_experiment, PopulationReport, ShadingReport};
-pub use budget::BudgetConfig;
+pub use bidding::{
+    run_shading_experiment, PopulationReport, RebidBackoff, RebidBackoffState, ShadingReport,
+};
+pub use budget::{Account, BudgetConfig};
 pub use contract::{Contract, ContractStatus, ContractTerms};
 pub use economy::{
-    Economy, EconomyConfig, EconomyOutcome, MarketFaultConfig, MigrationConfig, RetryConfig, SiteId,
+    EcoEvent, Economy, EconomyConfig, EconomyOutcome, EconomyRun, EconomySnapshot,
+    MarketFaultConfig, MigrationConfig, RetryConfig, SiteId,
 };
 pub use pricing::PricingStrategy;
 pub use resource::{run_elastic, ElasticConfig, ElasticOutcome, ProvisioningPolicy, ResourcePool};

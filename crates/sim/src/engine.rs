@@ -64,6 +64,27 @@ impl<M: Model> Engine<M> {
         self.model
     }
 
+    /// Read access to the pending-event queue (for snapshotting).
+    pub fn queue(&self) -> &EventQueue<M::Event> {
+        &self.queue
+    }
+
+    /// Reassembles an engine from checkpointed parts: a restored model, a
+    /// restored queue, and the saved clock and event counter. The inverse
+    /// of reading `queue()` / `now()` / `events_handled()` off a live
+    /// engine at an event boundary.
+    pub fn from_parts(model: M, queue: EventQueue<M::Event>, now: Time, handled: u64) -> Self {
+        if let Some(next) = queue.peek_time() {
+            assert!(next >= now, "restored queue holds an event before `now`");
+        }
+        Engine {
+            model,
+            queue,
+            now,
+            handled,
+        }
+    }
+
     /// Schedules an initial/external event.
     pub fn schedule(&mut self, at: Time, event: M::Event) {
         assert!(

@@ -101,6 +101,48 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// The next event's `(time, payload)` without removing it — the event
+    /// a [`pop`](Self::pop) would return. Used by the durable journal to
+    /// frame an event record *before* the engine applies it.
+    pub fn peek(&self) -> Option<(Time, &E)> {
+        self.heap.peek().map(|e| (e.at, &e.event))
+    }
+
+    /// Sequence number the next [`schedule`](Self::schedule) will assign.
+    /// Part of replay state: FIFO tie-breaking among same-time events is
+    /// decided by these numbers.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// All pending entries as `(time, seq, payload)` triples, sorted by
+    /// `(time, seq)` — a canonical, heap-layout-independent view for
+    /// snapshots.
+    pub fn snapshot_entries(&self) -> Vec<(Time, u64, E)>
+    where
+        E: Clone,
+    {
+        let mut entries: Vec<(Time, u64, E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.at, e.seq, e.event.clone()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+        entries
+    }
+
+    /// Rebuilds a queue from [`snapshot_entries`](Self::snapshot_entries)
+    /// output plus the saved sequence counter. Existing sequence numbers
+    /// are preserved verbatim so tie-breaking replays identically.
+    pub fn restore(entries: Vec<(Time, u64, E)>, next_seq: u64) -> Self {
+        let mut heap = BinaryHeap::with_capacity(entries.len());
+        for (at, seq, event) in entries {
+            debug_assert!(seq < next_seq, "restored seq {seq} >= next_seq {next_seq}");
+            heap.push(Entry { at, seq, event });
+        }
+        EventQueue { heap, next_seq }
+    }
 }
 
 #[cfg(test)]

@@ -180,6 +180,41 @@ impl FaultInjector {
             .collect()
     }
 
+    /// Serializable checkpoint of the injector: config plus the raw state
+    /// words of every per-unit RNG stream, so recovery resumes each
+    /// timeline mid-stream (RNG words are tuples because the vendored
+    /// serde shim has no fixed-size-array impls).
+    pub fn state(&self) -> FaultInjectorState {
+        let pack = |r: &SimRng| {
+            let s = r.state();
+            (s[0], s[1], s[2], s[3])
+        };
+        FaultInjectorState {
+            config: self.config.clone(),
+            proc_rngs: self
+                .proc_rngs
+                .iter()
+                .map(|site| site.iter().map(pack).collect())
+                .collect(),
+            site_rngs: self.site_rngs.iter().map(pack).collect(),
+        }
+    }
+
+    /// Rebuilds an injector from [`state`](Self::state) output; every
+    /// stream continues exactly where the checkpoint left it.
+    pub fn from_state(state: FaultInjectorState) -> Self {
+        let unpack = |t: &(u64, u64, u64, u64)| SimRng::from_state([t.0, t.1, t.2, t.3]);
+        FaultInjector {
+            config: state.config,
+            proc_rngs: state
+                .proc_rngs
+                .iter()
+                .map(|site| site.iter().map(unpack).collect())
+                .collect(),
+            site_rngs: state.site_rngs.iter().map(unpack).collect(),
+        }
+    }
+
     fn process(&mut self, unit: FaultUnit) -> Option<(Dist, &mut SimRng)> {
         match unit {
             FaultUnit::Processor { site, slot } => {
@@ -205,6 +240,18 @@ impl FaultInjector {
             }
         }
     }
+}
+
+/// Serializable mid-stream checkpoint of a [`FaultInjector`]. Produced by
+/// [`FaultInjector::state`], consumed by [`FaultInjector::from_state`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultInjectorState {
+    /// The active failure processes.
+    pub config: FaultConfig,
+    /// Raw xoshiro state words per processor slot, `proc_rngs[site][slot]`.
+    pub proc_rngs: Vec<Vec<(u64, u64, u64, u64)>>,
+    /// Raw xoshiro state words per site-outage stream.
+    pub site_rngs: Vec<(u64, u64, u64, u64)>,
 }
 
 #[cfg(test)]
@@ -299,5 +346,28 @@ mod tests {
         let c = config();
         let json = serde_json::to_string(&c).unwrap();
         assert_eq!(serde_json::from_str::<FaultConfig>(&json).unwrap(), c);
+    }
+
+    #[test]
+    fn state_checkpoint_resumes_streams_exactly() {
+        let mut live = FaultInjector::new(config(), 11, &[3, 2]);
+        // Advance some streams unevenly, then checkpoint mid-stream.
+        let u0 = FaultUnit::Processor { site: 0, slot: 1 };
+        let u1 = FaultUnit::Site { site: 1 };
+        for _ in 0..5 {
+            let _ = live.uptime(u0);
+        }
+        let _ = live.downtime(u1);
+        let state = live.state();
+        let json = serde_json::to_string(&state).unwrap();
+        let restored_state: FaultInjectorState = serde_json::from_str(&json).unwrap();
+        assert_eq!(restored_state, state);
+        let mut restored = FaultInjector::from_state(restored_state);
+        for u in live.units() {
+            for _ in 0..8 {
+                assert_eq!(live.uptime(u), restored.uptime(u));
+                assert_eq!(live.downtime(u), restored.downtime(u));
+            }
+        }
     }
 }

@@ -50,7 +50,7 @@ pub mod time;
 pub use dist::Dist;
 pub use engine::{Engine, Model};
 pub use event::EventQueue;
-pub use fault::{FaultConfig, FaultInjector, FaultUnit, UpDown};
+pub use fault::{FaultConfig, FaultInjector, FaultInjectorState, FaultUnit, UpDown};
 pub use rng::{RngFactory, SimRng};
 pub use stats::{Histogram, OnlineStats, PairedComparison, Summary};
 pub use time::{Duration, Time};

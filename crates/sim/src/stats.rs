@@ -10,13 +10,53 @@
 use serde::{Deserialize, Serialize};
 
 /// Welford single-pass mean/variance accumulator.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Serde impls are hand-written: the empty accumulator's min/max
+/// sentinels are ±∞, which the vendored `serde_json` renders as `null`
+/// (unrecoverable), so every float field is encoded via its IEEE-754 bit
+/// pattern. That also makes snapshots of the accumulator bit-exact, which
+/// the durable-recovery layer depends on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+impl Serialize for OnlineStats {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("n".into(), serde::Value::Int(self.n as i128)),
+            ("mean_bits".into(), self.mean.to_bits().to_value()),
+            ("m2_bits".into(), self.m2.to_bits().to_value()),
+            ("min_bits".into(), self.min.to_bits().to_value()),
+            ("max_bits".into(), self.max.to_bits().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for OnlineStats {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("OnlineStats: expected object"))?;
+        let field = |name: &str| -> Result<&serde::Value, serde::Error> {
+            serde::get_field(entries, name)
+                .ok_or_else(|| serde::Error::missing_field(name, "OnlineStats"))
+        };
+        let bits = |name: &str| -> Result<f64, serde::Error> {
+            Ok(f64::from_bits(u64::from_value(field(name)?)?))
+        };
+        Ok(OnlineStats {
+            n: u64::from_value(field("n")?)?,
+            mean: bits("mean_bits")?,
+            m2: bits("m2_bits")?,
+            min: bits("min_bits")?,
+            max: bits("max_bits")?,
+        })
+    }
 }
 
 impl OnlineStats {

@@ -52,11 +52,14 @@ pub use audit::{AuditEvent, AuditKind, AuditViolation};
 pub use config::{LostWorkPolicy, PreemptionMode, SiteConfig};
 pub use gantt::{render_gantt, Segment};
 pub use metrics::{JobOutcome, SiteMetrics};
-pub use state::{CompletionToken, SiteState};
+pub use state::{CompletionToken, SiteSnapshot, SiteState};
 
-use mbts_sim::{Engine, EventQueue, FaultConfig, FaultInjector, FaultUnit, Model, Time};
+use mbts_sim::{
+    Engine, EventQueue, FaultConfig, FaultInjector, FaultInjectorState, FaultUnit, Model, Time,
+};
 use mbts_trace::Tracer;
-use mbts_workload::Trace;
+use mbts_workload::{TaskSpec, Trace};
+use serde::{Deserialize, Serialize};
 
 /// A single-site simulator: replays a trace and reports metrics.
 pub struct Site {
@@ -64,7 +67,7 @@ pub struct Site {
 }
 
 /// Result of replaying a trace through a [`Site`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteOutcome {
     /// Aggregate counters and yield statistics.
     pub metrics: SiteMetrics,
@@ -171,27 +174,9 @@ impl Site {
     /// Tracing is observational only: the outcome is bit-identical to an
     /// untraced replay.
     pub fn run_trace_traced(&self, trace: &Trace, tracer: Tracer) -> (SiteOutcome, Tracer) {
-        let mut state = SiteState::new(self.config.clone());
-        state.set_tracer(tracer);
-        let model = TraceModel {
-            state,
-            trace: trace.tasks.clone(),
-            arrivals_left: trace.tasks.len(),
-            injector: None,
-            crash_budget: 0,
-        };
-        let mut engine = Engine::new(model);
-        for (i, spec) in trace.tasks.iter().enumerate() {
-            engine.schedule(spec.arrival, SimEvent::Arrival(i));
-        }
-        engine.run_to_completion();
-        let mut state = engine.into_model().state;
-        debug_assert!(
-            state.is_quiescent(),
-            "site still busy after event queue drained"
-        );
-        let tracer = state.take_tracer();
-        (state.into_outcome(), tracer)
+        let mut run = SiteRun::new(self.config.clone(), trace, tracer);
+        run.run_to_completion();
+        run.finish()
     }
 
     /// Like [`run_trace`](Self::run_trace) but with crash/repair events
@@ -212,59 +197,28 @@ impl Site {
         plan: &FaultPlan,
         tracer: Tracer,
     ) -> (SiteOutcome, Tracer) {
-        if plan.faults.is_none() {
-            return self.run_trace_traced(trace, tracer);
-        }
-        let mut injector =
-            FaultInjector::new(plan.faults.clone(), plan.seed, &[self.config.processors]);
-        let mut crash_budget = plan.max_crashes;
-        // First crash per unit: drawn up front so the timeline of each
-        // unit is independent of event interleaving.
-        let mut initial = Vec::new();
-        for unit in injector.units() {
-            if crash_budget == 0 {
-                break;
-            }
-            if let Some(up) = injector.uptime(unit) {
-                crash_budget -= 1;
-                initial.push((Time::ZERO + up, unit));
-            }
-        }
-        let mut state = SiteState::new(self.config.clone());
-        state.set_tracer(tracer);
-        let model = TraceModel {
-            state,
-            trace: trace.tasks.clone(),
-            arrivals_left: trace.tasks.len(),
-            injector: Some(injector),
-            crash_budget,
-        };
-        let mut engine = Engine::new(model);
-        for (i, spec) in trace.tasks.iter().enumerate() {
-            engine.schedule(spec.arrival, SimEvent::Arrival(i));
-        }
-        for (at, unit) in initial {
-            engine.schedule(at, SimEvent::Crash(unit));
-        }
-        engine.run_to_completion();
-        let mut state = engine.into_model().state;
-        debug_assert!(
-            state.is_quiescent(),
-            "site still busy after event queue drained"
-        );
-        let tracer = state.take_tracer();
-        (state.into_outcome(), tracer)
+        let mut run = SiteRun::with_faults(self.config.clone(), trace, plan, tracer);
+        run.run_to_completion();
+        run.finish()
     }
 }
 
-enum SimEvent {
+/// The event alphabet of a single-site trace replay. Public (and
+/// serializable) so the durable-recovery layer can journal every applied
+/// event and replay the suffix after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// Task `i` of the trace arrives.
     Arrival(usize),
+    /// A running segment finishes (stale tokens are ignored).
     Completion(CompletionToken),
     /// A fault unit goes down.
     Crash(FaultUnit),
     /// The unit comes back, restoring the `n` processors its crash took.
     Repair {
+        /// Which unit recovered.
         unit: FaultUnit,
+        /// Processors the crash actually took (what the repair restores).
         n: usize,
     },
 }
@@ -328,6 +282,189 @@ impl Model for TraceModel {
             queue.schedule(tok.at, SimEvent::Completion(tok));
         }
     }
+}
+
+/// A single-site trace replay as an explicit, steppable object: the
+/// engine loop of [`Site::run_trace`] with the crank exposed.
+///
+/// The durable-recovery layer drives one event at a time via
+/// [`step`](Self::step), journaling each applied event, and checkpoints
+/// the whole run via [`snapshot`](Self::snapshot) — restoring from the
+/// snapshot and replaying the same events is bit-identical to never
+/// having stopped.
+pub struct SiteRun {
+    engine: Engine<TraceModel>,
+}
+
+impl SiteRun {
+    /// A fault-free replay of `trace`, ready to step. All arrivals are
+    /// pre-scheduled; the first [`step`](Self::step) handles the
+    /// earliest one.
+    pub fn new(config: SiteConfig, trace: &Trace, tracer: Tracer) -> Self {
+        let mut state = SiteState::new(config);
+        state.set_tracer(tracer);
+        let model = TraceModel {
+            state,
+            trace: trace.tasks.clone(),
+            arrivals_left: trace.tasks.len(),
+            injector: None,
+            crash_budget: 0,
+        };
+        let mut engine = Engine::new(model);
+        for (i, spec) in trace.tasks.iter().enumerate() {
+            engine.schedule(spec.arrival, SimEvent::Arrival(i));
+        }
+        SiteRun { engine }
+    }
+
+    /// A fault-injected replay (see [`Site::run_trace_with_faults`]).
+    /// With `plan.faults` empty this degenerates to [`new`](Self::new):
+    /// no injector RNG is drawn and no fault events enter the queue.
+    pub fn with_faults(
+        config: SiteConfig,
+        trace: &Trace,
+        plan: &FaultPlan,
+        tracer: Tracer,
+    ) -> Self {
+        if plan.faults.is_none() {
+            return SiteRun::new(config, trace, tracer);
+        }
+        let mut injector = FaultInjector::new(plan.faults.clone(), plan.seed, &[config.processors]);
+        let mut crash_budget = plan.max_crashes;
+        // First crash per unit: drawn up front so the timeline of each
+        // unit is independent of event interleaving.
+        let mut initial = Vec::new();
+        for unit in injector.units() {
+            if crash_budget == 0 {
+                break;
+            }
+            if let Some(up) = injector.uptime(unit) {
+                crash_budget -= 1;
+                initial.push((Time::ZERO + up, unit));
+            }
+        }
+        let mut state = SiteState::new(config);
+        state.set_tracer(tracer);
+        let model = TraceModel {
+            state,
+            trace: trace.tasks.clone(),
+            arrivals_left: trace.tasks.len(),
+            injector: Some(injector),
+            crash_budget,
+        };
+        let mut engine = Engine::new(model);
+        for (i, spec) in trace.tasks.iter().enumerate() {
+            engine.schedule(spec.arrival, SimEvent::Arrival(i));
+        }
+        for (at, unit) in initial {
+            engine.schedule(at, SimEvent::Crash(unit));
+        }
+        SiteRun { engine }
+    }
+
+    /// Handles one event; `false` when the queue has drained.
+    pub fn step(&mut self) -> bool {
+        self.engine.step()
+    }
+
+    /// Runs until no events remain.
+    pub fn run_to_completion(&mut self) {
+        self.engine.run_to_completion();
+    }
+
+    /// `true` once the event queue has drained.
+    pub fn is_done(&self) -> bool {
+        self.engine.queue().is_empty()
+    }
+
+    /// Events handled so far (the journal's event index).
+    pub fn events_handled(&self) -> u64 {
+        self.engine.events_handled()
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.engine.now()
+    }
+
+    /// The next event to be handled, if any.
+    pub fn next_event(&self) -> Option<(Time, &SimEvent)> {
+        self.engine.queue().peek()
+    }
+
+    /// Read access to the underlying site (auditors, metrics).
+    pub fn state(&self) -> &SiteState {
+        &self.engine.model().state
+    }
+
+    /// Captures the full replay state at the current event boundary.
+    pub fn snapshot(&self) -> SiteRunSnapshot {
+        let model = self.engine.model();
+        SiteRunSnapshot {
+            site: model.state.snapshot(),
+            trace: model.trace.clone(),
+            arrivals_left: model.arrivals_left,
+            injector: model.injector.as_ref().map(|i| i.state()),
+            crash_budget: model.crash_budget,
+            queue: self.engine.queue().snapshot_entries(),
+            next_seq: self.engine.queue().next_seq(),
+            now: self.engine.now(),
+            handled: self.engine.events_handled(),
+        }
+    }
+
+    /// Rebuilds a run from a [`snapshot`](Self::snapshot); stepping it
+    /// replays exactly the uninterrupted run's remaining events.
+    pub fn from_snapshot(snap: SiteRunSnapshot) -> Self {
+        let model = TraceModel {
+            state: SiteState::from_snapshot(snap.site),
+            trace: snap.trace,
+            arrivals_left: snap.arrivals_left,
+            injector: snap.injector.map(FaultInjector::from_state),
+            crash_budget: snap.crash_budget,
+        };
+        let queue = EventQueue::restore(snap.queue, snap.next_seq);
+        SiteRun {
+            engine: Engine::from_parts(model, queue, snap.now, snap.handled),
+        }
+    }
+
+    /// Consumes the (finished) run, producing the outcome and the tracer.
+    pub fn finish(self) -> (SiteOutcome, Tracer) {
+        let mut state = self.engine.into_model().state;
+        debug_assert!(
+            state.is_quiescent(),
+            "site still busy after event queue drained"
+        );
+        let tracer = state.take_tracer();
+        (state.into_outcome(), tracer)
+    }
+}
+
+/// Serializable image of a whole [`SiteRun`] at an event boundary:
+/// site state + workload cursor + fault-injector RNG streams + the
+/// pending event queue with its sequence numbers (FIFO tie-breaks
+/// replay verbatim).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteRunSnapshot {
+    /// The site.
+    pub site: SiteSnapshot,
+    /// The workload (arrival events index into it).
+    pub trace: Vec<TaskSpec>,
+    /// Arrivals not yet delivered.
+    pub arrivals_left: usize,
+    /// Fault-injector RNG streams, if faults are active.
+    pub injector: Option<FaultInjectorState>,
+    /// Crash events still permitted.
+    pub crash_budget: u64,
+    /// Pending events as `(time, seq, event)`.
+    pub queue: Vec<(Time, u64, SimEvent)>,
+    /// The queue's next sequence number.
+    pub next_seq: u64,
+    /// Simulation clock.
+    pub now: Time,
+    /// Events handled so far.
+    pub handled: u64,
 }
 
 #[cfg(test)]
@@ -462,6 +599,57 @@ mod tests {
             "every crash was repaired before the run ended"
         );
         assert!(outcome.violations.is_empty());
+    }
+
+    #[test]
+    fn snapshot_midway_resumes_bit_identically() {
+        // Checkpoint a (traced, faulted, preempting) run at assorted
+        // event boundaries, JSON-roundtrip the snapshot, resume, and
+        // demand the outcome and trace stream match the uninterrupted
+        // run exactly.
+        let mix = MixConfig::millennium_default()
+            .with_tasks(150)
+            .with_processors(4)
+            .with_load_factor(1.8);
+        let trace = generate_trace(&mix, 17);
+        let config = SiteConfig::new(4)
+            .with_policy(Policy::first_reward(0.3, 0.01))
+            .with_preemption(true)
+            .with_lost_work(LostWorkPolicy::Checkpoint {
+                interval: 25.0,
+                restart_penalty: 2.0,
+            });
+        let plan = FaultPlan::new(
+            mbts_sim::FaultConfig {
+                processor: Some(mbts_sim::UpDown::exponential(2_000.0, 100.0)),
+                site: None,
+            },
+            5,
+        );
+        let mut base = SiteRun::with_faults(config.clone(), &trace, &plan, Tracer::buffer());
+        base.run_to_completion();
+        let total = base.events_handled();
+        let (expect_outcome, expect_tracer) = base.finish();
+        let expect_events = expect_tracer.into_events().unwrap();
+        for k in [0, 1, 7, total / 2, total - 1, total] {
+            let mut run = SiteRun::with_faults(config.clone(), &trace, &plan, Tracer::buffer());
+            for _ in 0..k {
+                assert!(run.step());
+            }
+            let json = serde_json::to_string(&run.snapshot()).unwrap();
+            let snap: SiteRunSnapshot = serde_json::from_str(&json).unwrap();
+            let mut resumed = SiteRun::from_snapshot(snap);
+            assert_eq!(resumed.events_handled(), k);
+            resumed.run_to_completion();
+            assert_eq!(resumed.events_handled(), total);
+            let (outcome, tracer) = resumed.finish();
+            assert_eq!(outcome, expect_outcome, "kill point {k}");
+            assert_eq!(
+                tracer.into_events().unwrap(),
+                expect_events,
+                "kill point {k}"
+            );
+        }
     }
 
     #[test]

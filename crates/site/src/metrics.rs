@@ -40,7 +40,7 @@ pub struct JobOutcome {
 }
 
 /// Aggregate counters and statistics for one site run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SiteMetrics {
     /// Tasks offered to the site.
     pub submitted: usize,

@@ -21,16 +21,18 @@ use crate::gantt::Segment;
 use crate::metrics::{Disposition, JobOutcome, SiteMetrics};
 use crate::SiteOutcome;
 use mbts_core::{
-    evaluate_admission, AdmissionDecision, AdmissionPolicy, CostModel, Job, PendingPool, ScoreCtx,
+    evaluate_admission, AdmissionDecision, AdmissionPolicy, CostModel, Job, PendingPool,
+    PoolCheckpoint, ScoreCtx,
 };
 use mbts_sim::{Duration, Time};
-use mbts_trace::{TraceEvent, TraceKind, Tracer};
+use mbts_trace::{TraceEvent, TraceKind, Tracer, TracerSnapshot};
 use mbts_workload::TaskSpec;
+use serde::{Deserialize, Serialize};
 
 /// Handle for a scheduled run-to-completion: fires at `at` unless the
 /// segment was preempted (then the epoch no longer matches and the token
 /// is stale).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CompletionToken {
     /// When the running segment will finish (true-runtime based).
     pub at: Time,
@@ -1099,6 +1101,110 @@ impl SiteState {
         self.audit_check(now);
         jobs
     }
+
+    /// Captures the complete replayable state of the site at an event
+    /// boundary. Restoring via [`from_snapshot`](Self::from_snapshot)
+    /// yields a site whose every future decision — dispatch order,
+    /// backfill picks, preemption victims, yield accounting down to the
+    /// last Kahan-compensation bit — is identical to this one's.
+    ///
+    /// The tracer is captured as a [`TracerSnapshot`]; file-backed sinks
+    /// serialize as detached (the resuming caller re-attaches a stream).
+    pub fn snapshot(&self) -> SiteSnapshot {
+        SiteSnapshot {
+            config: self.config.clone(),
+            capacity: self.capacity,
+            shrink_debt: self.shrink_debt,
+            settled_shrink: self.settled_shrink,
+            pending: self.pending.checkpoint(),
+            running: self
+                .running
+                .iter()
+                .map(|r| (r.job.clone(), r.started, r.epoch))
+                .collect(),
+            free_procs: self.free_procs,
+            epoch_counter: self.epoch_counter,
+            metrics: self.metrics.clone(),
+            outcomes: self.outcomes.clone(),
+            segments: self.segments.clone(),
+            audit: self.audit.clone(),
+            earned_recorded: self.earned_recorded,
+            violations: self.violations.clone(),
+            tracer: self.tracer.snapshot(),
+            trace_site: self.trace_site,
+        }
+    }
+
+    /// Rebuilds a site from a [`snapshot`](Self::snapshot). The pending
+    /// pool is reconstructed in slot order (so `swap_remove` indices
+    /// replay exactly) and its decay accumulator is overwritten with the
+    /// checkpointed Kahan state rather than re-summed.
+    pub fn from_snapshot(snap: SiteSnapshot) -> Self {
+        SiteState {
+            config: snap.config,
+            capacity: snap.capacity,
+            shrink_debt: snap.shrink_debt,
+            settled_shrink: snap.settled_shrink,
+            pending: PendingPool::from_checkpoint(snap.pending),
+            running: snap
+                .running
+                .into_iter()
+                .map(|(job, started, epoch)| Running {
+                    job,
+                    started,
+                    epoch,
+                })
+                .collect(),
+            free_procs: snap.free_procs,
+            epoch_counter: snap.epoch_counter,
+            metrics: snap.metrics,
+            outcomes: snap.outcomes,
+            segments: snap.segments,
+            audit: snap.audit,
+            earned_recorded: snap.earned_recorded,
+            violations: snap.violations,
+            tracer: Tracer::from_snapshot(snap.tracer),
+            trace_site: snap.trace_site,
+        }
+    }
+}
+
+/// Serializable image of a [`SiteState`] at an event boundary — the
+/// per-site payload of the durable-recovery layer's snapshot records.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSnapshot {
+    /// The site configuration (policies, modes, toggles).
+    pub config: SiteConfig,
+    /// Current elastic capacity.
+    pub capacity: usize,
+    /// Processors promised back to the pool but still busy.
+    pub shrink_debt: usize,
+    /// Debt settled since the last `take_settled_shrink`.
+    pub settled_shrink: usize,
+    /// The queue, including the cost model's exact accumulator state.
+    pub pending: PoolCheckpoint,
+    /// Running gangs as `(job, started, epoch)` in slot order.
+    pub running: Vec<(Job, Time, u64)>,
+    /// Idle processors.
+    pub free_procs: usize,
+    /// Assignment-epoch counter (stale-token invalidation).
+    pub epoch_counter: u64,
+    /// Aggregate counters and statistics.
+    pub metrics: SiteMetrics,
+    /// Per-job outcome records so far.
+    pub outcomes: Vec<JobOutcome>,
+    /// Execution segments recorded so far.
+    pub segments: Vec<Segment>,
+    /// Audit events recorded so far.
+    pub audit: Vec<AuditEvent>,
+    /// Yield re-derived from outcome records (conservation cross-check).
+    pub earned_recorded: f64,
+    /// Conservation-audit failures recorded so far.
+    pub violations: Vec<AuditViolation>,
+    /// The tracer cursor.
+    pub tracer: TracerSnapshot,
+    /// Site index stamped on emitted trace events.
+    pub trace_site: Option<usize>,
 }
 
 #[cfg(test)]

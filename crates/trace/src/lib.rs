@@ -11,9 +11,15 @@
 //! - [`RingSink`] — bounded tail capture for tests and soaks;
 //! - [`BufferSink`] — full capture, serialized to JSONL for golden
 //!   fixtures and the experiments CLI `--trace out.jsonl`;
+//! - [`JsonlSink`] — streaming JSONL file writer that flushes on drop
+//!   and surfaces write errors instead of losing tail events;
 //! - [`MetricsRegistry`] — per-policy histograms (delay, yield,
 //!   preemption count), per-site utilization and fault-recovery latency,
 //!   rendered by the `metrics` experiments subcommand.
+//!
+//! Every sink's state (the "tracer cursor") is checkpointable via
+//! [`Tracer::snapshot`] / [`TracerSnapshot`], so the durable-recovery
+//! layer can resume a traced run without losing or duplicating events.
 
 pub mod event;
 pub mod metrics;
@@ -21,4 +27,4 @@ pub mod sink;
 
 pub use event::{from_jsonl, to_jsonl, TraceEvent, TraceKind};
 pub use metrics::{MetricsRegistry, PolicyMetrics};
-pub use sink::{BufferSink, RingSink, TraceSink, Tracer};
+pub use sink::{BufferSink, JsonlSink, RingSink, TraceSink, Tracer, TracerSnapshot};

@@ -7,6 +7,7 @@
 
 use crate::event::{TraceEvent, TraceKind};
 use mbts_sim::{Histogram, OnlineStats, Time};
+use serde::{get_field, Deserialize, Error, Serialize, Value};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
@@ -231,6 +232,98 @@ impl PolicyMetrics {
     }
 }
 
+// Serde impls are hand-written because the vendored serde shim has no
+// impls for `VecDeque` or non-string-keyed maps: `open_crashes` is
+// flattened to `Vec<(Option<usize>, Vec<Time>)>`. Mid-run serialization
+// must be lossless — the durable-recovery layer snapshots a live
+// registry (the "tracer cursor") and resumes folding events into it.
+impl Serialize for PolicyMetrics {
+    fn to_value(&self) -> Value {
+        let open: Vec<(Option<usize>, Vec<Time>)> = self
+            .open_crashes
+            .iter()
+            .map(|(k, v)| (*k, v.iter().copied().collect()))
+            .collect();
+        Value::Object(vec![
+            ("arrived".into(), self.arrived.to_value()),
+            ("accepted".into(), self.accepted.to_value()),
+            ("scheduled".into(), self.scheduled.to_value()),
+            ("backfills".into(), self.backfills.to_value()),
+            ("preempted".into(), self.preempted.to_value()),
+            ("requeued".into(), self.requeued.to_value()),
+            ("completed".into(), self.completed.to_value()),
+            ("dropped".into(), self.dropped.to_value()),
+            ("cancelled".into(), self.cancelled.to_value()),
+            ("orphaned".into(), self.orphaned.to_value()),
+            ("crashed_procs".into(), self.crashed_procs.to_value()),
+            ("repaired_procs".into(), self.repaired_procs.to_value()),
+            ("settlements".into(), self.settlements.to_value()),
+            ("settled_total".into(), self.settled_total.to_value()),
+            ("delay".into(), self.delay.to_value()),
+            ("delay_stats".into(), self.delay_stats.to_value()),
+            ("yields".into(), self.yields.to_value()),
+            ("yield_stats".into(), self.yield_stats.to_value()),
+            ("preemptions".into(), self.preemptions.to_value()),
+            ("slack_stats".into(), self.slack_stats.to_value()),
+            ("recovery".into(), self.recovery.to_value()),
+            ("processors".into(), self.processors.to_value()),
+            ("busy".into(), self.busy.to_value()),
+            ("cursor".into(), self.cursor.to_value()),
+            ("run_start".into(), self.run_start.to_value()),
+            ("busy_time".into(), self.busy_time.to_value()),
+            ("span".into(), self.span.to_value()),
+            ("open_crashes".into(), open.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for PolicyMetrics {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| Error::custom("PolicyMetrics: expected object"))?;
+        macro_rules! field {
+            ($name:literal) => {
+                Deserialize::from_value(
+                    get_field(entries, $name)
+                        .ok_or_else(|| Error::missing_field($name, "PolicyMetrics"))?,
+                )?
+            };
+        }
+        let open: Vec<(Option<usize>, Vec<Time>)> = field!("open_crashes");
+        Ok(PolicyMetrics {
+            arrived: field!("arrived"),
+            accepted: field!("accepted"),
+            scheduled: field!("scheduled"),
+            backfills: field!("backfills"),
+            preempted: field!("preempted"),
+            requeued: field!("requeued"),
+            completed: field!("completed"),
+            dropped: field!("dropped"),
+            cancelled: field!("cancelled"),
+            orphaned: field!("orphaned"),
+            crashed_procs: field!("crashed_procs"),
+            repaired_procs: field!("repaired_procs"),
+            settlements: field!("settlements"),
+            settled_total: field!("settled_total"),
+            delay: field!("delay"),
+            delay_stats: field!("delay_stats"),
+            yields: field!("yields"),
+            yield_stats: field!("yield_stats"),
+            preemptions: field!("preemptions"),
+            slack_stats: field!("slack_stats"),
+            recovery: field!("recovery"),
+            processors: field!("processors"),
+            busy: field!("busy"),
+            cursor: field!("cursor"),
+            run_start: field!("run_start"),
+            busy_time: field!("busy_time"),
+            span: field!("span"),
+            open_crashes: open.into_iter().map(|(k, v)| (k, v.into())).collect(),
+        })
+    }
+}
+
 /// Per-policy metrics keyed by policy label. Used either live (as a
 /// [`Tracer`](crate::Tracer) sink, recording under its active label) or
 /// offline by replaying a captured buffer through [`record_all`](Self::record_all).
@@ -239,6 +332,37 @@ pub struct MetricsRegistry {
     active: String,
     processors: usize,
     policies: BTreeMap<String, PolicyMetrics>,
+}
+
+impl Serialize for MetricsRegistry {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("active".into(), self.active.to_value()),
+            ("processors".into(), self.processors.to_value()),
+            ("policies".into(), self.policies.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for MetricsRegistry {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| Error::custom("MetricsRegistry: expected object"))?;
+        macro_rules! field {
+            ($name:literal) => {
+                Deserialize::from_value(
+                    get_field(entries, $name)
+                        .ok_or_else(|| Error::missing_field($name, "MetricsRegistry"))?,
+                )?
+            };
+        }
+        Ok(MetricsRegistry {
+            active: field!("active"),
+            processors: field!("processors"),
+            policies: field!("policies"),
+        })
+    }
 }
 
 impl MetricsRegistry {

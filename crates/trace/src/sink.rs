@@ -9,7 +9,11 @@
 
 use crate::event::TraceEvent;
 use crate::metrics::MetricsRegistry;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Anything that can consume a stream of trace events. The built-in sinks
 /// all implement it, and tests can post-process a captured buffer by
@@ -102,6 +106,150 @@ impl TraceSink for BufferSink {
     }
 }
 
+/// Streaming JSONL sink: every event is written to the file as a JSON
+/// line the moment it is emitted, so a crash loses at most the OS-buffer
+/// tail rather than the whole stream. The sink buffers through
+/// `BufWriter`, flushes explicitly on [`flush`](Self::flush)/
+/// [`finish`](Self::finish) **and on drop**, and latches the first write
+/// error instead of silently dropping tail events: a latched error stops
+/// further writes, is returned by `finish()`/[`error`](Self::error), and
+/// is printed to stderr if the sink is dropped without being checked.
+///
+/// Internally `Arc<Mutex<..>>` so the sink (and a [`Tracer`] holding it)
+/// stays `Clone + Send`; clones share the same file stream.
+#[derive(Debug, Clone)]
+pub struct JsonlSink {
+    inner: Arc<Mutex<JsonlInner>>,
+}
+
+#[derive(Debug)]
+struct JsonlInner {
+    path: PathBuf,
+    writer: Option<std::io::BufWriter<std::fs::File>>,
+    written: u64,
+    error: Option<String>,
+    checked: bool,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) `path` and returns a sink streaming to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = std::fs::File::create(&path)?;
+        Ok(JsonlSink {
+            inner: Arc::new(Mutex::new(JsonlInner {
+                path,
+                writer: Some(std::io::BufWriter::new(file)),
+                written: 0,
+                error: None,
+                checked: false,
+            })),
+        })
+    }
+
+    /// Writes one event as a JSON line. After the first write error the
+    /// sink goes inert and latches the error for `finish()`/`error()`.
+    pub fn record(&self, ev: &TraceEvent) {
+        let mut inner = self.inner.lock().expect("jsonl sink lock poisoned");
+        if inner.error.is_some() {
+            return;
+        }
+        let line = serde_json::to_string(ev).expect("trace events always serialize");
+        let res = match inner.writer.as_mut() {
+            Some(w) => writeln!(w, "{line}"),
+            None => return,
+        };
+        match res {
+            Ok(()) => inner.written += 1,
+            Err(e) => inner.fail(e),
+        }
+    }
+
+    /// Flushes buffered lines to the OS.
+    pub fn flush(&self) -> Result<(), String> {
+        let mut inner = self.inner.lock().expect("jsonl sink lock poisoned");
+        inner.flush_inner();
+        inner.checked = true;
+        match &inner.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(()),
+        }
+    }
+
+    /// Flushes and reports the final status: the number of events
+    /// written, or the first error the stream hit (covering events that
+    /// would otherwise be lost silently in the buffered tail).
+    pub fn finish(&self) -> Result<u64, String> {
+        let mut inner = self.inner.lock().expect("jsonl sink lock poisoned");
+        inner.flush_inner();
+        inner.checked = true;
+        match &inner.error {
+            Some(e) => Err(e.clone()),
+            None => Ok(inner.written),
+        }
+    }
+
+    /// The first write/flush error, if any occurred so far.
+    pub fn error(&self) -> Option<String> {
+        self.inner
+            .lock()
+            .expect("jsonl sink lock poisoned")
+            .error
+            .clone()
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.inner.lock().expect("jsonl sink lock poisoned").written
+    }
+
+    /// The file this sink streams to.
+    pub fn path(&self) -> PathBuf {
+        self.inner
+            .lock()
+            .expect("jsonl sink lock poisoned")
+            .path
+            .clone()
+    }
+}
+
+impl JsonlInner {
+    fn fail(&mut self, e: std::io::Error) {
+        self.error = Some(format!("{}: {e}", self.path.display()));
+        self.writer = None; // drop the stream; further writes are no-ops
+    }
+
+    fn flush_inner(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Some(w) = self.writer.as_mut() {
+            if let Err(e) = w.flush() {
+                self.fail(e);
+            }
+        }
+    }
+}
+
+impl Drop for JsonlInner {
+    fn drop(&mut self) {
+        // Last chance: push the buffered tail out, and never swallow an
+        // error nobody looked at.
+        self.flush_inner();
+        if let Some(e) = &self.error {
+            if !self.checked {
+                eprintln!("warning: trace sink lost events: {e}");
+            }
+        }
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, ev: &TraceEvent) {
+        JsonlSink::record(self, ev);
+    }
+}
+
 /// The tracing handle carried by `SiteState` and the market economy.
 /// Defaults to [`Tracer::Off`], which makes every emission a single
 /// never-taken branch.
@@ -116,6 +264,8 @@ pub enum Tracer {
     Buffer(BufferSink),
     /// Fold events straight into per-policy metrics.
     Metrics(Box<MetricsRegistry>),
+    /// Stream every event to a JSONL file as it happens.
+    Jsonl(JsonlSink),
 }
 
 impl Tracer {
@@ -134,6 +284,11 @@ impl Tracer {
         Tracer::Metrics(Box::new(MetricsRegistry::new(policy, processors)))
     }
 
+    /// A tracer streaming events to a JSONL file as they happen.
+    pub fn jsonl(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Tracer::Jsonl(JsonlSink::create(path)?))
+    }
+
     /// Whether emissions do anything. Callers gate any event-payload
     /// computation behind this so the disabled path stays free.
     #[inline]
@@ -149,6 +304,7 @@ impl Tracer {
             Tracer::Ring(s) => s.record(&ev),
             Tracer::Buffer(s) => s.record(&ev),
             Tracer::Metrics(r) => r.record(&ev),
+            Tracer::Jsonl(s) => s.record(&ev),
         }
     }
 
@@ -168,6 +324,68 @@ impl Tracer {
             _ => None,
         }
     }
+
+    /// Serializable state of this tracer — the "tracer cursor" carried in
+    /// durable snapshots so a recovered run keeps appending to the same
+    /// logical stream. A [`Tracer::Jsonl`] sink snapshots as `Off`: a
+    /// file stream is external to the checkpoint and must be re-attached
+    /// by the resuming caller (the journal already holds every event up
+    /// to the snapshot).
+    pub fn snapshot(&self) -> TracerSnapshot {
+        match self {
+            Tracer::Off | Tracer::Jsonl(_) => TracerSnapshot::Off,
+            Tracer::Ring(s) => TracerSnapshot::Ring {
+                capacity: s.capacity,
+                seen: s.seen,
+                events: s.events.iter().copied().collect(),
+            },
+            Tracer::Buffer(s) => TracerSnapshot::Buffer {
+                events: s.events.clone(),
+            },
+            Tracer::Metrics(r) => TracerSnapshot::Metrics((**r).clone()),
+        }
+    }
+
+    /// Rebuilds a tracer from [`snapshot`](Self::snapshot) output.
+    pub fn from_snapshot(snap: TracerSnapshot) -> Self {
+        match snap {
+            TracerSnapshot::Off => Tracer::Off,
+            TracerSnapshot::Ring {
+                capacity,
+                seen,
+                events,
+            } => Tracer::Ring(RingSink {
+                capacity,
+                events: events.into(),
+                seen,
+            }),
+            TracerSnapshot::Buffer { events } => Tracer::Buffer(BufferSink { events }),
+            TracerSnapshot::Metrics(r) => Tracer::Metrics(Box::new(r)),
+        }
+    }
+}
+
+/// Serializable state of a [`Tracer`] mid-run — see [`Tracer::snapshot`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum TracerSnapshot {
+    /// Tracing disabled (or an external file stream).
+    Off,
+    /// A ring sink's capacity, lifetime count, and retained tail.
+    Ring {
+        /// Maximum retained events.
+        capacity: usize,
+        /// Total events ever offered.
+        seen: u64,
+        /// The retained tail, oldest first.
+        events: Vec<TraceEvent>,
+    },
+    /// A buffer sink's full capture.
+    Buffer {
+        /// The captured stream in emission order.
+        events: Vec<TraceEvent>,
+    },
+    /// A metrics registry's aggregates.
+    Metrics(MetricsRegistry),
 }
 
 #[cfg(test)]
@@ -224,5 +442,112 @@ mod tests {
     fn tracer_is_send_and_clone() {
         fn assert_send_clone<T: Send + Clone>() {}
         assert_send_clone::<Tracer>();
+    }
+
+    #[test]
+    fn jsonl_sink_writes_every_event_and_flushes_on_drop() {
+        let path = std::env::temp_dir().join(format!(
+            "mbts-jsonl-sink-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        {
+            let mut t = Tracer::jsonl(&path).unwrap();
+            assert!(t.is_enabled());
+            for i in 0..100 {
+                t.emit(ev(i));
+            }
+            // No explicit flush/finish: drop must push the tail out.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = crate::event::from_jsonl(&text).unwrap();
+        assert_eq!(events.len(), 100);
+        assert_eq!(events[99].task.unwrap().0, 99);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn jsonl_sink_reports_written_count_via_finish() {
+        let path = std::env::temp_dir().join(format!(
+            "mbts-jsonl-finish-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let sink = JsonlSink::create(&path).unwrap();
+        for i in 0..7 {
+            sink.record(&ev(i));
+        }
+        assert_eq!(sink.finish(), Ok(7));
+        assert_eq!(sink.error(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn jsonl_sink_surfaces_write_errors() {
+        // /dev/full accepts the open but fails every write with ENOSPC —
+        // the exact "silently lost tail" failure mode the sink must
+        // surface instead of swallowing.
+        if !std::path::Path::new("/dev/full").exists() {
+            return;
+        }
+        let sink = JsonlSink::create("/dev/full").unwrap();
+        for i in 0..10_000 {
+            sink.record(&ev(i));
+        }
+        let err = sink.finish().expect_err("writes to /dev/full must fail");
+        assert!(
+            err.contains("/dev/full"),
+            "error should name the file: {err}"
+        );
+        assert!(sink.error().is_some());
+        // Once failed the sink is inert, not panicking.
+        sink.record(&ev(0));
+    }
+
+    #[test]
+    fn tracer_snapshot_roundtrips_ring_buffer_and_metrics() {
+        // Ring: capacity, eviction count, and tail must all survive.
+        let mut ring = Tracer::ring(3);
+        for i in 0..7 {
+            ring.emit(ev(i));
+        }
+        let json = serde_json::to_string(&ring.snapshot()).unwrap();
+        let snap: TracerSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = Tracer::from_snapshot(snap);
+        ring.emit(ev(7));
+        restored.emit(ev(7));
+        let (Tracer::Ring(a), Tracer::Ring(b)) = (&ring, &restored) else {
+            panic!("ring tracers expected");
+        };
+        assert_eq!(a.seen(), b.seen());
+        assert_eq!(
+            a.events().collect::<Vec<_>>(),
+            b.events().collect::<Vec<_>>()
+        );
+
+        // Buffer: the full capture survives and keeps appending.
+        let mut buf = Tracer::buffer();
+        for i in 0..5 {
+            buf.emit(ev(i));
+        }
+        let json = serde_json::to_string(&buf.snapshot()).unwrap();
+        let mut restored = Tracer::from_snapshot(serde_json::from_str(&json).unwrap());
+        buf.emit(ev(5));
+        restored.emit(ev(5));
+        assert_eq!(buf.into_events(), restored.into_events());
+
+        // Metrics: aggregates resume mid-stream with identical state.
+        let mut m = Tracer::metrics("fcfs", 4);
+        for i in 0..6 {
+            m.emit(ev(i));
+        }
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        let mut restored = Tracer::from_snapshot(serde_json::from_str(&json).unwrap());
+        m.emit(ev(6));
+        restored.emit(ev(6));
+        let a = serde_json::to_string(&m.into_registry().unwrap()).unwrap();
+        let b = serde_json::to_string(&restored.into_registry().unwrap()).unwrap();
+        assert_eq!(a, b);
     }
 }

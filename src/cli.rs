@@ -9,12 +9,21 @@
 //!             [--bound zero|unbounded|prop:F] [--widths one|uniform:LO:HI|pow2:E]
 //! mbts run    --trace trace.json [--policy SPEC] [--admission SPEC]
 //!             [--processors P] [--preemption] [--drop-expired] [--gantt]
-//!             [--classes]
+//!             [--classes] [--journal FILE]
 //! mbts market --trace trace.json [--sites N] [--procs-per-site P]
 //!             [--policy SPEC] [--admission SPEC]
 //!             [--selection earliest|slack|random|first] [--second-price]
+//!             [--journal FILE]
+//! mbts resume --journal FILE
 //! mbts policies
 //! ```
+//!
+//! `--journal FILE` makes `run`/`market` crash-recoverable: the full
+//! replay state is snapshotted and every applied event journaled to
+//! `FILE` (CRC-framed, flushed per record). If the process dies — even
+//! mid-write — `mbts resume --journal FILE` restores the latest intact
+//! state, replays the event suffix, and finishes the run with the exact
+//! outcome the uninterrupted run would have produced.
 //!
 //! Policy specs: `fcfs`, `srpt`, `swpt`, `first-price`, `pv:<rate>`,
 //! `first-reward:<alpha>:<rate>`. Admission specs: `all`, `positive`,
@@ -54,6 +63,8 @@ pub enum Command {
         classes: bool,
         /// Write the structured audit log (JSON Lines) to this path.
         audit: Option<PathBuf>,
+        /// Journal snapshots + events to this path (crash-recoverable).
+        journal: Option<PathBuf>,
     },
     /// Run a multi-site economy over a stored trace.
     Market {
@@ -61,6 +72,13 @@ pub enum Command {
         trace: PathBuf,
         /// Economy configuration.
         economy: EconomyConfig,
+        /// Journal snapshots + events to this path (crash-recoverable).
+        journal: Option<PathBuf>,
+    },
+    /// Recover an interrupted journaled run and finish it.
+    Resume {
+        /// Journal written by `run --journal` or `market --journal`.
+        journal: PathBuf,
     },
     /// Paired A/B comparison of two policies on fresh seeded workloads.
     Compare {
@@ -187,8 +205,11 @@ pub fn usage() -> &'static str {
      \x20           [--bound zero|unbounded|prop:F] [--widths one|uniform:LO:HI|pow2:E]\n\
      mbts run    --trace FILE [--policy SPEC] [--admission SPEC] [--processors P]\n\
      \x20           [--preemption] [--drop-expired] [--gantt] [--classes] [--audit FILE]\n\
+     \x20           [--journal FILE]\n\
      mbts market --trace FILE [--sites N] [--procs-per-site P] [--policy SPEC]\n\
      \x20           [--admission SPEC] [--selection KIND] [--second-price]\n\
+     \x20           [--journal FILE]\n\
+     mbts resume --journal FILE\n\
      mbts compare --a SPEC --b SPEC [--tasks N] [--load L] [--seeds N]\n\
      \x20           [--processors P] [--admission SPEC] [--mean-decay D]\n\
      mbts validate --trace FILE\n\
@@ -267,6 +288,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 gantt: has("--gantt"),
                 classes: has("--classes"),
                 audit,
+                journal: get("--journal").map(PathBuf::from),
             })
         }
         "market" => {
@@ -286,7 +308,15 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 economy.pricing = PricingStrategy::second_price();
             }
             economy.seed = int("--seed", 0)? as u64;
-            Ok(Command::Market { trace, economy })
+            Ok(Command::Market {
+                trace,
+                economy,
+                journal: get("--journal").map(PathBuf::from),
+            })
+        }
+        "resume" => {
+            let journal = PathBuf::from(get("--journal").ok_or("resume requires --journal FILE")?);
+            Ok(Command::Resume { journal })
         }
         "compare" => {
             let pa = parse_policy(get("--a").ok_or("compare requires --a SPEC")?)?;
@@ -318,6 +348,62 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "policies" => Ok(Command::Policies),
         other => Err(format!("unknown subcommand '{other}'\n{}", usage())),
     }
+}
+
+/// Events between journal snapshots for `--journal` runs: frequent
+/// enough to bound resume replay, sparse enough that journal size stays
+/// dominated by the (small) event records.
+const JOURNAL_SNAPSHOT_EVERY: u64 = 4096;
+
+fn market_summary(
+    outcome: &mbts_market::EconomyOutcome,
+    out: &mut dyn std::io::Write,
+) -> Result<(), String> {
+    writeln!(
+        out,
+        "{} sites | offered {}  placed {}  unplaced {}  violations {}",
+        outcome.per_site.len(),
+        outcome.offered,
+        outcome.placed,
+        outcome.unplaced,
+        outcome.violations()
+    )
+    .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "total yield {:.1}  settled {:.1}  charged {:.1}",
+        outcome.total_yield(),
+        outcome.total_settled,
+        outcome.total_paid
+    )
+    .map_err(|e| e.to_string())?;
+    for (i, s) in outcome.per_site.iter().enumerate() {
+        writeln!(
+            out,
+            "  site {i}: won {:>5}  completed {:>5}  yield {:>10.1}  rate {:>8.3}",
+            s.metrics.accepted,
+            s.metrics.completed,
+            s.metrics.total_yield,
+            s.metrics.yield_rate()
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn resume_banner(
+    kind: &str,
+    events_handled: u64,
+    report: &mbts_durable::RecoveryReport,
+    out: &mut dyn std::io::Write,
+) -> Result<(), String> {
+    writeln!(
+        out,
+        "recovered {kind} run at event {events_handled} \
+         (replayed {} journaled events, dropped {} torn bytes)",
+        report.replayed_events, report.dropped_bytes
+    )
+    .map_err(|e| e.to_string())
 }
 
 /// Executes a parsed command, writing human-readable output to `out`.
@@ -356,10 +442,36 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             gantt,
             classes,
             audit,
+            journal,
         } => {
             let trace =
                 Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
-            let outcome = Site::new(site.clone()).run_trace(&trace);
+            let outcome = match journal {
+                Some(path) => {
+                    let j = mbts_durable::Journal::create(&path)
+                        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+                    let mut durable = mbts_durable::durable_site_run(
+                        site.clone(),
+                        &trace,
+                        mbts_trace::Tracer::Off,
+                        j,
+                        JOURNAL_SNAPSHOT_EVERY,
+                    )
+                    .map_err(|e| format!("cannot journal to {}: {e}", path.display()))?;
+                    durable
+                        .run_to_completion()
+                        .map_err(|e| format!("journal write failed: {e}"))?;
+                    writeln!(
+                        out,
+                        "journal: {} bytes -> {}",
+                        durable.offset(),
+                        path.display()
+                    )
+                    .map_err(|e| e.to_string())?;
+                    durable.into_parts().0.finish().0
+                }
+                None => Site::new(site.clone()).run_trace(&trace),
+            };
             let m = &outcome.metrics;
             writeln!(
                 out,
@@ -430,41 +542,75 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             }
             Ok(())
         }
-        Command::Market { trace, economy } => {
+        Command::Market {
+            trace,
+            economy,
+            journal,
+        } => {
             let trace =
                 Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
-            let sites = economy.sites.len();
-            let outcome = Economy::new(economy).run_trace(&trace);
-            writeln!(
-                out,
-                "{} sites | offered {}  placed {}  unplaced {}  violations {}",
-                sites,
-                outcome.offered,
-                outcome.placed,
-                outcome.unplaced,
-                outcome.violations()
-            )
-            .map_err(|e| e.to_string())?;
-            writeln!(
-                out,
-                "total yield {:.1}  settled {:.1}  charged {:.1}",
-                outcome.total_yield(),
-                outcome.total_settled,
-                outcome.total_paid
-            )
-            .map_err(|e| e.to_string())?;
-            for (i, s) in outcome.per_site.iter().enumerate() {
-                writeln!(
-                    out,
-                    "  site {i}: won {:>5}  completed {:>5}  yield {:>10.1}  rate {:>8.3}",
-                    s.metrics.accepted,
-                    s.metrics.completed,
-                    s.metrics.total_yield,
-                    s.metrics.yield_rate()
-                )
-                .map_err(|e| e.to_string())?;
+            let outcome = match journal {
+                Some(path) => {
+                    let j = mbts_durable::Journal::create(&path)
+                        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+                    let mut durable = mbts_durable::durable_economy_run(
+                        economy,
+                        &trace,
+                        mbts_trace::Tracer::Off,
+                        j,
+                        JOURNAL_SNAPSHOT_EVERY,
+                    )
+                    .map_err(|e| format!("cannot journal to {}: {e}", path.display()))?;
+                    durable
+                        .run_to_completion()
+                        .map_err(|e| format!("journal write failed: {e}"))?;
+                    writeln!(
+                        out,
+                        "journal: {} bytes -> {}",
+                        durable.offset(),
+                        path.display()
+                    )
+                    .map_err(|e| e.to_string())?;
+                    durable.into_parts().0.finish().0
+                }
+                None => Economy::new(economy).run_trace(&trace),
+            };
+            market_summary(&outcome, out)
+        }
+        Command::Resume { journal } => {
+            let bytes = mbts_durable::load(&journal)
+                .map_err(|e| format!("cannot read {}: {e}", journal.display()))?;
+            // A journal is either a site run or an economy run; the
+            // snapshot schema disambiguates, so try site first and fall
+            // back to economy.
+            match mbts_durable::DurableRun::<mbts_site::SiteRun>::recover(&bytes) {
+                Ok((mut run, report)) => {
+                    resume_banner("site", run.events_handled(), &report, out)?;
+                    run.run_to_completion();
+                    let (outcome, _) = run.finish();
+                    let m = &outcome.metrics;
+                    writeln!(
+                        out,
+                        "submitted {}  accepted {}  completed {}  yield {:.1}",
+                        m.submitted, m.accepted, m.completed, m.total_yield
+                    )
+                    .map_err(|e| e.to_string())
+                }
+                Err(site_err) => {
+                    match mbts_durable::DurableRun::<mbts_market::EconomyRun>::recover(&bytes) {
+                        Ok((mut run, report)) => {
+                            resume_banner("economy", run.events_handled(), &report, out)?;
+                            run.run_to_completion();
+                            let (outcome, _) = run.finish();
+                            market_summary(&outcome, out)
+                        }
+                        Err(eco_err) => Err(format!(
+                            "cannot resume {}: as site run: {site_err}; as economy run: {eco_err}",
+                            journal.display()
+                        )),
+                    }
+                }
             }
-            Ok(())
         }
         Command::Compare { a, b, mix, seeds } => {
             let params = mbts_experiments::ExpParams {
@@ -759,6 +905,82 @@ mod tests {
         // bare "trace OK" banner.
         assert!(String::from_utf8_lossy(&buf).contains("50 tasks"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn journal_and_resume_end_to_end() {
+        let dir = std::env::temp_dir().join("mbts-cli-journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("j-trace.json");
+        let journal = dir.join("run.mbtsj");
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!(
+                "gen --out {} --tasks 80 --processors 4 --seed 5",
+                trace.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+
+        // A journaled run completes and reports the journal.
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!(
+                "run --trace {} --policy first-price --processors 4 --journal {}",
+                trace.display(),
+                journal.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf).to_string();
+        assert!(text.contains("journal:"), "{text}");
+        assert!(text.contains("completed 80"), "{text}");
+
+        // Tear the tail off the journal (a crash mid-write) and resume:
+        // the run still finishes with every task completed.
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() - bytes.len() / 3]).unwrap();
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!("resume --journal {}", journal.display()))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf).to_string();
+        assert!(text.contains("recovered site run"), "{text}");
+        assert!(text.contains("completed 80"), "{text}");
+
+        // Same flow for an economy run.
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!(
+                "market --trace {} --sites 2 --procs-per-site 2 --journal {}",
+                trace.display(),
+                journal.display()
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&buf).contains("journal:"));
+        let bytes = std::fs::read(&journal).unwrap();
+        std::fs::write(&journal, &bytes[..bytes.len() - bytes.len() / 4]).unwrap();
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!("resume --journal {}", journal.display()))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf).to_string();
+        assert!(text.contains("recovered economy run"), "{text}");
+        assert!(text.contains("offered 80"), "{text}");
+
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&journal).ok();
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   pool of processors with optional preemption and admission control.
 //! * [`market`] — bids, contracts, negotiation, brokers, budgets, pricing,
 //!   and a multi-site economy (the paper's Figure 1 setting).
+//! * [`durable`] — crash consistency: CRC-framed snapshot + write-ahead
+//!   event journals that make site and economy runs recoverable at any
+//!   event boundary, bit-identical to an uninterrupted run.
 //! * [`experiments`] — the harness that regenerates every figure of the
 //!   paper's evaluation (Figures 3–7) plus ablations.
 //!
@@ -46,6 +49,7 @@
 pub mod cli;
 
 pub use mbts_core as core;
+pub use mbts_durable as durable;
 pub use mbts_experiments as experiments;
 pub use mbts_market as market;
 pub use mbts_sim as sim;

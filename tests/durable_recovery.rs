@@ -1,0 +1,391 @@
+//! Exhaustive kill-point recovery sweeps.
+//!
+//! The durability layer's headline guarantee: crash a journaled run
+//! after *any* event index `k`, recover from the journal bytes written
+//! so far, run to completion — and the outcome (schedule dispositions,
+//! yields, account balances, trace stream) is **bit-identical** to the
+//! run that was never interrupted. These tests enumerate every `k`
+//! rather than sampling: determinism bugs love to hide at specific
+//! boundaries (first event, mid-repair, last completion).
+//!
+//! Two tiers, mirroring `fault_soak.rs`:
+//!
+//! * smoke — small traces, always on;
+//! * heavy — all six policies × both lost-work policies × three seeds,
+//!   with and without fault injection; ignored in debug builds (CI runs
+//!   it in release with `--include-ignored`).
+//!
+//! On divergence, if `MBTS_DUMP_DIR` is set the expected/actual states
+//! are dumped there so CI can upload them as artifacts.
+
+use mbts::core::{AdmissionPolicy, Policy};
+use mbts::durable::{framing, DurableRun, Journal, RecordTag};
+use mbts::market::{
+    BudgetConfig, EconomyConfig, EconomyRun, MarketFaultConfig, MigrationConfig, RetryConfig,
+};
+use mbts::sim::{FaultConfig, UpDown};
+use mbts::site::{FaultPlan, LostWorkPolicy, SiteConfig, SiteRun};
+use mbts::trace::Tracer;
+use mbts::workload::{fig67_mix, generate_trace, Trace};
+
+/// On mismatch, dump expected/actual to `MBTS_DUMP_DIR` (if set) and
+/// return a pointer for the panic message.
+fn dump_divergence(name: &str, want: &str, got: &str) -> String {
+    let Ok(dir) = std::env::var("MBTS_DUMP_DIR") else {
+        return String::new();
+    };
+    let dir = std::path::PathBuf::from(dir);
+    std::fs::create_dir_all(&dir).ok();
+    let path = dir.join(format!("{name}.txt"));
+    std::fs::write(
+        &path,
+        format!("=== expected ===\n{want}\n=== got ===\n{got}\n"),
+    )
+    .ok();
+    format!(" (state dump: {})", path.display())
+}
+
+macro_rules! assert_identical {
+    ($want:expr, $got:expr, $name:expr, $what:expr, $k:expr) => {
+        if $got != $want {
+            let hint = dump_divergence(
+                &format!("{}-k{}-{}", $name, $k, $what),
+                &format!("{:#?}", $want),
+                &format!("{:#?}", $got),
+            );
+            panic!(
+                "{} diverged after kill at event {} [{}]{hint}",
+                $what, $k, $name
+            );
+        }
+    };
+}
+
+/// Journals a full site run (recording the journal offset at every event
+/// boundary), then for each `k` truncates to that offset, recovers, and
+/// finishes — asserting outcome and trace-stream identity. Returns the
+/// total event count.
+fn kill_sweep_site(name: &str, mk: impl Fn(Tracer) -> SiteRun, snapshot_every: u64) -> u64 {
+    let mut durable =
+        DurableRun::new(mk(Tracer::buffer()), Journal::in_memory(), snapshot_every).unwrap();
+    let mut offsets = vec![durable.offset()];
+    while durable.step().unwrap() {
+        offsets.push(durable.offset());
+    }
+    let (run, journal) = durable.into_parts();
+    let total = run.events_handled();
+    let (want, want_tracer) = run.finish();
+    let want_events = want_tracer.into_events().unwrap();
+    let bytes = journal.bytes();
+
+    for (k, &cut) in offsets.iter().enumerate() {
+        let (mut rec, _report) = DurableRun::<SiteRun>::recover(&bytes[..cut])
+            .unwrap_or_else(|e| panic!("recovery failed at kill point {k} [{name}]: {e}"));
+        assert_eq!(
+            rec.events_handled(),
+            k as u64,
+            "recovered run resumed at the wrong event [{name}]"
+        );
+        rec.run_to_completion();
+        assert_eq!(rec.events_handled(), total);
+        let (got, got_tracer) = rec.finish();
+        assert_identical!(want, got, name, "outcome", k);
+        let got_events = got_tracer.into_events().unwrap();
+        assert_identical!(want_events, got_events, name, "trace", k);
+    }
+    total
+}
+
+/// The economy-layer twin of [`kill_sweep_site`].
+fn kill_sweep_economy(
+    name: &str,
+    config: &EconomyConfig,
+    trace: &Trace,
+    snapshot_every: u64,
+) -> u64 {
+    let run = EconomyRun::new(config.clone(), trace, Tracer::buffer());
+    let mut durable = DurableRun::new(run, Journal::in_memory(), snapshot_every).unwrap();
+    let mut offsets = vec![durable.offset()];
+    while durable.step().unwrap() {
+        offsets.push(durable.offset());
+    }
+    let (run, journal) = durable.into_parts();
+    let total = run.events_handled();
+    let (want, want_tracer) = run.finish();
+    let want_events = want_tracer.into_events().unwrap();
+    let bytes = journal.bytes();
+
+    for (k, &cut) in offsets.iter().enumerate() {
+        let (mut rec, _report) = DurableRun::<EconomyRun>::recover(&bytes[..cut])
+            .unwrap_or_else(|e| panic!("recovery failed at kill point {k} [{name}]: {e}"));
+        assert_eq!(rec.events_handled(), k as u64);
+        rec.run_to_completion();
+        assert_eq!(rec.events_handled(), total);
+        let (got, got_tracer) = rec.finish();
+        assert_identical!(want, got, name, "outcome", k);
+        let got_events = got_tracer.into_events().unwrap();
+        assert_identical!(want_events, got_events, name, "trace", k);
+    }
+    total
+}
+
+/// Processor faults aggressive enough that even a ~25-task smoke trace
+/// sees crashes and repairs.
+fn smoke_faults() -> FaultConfig {
+    FaultConfig {
+        processor: Some(UpDown::exponential(600.0, 80.0)),
+        site: None,
+    }
+}
+
+#[test]
+fn kill_every_event_site_smoke() {
+    let trace = generate_trace(&fig67_mix(1.6).with_tasks(24).with_processors(4), 17);
+    let config = SiteConfig::new(4)
+        .with_policy(Policy::first_reward(0.3, 0.01))
+        .with_preemption(true)
+        .with_lost_work(LostWorkPolicy::Checkpoint {
+            interval: 25.0,
+            restart_penalty: 2.0,
+        });
+    let plan = FaultPlan::new(smoke_faults(), 5);
+    let total = kill_sweep_site(
+        "site-smoke",
+        |tracer| SiteRun::with_faults(config.clone(), &trace, &plan, tracer),
+        32,
+    );
+    assert!(total > 48, "smoke sweep saw only {total} events");
+}
+
+#[test]
+fn kill_every_event_site_smoke_unfaulted() {
+    let trace = generate_trace(&fig67_mix(1.6).with_tasks(25).with_processors(4), 23);
+    let config = SiteConfig::new(4)
+        .with_policy(Policy::FirstPrice)
+        .with_admission(AdmissionPolicy::SlackThreshold { threshold: 180.0 });
+    let total = kill_sweep_site(
+        "site-smoke-unfaulted",
+        |tracer| SiteRun::new(config.clone(), &trace, tracer),
+        16,
+    );
+    assert!(total >= 25);
+}
+
+#[test]
+fn kill_every_event_economy_smoke() {
+    let trace = generate_trace(&fig67_mix(1.5).with_tasks(24).with_processors(8), 31);
+    let mut config = EconomyConfig::uniform(
+        2,
+        SiteConfig::new(4)
+            .with_policy(Policy::FirstPrice)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 }),
+    );
+    config.budgets = Some(BudgetConfig {
+        num_clients: 3,
+        initial: 200.0,
+        replenish_rate: 0.05,
+        cap: 600.0,
+    });
+    config.migration = Some(MigrationConfig {
+        grace: 100.0,
+        max_attempts: 2,
+    });
+    config.retry = Some(RetryConfig {
+        backoff: 40.0,
+        max_retries: 1,
+    });
+    config.faults = Some(
+        MarketFaultConfig::new(
+            FaultConfig {
+                processor: Some(UpDown::exponential(900.0, 90.0)),
+                site: Some(UpDown::exponential(2_500.0, 300.0)),
+            },
+            13,
+        )
+        .with_backoff_cap(240.0)
+        .with_jitter(0.5),
+    );
+    let total = kill_sweep_economy("economy-smoke", &config, &trace, 32);
+    assert!(total > 48, "economy sweep saw only {total} events");
+}
+
+/// Satellite: the kill point *between* a site's `Crash` event and its
+/// matching `Repair` must recover correctly under checkpointed lost
+/// work — the recovered run must re-derive the same repair schedule,
+/// checkpoint credit and restart penalties from snapshot state alone.
+#[test]
+fn crash_during_repair_kill_points_recover_under_checkpoint() {
+    let trace = generate_trace(&fig67_mix(1.6).with_tasks(24).with_processors(4), 41);
+    let config = SiteConfig::new(4)
+        .with_policy(Policy::first_reward(0.3, 0.01))
+        .with_preemption(true)
+        .with_lost_work(LostWorkPolicy::Checkpoint {
+            interval: 25.0,
+            restart_penalty: 2.0,
+        });
+    let plan = FaultPlan::new(smoke_faults(), 7);
+
+    // Journal with genesis-only snapshots so record i+1 is event i.
+    let run = SiteRun::with_faults(config.clone(), &trace, &plan, Tracer::buffer());
+    let mut durable = DurableRun::new(run, Journal::in_memory(), 0).unwrap();
+    let mut offsets = vec![durable.offset()];
+    while durable.step().unwrap() {
+        offsets.push(durable.offset());
+    }
+    let (run, journal) = durable.into_parts();
+    let total = run.events_handled();
+    let (want, want_tracer) = run.finish();
+    let want_events = want_tracer.into_events().unwrap();
+
+    // Find every Crash event's index from the journaled payloads.
+    let scan = framing::scan(journal.bytes()).unwrap();
+    let crash_indices: Vec<usize> = scan
+        .records
+        .iter()
+        .filter(|(tag, _)| *tag == RecordTag::Event)
+        .enumerate()
+        .filter(|(_, (_, payload))| {
+            let text = std::str::from_utf8(payload).unwrap();
+            text.contains("Crash")
+        })
+        .map(|(i, _)| i)
+        .collect();
+    assert!(
+        !crash_indices.is_empty(),
+        "the fault plan must actually crash processors"
+    );
+
+    // Kill immediately after each Crash applies — its Repair is still
+    // pending in the journaled queue snapshot.
+    for &i in &crash_indices {
+        let k = i + 1;
+        let (mut rec, _) = DurableRun::<SiteRun>::recover(&journal.bytes()[..offsets[k]])
+            .unwrap_or_else(|e| panic!("recovery failed mid-repair at event {k}: {e}"));
+        assert_eq!(rec.events_handled(), k as u64);
+        rec.run_to_completion();
+        assert_eq!(rec.events_handled(), total);
+        let (got, got_tracer) = rec.finish();
+        assert_identical!(want, got, "crash-during-repair", "outcome", k);
+        let got_events = got_tracer.into_events().unwrap();
+        assert_identical!(want_events, got_events, "crash-during-repair", "trace", k);
+    }
+}
+
+/// The six policy configurations of the fault soak, swept exhaustively.
+fn soak_policies(processors: usize) -> Vec<(&'static str, SiteConfig)> {
+    vec![
+        (
+            "fcfs",
+            SiteConfig::new(processors).with_policy(Policy::Fcfs),
+        ),
+        (
+            "srpt",
+            SiteConfig::new(processors).with_policy(Policy::Srpt),
+        ),
+        (
+            "first_price",
+            SiteConfig::new(processors).with_policy(Policy::FirstPrice),
+        ),
+        (
+            "pv",
+            SiteConfig::new(processors).with_policy(Policy::pv(0.01)),
+        ),
+        (
+            "first_reward",
+            SiteConfig::new(processors).with_policy(Policy::first_reward(0.3, 0.01)),
+        ),
+        (
+            "first_reward_ac",
+            SiteConfig::new(processors)
+                .with_policy(Policy::first_reward(0.3, 0.01))
+                .with_admission(AdmissionPolicy::SlackThreshold { threshold: 180.0 }),
+        ),
+    ]
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "exhaustive sweep: run in release (CI crash-restart soak job)"
+)]
+fn kill_every_event_all_policies_heavy() {
+    let mix = fig67_mix(1.6).with_tasks(120).with_processors(8);
+    let mut total = 0u64;
+    for &seed in &[101, 202, 303] {
+        let trace = generate_trace(&mix, seed);
+        for (label, base) in soak_policies(8) {
+            // Unfaulted variant.
+            total += kill_sweep_site(
+                &format!("{label}-s{seed}-plain"),
+                |tracer| SiteRun::new(base.clone(), &trace, tracer),
+                64,
+            );
+            // Faulted, under both lost-work policies.
+            for (wlabel, lost_work) in [
+                ("restart", LostWorkPolicy::Restart),
+                (
+                    "checkpoint",
+                    LostWorkPolicy::Checkpoint {
+                        interval: 25.0,
+                        restart_penalty: 2.0,
+                    },
+                ),
+            ] {
+                let config = base.clone().with_lost_work(lost_work).with_preemption(true);
+                let faults = FaultConfig {
+                    processor: Some(UpDown::exponential(4_000.0, 120.0)),
+                    site: None,
+                };
+                let plan = FaultPlan::new(faults, seed.wrapping_mul(0x9E37_79B9) ^ 0x50A4);
+                total += kill_sweep_site(
+                    &format!("{label}-s{seed}-{wlabel}"),
+                    |tracer| SiteRun::with_faults(config.clone(), &trace, &plan, tracer),
+                    64,
+                );
+            }
+        }
+    }
+    // 54 sweeps × ~250 events each (rejections mean not every task
+    // yields a completion event).
+    assert!(total > 10_000, "heavy sweep saw only {total} events");
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "exhaustive sweep: run in release (CI crash-restart soak job)"
+)]
+fn kill_every_event_economy_heavy() {
+    let mix = fig67_mix(1.5).with_tasks(100).with_processors(8);
+    let mut total = 0u64;
+    for &seed in &[7, 19] {
+        let trace = generate_trace(&mix, seed);
+        let mut config = EconomyConfig::uniform(
+            2,
+            SiteConfig::new(4)
+                .with_policy(Policy::first_reward(0.3, 0.01))
+                .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 }),
+        );
+        config.budgets = Some(BudgetConfig {
+            num_clients: 4,
+            initial: 150.0,
+            replenish_rate: 0.05,
+            cap: 500.0,
+        });
+        config.faults = Some(
+            MarketFaultConfig::new(
+                FaultConfig {
+                    processor: Some(UpDown::exponential(2_500.0, 120.0)),
+                    site: Some(UpDown::exponential(6_000.0, 400.0)),
+                },
+                seed,
+            )
+            .with_backoff_cap(240.0)
+            .with_jitter(0.5),
+        );
+        total += kill_sweep_economy(&format!("economy-s{seed}"), &config, &trace, 64);
+    }
+    // Tight budgets leave many tasks unfunded (arrival-only), so the
+    // floor is well below 2 events/task.
+    assert!(total > 250, "economy heavy sweep saw only {total} events");
+}

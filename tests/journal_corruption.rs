@@ -1,0 +1,193 @@
+//! Property tests over journal damage: truncating or corrupting an
+//! arbitrary suffix of a journal must never panic, must always recover
+//! the valid prefix (or fail with a clean error when nothing intact
+//! remains), and a recovered run finished to completion must be
+//! bit-identical to the uninterrupted run — conservation auditors clean.
+
+use mbts::core::Policy;
+use mbts::durable::{framing, recover_bytes, DurableRun, Journal, RecoverError};
+use mbts::market::{EconomyConfig, EconomyRun, MarketFaultConfig};
+use mbts::sim::{FaultConfig, UpDown};
+use mbts::site::{FaultPlan, LostWorkPolicy, SiteConfig, SiteOutcome, SiteRun};
+use mbts::trace::Tracer;
+use mbts::workload::{fig67_mix, generate_trace};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Reference journal and uninterrupted outcome, built once: a faulted,
+/// checkpointed site run journaled with frequent snapshots so damage at
+/// different depths lands before, between, and after snapshot records.
+fn reference() -> &'static (Vec<u8>, SiteOutcome, u64) {
+    static REF: OnceLock<(Vec<u8>, SiteOutcome, u64)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let trace = generate_trace(&fig67_mix(1.6).with_tasks(20).with_processors(4), 11);
+        let config = SiteConfig::new(4)
+            .with_policy(Policy::first_reward(0.3, 0.01))
+            .with_preemption(true)
+            .with_lost_work(LostWorkPolicy::Checkpoint {
+                interval: 25.0,
+                restart_penalty: 2.0,
+            });
+        let plan = FaultPlan::new(
+            FaultConfig {
+                processor: Some(UpDown::exponential(600.0, 80.0)),
+                site: None,
+            },
+            3,
+        );
+        let run = SiteRun::with_faults(config, &trace, &plan, Tracer::Off);
+        let mut durable = DurableRun::new(run, Journal::in_memory(), 8).unwrap();
+        durable.run_to_completion().unwrap();
+        let (run, journal) = durable.into_parts();
+        let total = run.events_handled();
+        let (outcome, _) = run.finish();
+        (journal.bytes().to_vec(), outcome, total)
+    })
+}
+
+/// Recovery of damaged bytes either fails cleanly or yields a run that
+/// finishes bit-identically to the uninterrupted reference.
+fn check_damaged(bytes: &[u8]) -> Result<(), String> {
+    // The framing scan itself must never panic on any input.
+    let _ = framing::scan(bytes);
+    let _ = recover_bytes(bytes);
+    match DurableRun::<SiteRun>::recover(bytes) {
+        Ok((mut run, report)) => {
+            let (_, want, total) = reference();
+            prop_assert!(run.events_handled() <= *total);
+            run.run_to_completion();
+            prop_assert_eq!(run.events_handled(), *total);
+            let (got, _) = run.finish();
+            prop_assert!(
+                got.violations.is_empty(),
+                "conservation auditors tripped after recovery: {:?}",
+                got.violations
+            );
+            prop_assert_eq!(&got, want, "recovered run diverged from reference");
+            // Damage only ever costs the tail, never the whole journal.
+            prop_assert!(report.dropped_bytes <= bytes.len());
+        }
+        // Nothing intact to recover is a clean, typed refusal.
+        Err(RecoverError::Framing(_) | RecoverError::NoSnapshot | RecoverError::BadSnapshot(_)) => {
+        }
+        Err(RecoverError::Divergence { index, detail }) => {
+            return Err(format!(
+                "suffix damage must not masquerade as divergence (event {index}: {detail})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Truncating the journal at any byte boundary recovers the valid
+    /// prefix and replays to the reference outcome.
+    #[test]
+    fn truncation_at_any_byte_recovers_the_valid_prefix(cut_fraction in 0.0f64..=1.0) {
+        let (bytes, _, _) = reference();
+        let cut = ((bytes.len() as f64) * cut_fraction) as usize;
+        check_damaged(&bytes[..cut.min(bytes.len())])?;
+    }
+
+    /// XOR-corrupting everything from an arbitrary position onward is
+    /// contained by the CRC framing: the undamaged prefix still recovers
+    /// and finishes identically.
+    #[test]
+    fn corrupting_an_arbitrary_suffix_is_contained(
+        start_fraction in 0.0f64..1.0,
+        xor in 1u8..=255,
+    ) {
+        let (bytes, _, _) = reference();
+        let start = ((bytes.len() as f64) * start_fraction) as usize;
+        let mut damaged = bytes.clone();
+        for b in &mut damaged[start..] {
+            *b ^= xor;
+        }
+        check_damaged(&damaged)?;
+    }
+
+    /// A single flipped bit anywhere — header, snapshot, event, or
+    /// framing fields — never panics and never silently corrupts the
+    /// recovered state.
+    #[test]
+    fn a_single_bit_flip_never_panics_or_corrupts(
+        pos_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let (bytes, _, _) = reference();
+        let pos = (((bytes.len() - 1) as f64) * pos_fraction) as usize;
+        let mut damaged = bytes.clone();
+        damaged[pos] ^= 1 << bit;
+        check_damaged(&damaged)?;
+    }
+
+    /// Truncation after corruption (a torn write on top of bit rot)
+    /// still degrades gracefully.
+    #[test]
+    fn corrupt_then_truncate_degrades_gracefully(
+        start_fraction in 0.0f64..1.0,
+        cut_fraction in 0.0f64..=1.0,
+        xor in 1u8..=255,
+    ) {
+        let (bytes, _, _) = reference();
+        let start = ((bytes.len() as f64) * start_fraction) as usize;
+        let mut damaged = bytes.clone();
+        for b in &mut damaged[start..] {
+            *b ^= xor;
+        }
+        let cut = ((damaged.len() as f64) * cut_fraction) as usize;
+        check_damaged(&damaged[..cut.min(damaged.len())])?;
+    }
+
+    /// The scanner survives entirely arbitrary bytes (no journal header
+    /// at all) without panicking.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_scanner(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let _ = framing::scan(&bytes);
+        let _ = recover_bytes(&bytes);
+        let _ = DurableRun::<SiteRun>::recover(&bytes);
+        let _ = DurableRun::<EconomyRun>::recover(&bytes);
+    }
+}
+
+/// Deterministic companion: an economy journal with a corrupted suffix
+/// recovers with clean money-conservation books.
+#[test]
+fn economy_journal_suffix_corruption_keeps_the_books_closed() {
+    let trace = generate_trace(&fig67_mix(1.5).with_tasks(20).with_processors(8), 9);
+    let mut config = EconomyConfig::uniform(2, SiteConfig::new(4).with_policy(Policy::FirstPrice));
+    config.faults = Some(MarketFaultConfig::new(
+        FaultConfig {
+            processor: Some(UpDown::exponential(900.0, 90.0)),
+            site: Some(UpDown::exponential(2_500.0, 300.0)),
+        },
+        5,
+    ));
+    let run = EconomyRun::new(config, &trace, Tracer::Off);
+    let mut durable = DurableRun::new(run, Journal::in_memory(), 8).unwrap();
+    durable.run_to_completion().unwrap();
+    let (run, journal) = durable.into_parts();
+    let (want, _) = run.finish();
+    let bytes = journal.bytes();
+
+    for start in (framing::HEADER_LEN..bytes.len()).step_by(97) {
+        let mut damaged = bytes.to_vec();
+        for b in &mut damaged[start..] {
+            *b ^= 0xA5;
+        }
+        match DurableRun::<EconomyRun>::recover(&damaged) {
+            Ok((mut rec, _)) => {
+                rec.run_to_completion();
+                let (got, _) = rec.finish();
+                assert!(got.audit_violations.is_empty());
+                assert_eq!(got, want, "books diverged after corruption at {start}");
+            }
+            Err(RecoverError::NoSnapshot | RecoverError::BadSnapshot(_)) => {}
+            Err(e) => panic!("unexpected recovery error at {start}: {e}"),
+        }
+    }
+}

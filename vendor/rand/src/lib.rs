@@ -176,6 +176,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The raw xoshiro256** state words, for checkpointing a
+        /// generator mid-stream (the simulator's durable snapshots).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from [`state`](Self::state) output,
+        /// resuming the stream exactly where the snapshot left it. The
+        /// all-zero state is unreachable by a running xoshiro generator
+        /// and is rejected.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0u64; 4], "xoshiro state cannot be all-zero");
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
