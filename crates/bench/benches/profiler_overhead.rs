@@ -1,0 +1,47 @@
+//! Overhead of the hot-path self-profiler on the dispatch loop.
+//!
+//! The pool's hot paths (`push`, `select_best`, `scores`) run inside
+//! `mbts_sim::profiler::time` sections, so this bench measures exactly
+//! what shipping code pays. Two cases:
+//!
+//! * `disabled` — the default: each section is one relaxed atomic load,
+//!   which must stay within measurement noise of the pre-profiler
+//!   numbers (the `bench_dispatch` ≥5× gate runs over the same
+//!   instrumented pool and is the CI enforcement of that claim);
+//! * `enabled` — full timing + histogram recording, the price of
+//!   `mbts run --profile`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbts_bench::hotpath::{drain_incremental, pending_queue, pool_of};
+use mbts_core::Policy;
+use std::hint::black_box;
+
+const EVENTS: usize = 200;
+const DT: f64 = 0.05;
+const PENDING: usize = 10_000;
+
+fn profiler_overhead(c: &mut Criterion) {
+    let jobs = pending_queue(PENDING);
+    let policy = Policy::first_reward(0.3, 0.01);
+
+    mbts_sim::profiler::disable();
+    c.bench_function("dispatch_profiler/disabled", |b| {
+        b.iter(|| {
+            let mut pool = pool_of(policy, &jobs);
+            black_box(drain_incremental(&mut pool, EVENTS, DT))
+        })
+    });
+
+    mbts_sim::profiler::reset();
+    mbts_sim::profiler::enable();
+    c.bench_function("dispatch_profiler/enabled", |b| {
+        b.iter(|| {
+            let mut pool = pool_of(policy, &jobs);
+            black_box(drain_incremental(&mut pool, EVENTS, DT))
+        })
+    });
+    mbts_sim::profiler::disable();
+}
+
+criterion_group!(benches, profiler_overhead);
+criterion_main!(benches);

@@ -98,6 +98,30 @@ fn gate_speedup(rows: &[Row]) -> f64 {
         .speedup()
 }
 
+/// Extracts the entry lines of the `"history"` array from a previously
+/// written `BENCH_dispatch.json`, so each run appends to the record
+/// instead of erasing it. Files written before the history array
+/// existed (or a missing file) yield an empty history.
+fn load_history(path: &str) -> Vec<String> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut entries = Vec::new();
+    let mut in_history = false;
+    for line in text.lines() {
+        let t = line.trim();
+        if in_history {
+            if t == "]" || t == "]," {
+                break;
+            }
+            entries.push(t.trim_end_matches(',').to_string());
+        } else if t.starts_with("\"history\"") && t.ends_with('[') {
+            in_history = true;
+        }
+    }
+    entries
+}
+
 fn main() {
     let out = std::env::args()
         .nth(1)
@@ -155,9 +179,24 @@ fn main() {
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
+    json.push_str("  ],\n");
+
+    // Every run appends one entry to the history array, so the file
+    // doubles as a machine-local record of gate speedups over time.
+    let mut history = load_history(&out);
+    history.push(format!(
+        "{{ \"run\": {}, \"trials\": {trials}, \"gate_speedup\": {:.3} }}",
+        history.len() + 1,
+        gate_speedup(&rows)
+    ));
+    json.push_str("  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let _ = write!(json, "    {entry}");
+        json.push_str(if i + 1 < history.len() { ",\n" } else { "\n" });
+    }
     json.push_str("  ]\n}\n");
     std::fs::write(&out, json).expect("write BENCH_dispatch.json");
-    eprintln!("wrote {out}");
+    eprintln!("wrote {out} ({} history entries)", history.len());
 
     assert!(
         gate_speedup(&rows) >= MIN_SPEEDUP,

@@ -44,6 +44,7 @@
 
 pub mod admission;
 pub mod cost;
+pub mod explain;
 pub mod heuristics;
 pub mod job;
 pub mod mergemap;
@@ -53,6 +54,7 @@ pub mod value;
 
 pub use admission::{evaluate_admission, AdmissionDecision, AdmissionPolicy};
 pub use cost::{CostModel, DecaySum};
+pub use explain::{decompose, explain_decision, DecisionExplanation, ScoreDecomposition};
 pub use heuristics::{Policy, ScoreCtx};
 pub use job::Job;
 pub use pool::{IncrementalCostModel, PendingPool, PoolCheckpoint};

@@ -57,6 +57,7 @@ use crate::cost::{CostModel, DecaySum};
 use crate::heuristics::{Policy, ScoreCtx};
 use crate::job::Job;
 use crate::mergemap::MergeMap;
+use mbts_sim::profiler::{self, Section};
 use mbts_sim::{Duration, Time};
 use serde::{Deserialize, Serialize};
 use std::collections::{BinaryHeap, HashMap};
@@ -328,8 +329,13 @@ impl PendingPool {
         self.jobs.is_empty()
     }
 
-    /// Enqueues a job in `O(log n)`.
+    /// Enqueues a job in `O(log n)`. Instrumented as the profiler's
+    /// `pool_insert` section (one relaxed load when profiling is off).
     pub fn push(&mut self, job: Job) {
+        profiler::time(Section::PoolInsert, || self.push_impl(job))
+    }
+
+    fn push_impl(&mut self, job: Job) {
         let id = job.id().0;
         self.generation += 1;
         let gen = self.generation;
@@ -410,10 +416,15 @@ impl PendingPool {
     /// Slot of the best job at `now`: maximum score, ties to the lowest
     /// task id — exactly what [`Policy::select`] over [`jobs`](Self::jobs)
     /// returns, at incremental cost. `None` when the pool is empty.
+    /// Instrumented as the profiler's `cost_model_update` section.
     pub fn select_best(&mut self, now: Time) -> Option<usize> {
         if self.jobs.is_empty() {
             return None;
         }
+        profiler::time(Section::CostModelUpdate, || self.select_best_impl(now))
+    }
+
+    fn select_best_impl(&mut self, now: Time) -> Option<usize> {
         if self.policy.needs_cost_model() {
             let mut best: Option<(f64, u64, usize)> = None;
             self.for_each_first_reward(now, |slot, id, score| {
@@ -485,8 +496,13 @@ impl PendingPool {
 
     /// All scores at `now`, in slot order — the backfill scan's input.
     /// Bit-identical to scoring each job with [`Policy::score`] against
-    /// a fresh model.
+    /// a fresh model. Instrumented as the profiler's `merge_sweep`
+    /// section.
     pub fn scores(&mut self, now: Time) -> Vec<f64> {
+        profiler::time(Section::MergeSweep, || self.scores_impl(now))
+    }
+
+    fn scores_impl(&mut self, now: Time) -> Vec<f64> {
         if self.policy.needs_cost_model() {
             let mut out = vec![0.0; self.jobs.len()];
             self.for_each_first_reward(now, |slot, _, score| out[slot] = score);

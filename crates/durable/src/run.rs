@@ -135,11 +135,13 @@ impl<R: Recoverable> DurableRun<R> {
 
     /// Serializes the current state into a snapshot record immediately.
     pub fn snapshot_now(&mut self) -> io::Result<()> {
-        let json = serde_json::to_string(&self.run.snapshot())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
-        self.journal.append_snapshot(json.as_bytes())?;
-        self.since_snapshot = 0;
-        Ok(())
+        mbts_sim::profiler::time(mbts_sim::profiler::Section::SnapshotWrite, || {
+            let json = serde_json::to_string(&self.run.snapshot())
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            self.journal.append_snapshot(json.as_bytes())?;
+            self.since_snapshot = 0;
+            Ok(())
+        })
     }
 
     /// Journals the next due event, applies it, and snapshots if the

@@ -19,6 +19,7 @@ use crate::bidding::{RebidBackoff, RebidBackoffState};
 use crate::budget::{Account, BudgetConfig};
 use crate::contract::{Contract, ContractTerms};
 use crate::pricing::PricingStrategy;
+use mbts_core::AdmissionDecision;
 use mbts_sim::{
     rng::splitmix64, Engine, EventQueue, FaultConfig, FaultInjector, FaultInjectorState, FaultUnit,
     Model, RngFactory, Time,
@@ -26,7 +27,10 @@ use mbts_sim::{
 use mbts_site::{
     AuditViolation, CompletionToken, SiteConfig, SiteOutcome, SiteSnapshot, SiteState,
 };
-use mbts_trace::{TraceEvent, TraceKind, Tracer, TracerSnapshot};
+use mbts_trace::{
+    DecisionCandidate, DecisionKind, TraceEvent, TraceKind, Tracer, TracerSnapshot,
+    MAX_DECISION_CANDIDATES,
+};
 use mbts_workload::{TaskId, TaskSpec, Trace};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -782,6 +786,64 @@ impl EcoModel {
         }
     }
 
+    /// Provenance record for one §6 negotiation round: every site's
+    /// admission verdict as a candidate (score = expected yield, plus
+    /// the Eq. 7/8 decomposition the site computed), with `chosen`
+    /// marking the winning site. Emitted even when no site bids — the
+    /// losing counterfactuals are exactly what admission-regret
+    /// analysis needs.
+    fn bid_selection_event(
+        &self,
+        now: Time,
+        spec: TaskSpec,
+        decisions: &[(usize, AdmissionDecision)],
+        winner: Option<usize>,
+    ) -> TraceEvent {
+        // Rank by expected yield (descending; site index breaks ties).
+        let mut order: Vec<usize> = (0..decisions.len()).collect();
+        order.sort_by(|&a, &b| {
+            decisions[b]
+                .1
+                .expected_yield
+                .partial_cmp(&decisions[a].1.expected_yield)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| decisions[a].0.cmp(&decisions[b].0))
+        });
+        let mut keep: Vec<(usize, usize)> = Vec::new(); // (rank, decisions idx)
+        for (rank0, &i) in order.iter().enumerate() {
+            let is_winner = winner == Some(decisions[i].0);
+            if keep.len() < MAX_DECISION_CANDIDATES || is_winner {
+                keep.push((rank0 + 1, i));
+            }
+        }
+        let candidates = keep
+            .into_iter()
+            .map(|(rank, i)| {
+                let (s, d) = &decisions[i];
+                DecisionCandidate {
+                    rank,
+                    task: None,
+                    site: Some(*s),
+                    score: TraceEvent::finite(d.expected_yield),
+                    pv: TraceEvent::finite(d.present_value),
+                    cost: TraceEvent::finite(d.cost),
+                    slack: TraceEvent::finite(d.slack),
+                    chosen: winner == Some(*s),
+                }
+            })
+            .collect();
+        TraceEvent {
+            at: now,
+            task: Some(spec.id),
+            site: None,
+            kind: TraceKind::DecisionRecord {
+                decision: DecisionKind::BidSelection,
+                considered: decisions.len(),
+                candidates,
+            },
+        }
+    }
+
     /// Emits a [`TraceKind::ContractSettled`] event (no-op when the
     /// tracer is off).
     #[inline]
@@ -989,19 +1051,27 @@ impl EcoModel {
     ) -> bool {
         *self.attempts.entry(spec.id.0).or_insert(0) += 1;
 
-        // Broadcast the bid; collect server bids from willing sites.
-        let bids: Vec<ServerBid> = self
+        // Broadcast the bid; every site's verdict is collected (evaluate
+        // is read-only) and willing sites become server bids.
+        let decisions: Vec<(usize, AdmissionDecision)> = self
             .sites
             .iter()
             .enumerate()
-            .filter_map(|(s, site)| {
-                let d = site.evaluate(now, spec);
-                d.accept.then(|| ServerBid::from_decision(s, &d))
-            })
+            .map(|(s, site)| (s, site.evaluate(now, spec)))
+            .collect();
+        let bids: Vec<ServerBid> = decisions
+            .iter()
+            .filter(|(_, d)| d.accept)
+            .map(|(s, d)| ServerBid::from_decision(*s, d))
             .collect();
 
         let coin = splitmix64(&mut self.coin_state);
-        let Some(winner) = self.selection.choose(&bids, coin) else {
+        let winner = self.selection.choose(&bids, coin);
+        if self.tracer.is_provenance() {
+            let ev = self.bid_selection_event(now, spec, &decisions, winner.map(|w| w.site));
+            self.tracer.emit(ev);
+        }
+        let Some(winner) = winner else {
             return false;
         };
         self.placed += 1;
@@ -1188,8 +1258,8 @@ mod tests {
         assert_eq!(events.len(), traced.contracts.len());
         let traced_paid: f64 = events
             .iter()
-            .map(|e| match e.kind {
-                TraceKind::ContractSettled { amount } => amount,
+            .map(|e| match &e.kind {
+                TraceKind::ContractSettled { amount } => *amount,
                 other => panic!("market tracer emitted {other:?}"),
             })
             .sum();

@@ -43,6 +43,7 @@ pub mod dist;
 pub mod engine;
 pub mod event;
 pub mod fault;
+pub mod profiler;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -21,11 +21,14 @@ use crate::gantt::Segment;
 use crate::metrics::{Disposition, JobOutcome, SiteMetrics};
 use crate::SiteOutcome;
 use mbts_core::{
-    evaluate_admission, AdmissionDecision, AdmissionPolicy, CostModel, Job, PendingPool,
-    PoolCheckpoint, ScoreCtx,
+    decompose, evaluate_admission, explain_decision, AdmissionDecision, AdmissionPolicy, CostModel,
+    Job, PendingPool, PoolCheckpoint, ScoreCtx,
 };
 use mbts_sim::{Duration, Time};
-use mbts_trace::{TraceEvent, TraceKind, Tracer, TracerSnapshot};
+use mbts_trace::{
+    DecisionCandidate, DecisionKind, TraceEvent, TraceKind, Tracer, TracerSnapshot,
+    MAX_DECISION_CANDIDATES,
+};
 use mbts_workload::TaskSpec;
 use serde::{Deserialize, Serialize};
 
@@ -442,15 +445,29 @@ impl SiteState {
     /// accepted plus the completion tokens of newly started segments.
     pub fn submit(&mut self, now: Time, spec: TaskSpec) -> (bool, Vec<CompletionToken>) {
         self.metrics.note_submission(now);
-        let accept = if spec.width > self.capacity {
-            // Wider than the whole site: infeasible regardless of policy.
-            false
+        let infeasible = spec.width > self.capacity;
+        // The admission decision is evaluated when the policy needs it —
+        // and additionally, read-only, when a provenance tracer wants the
+        // Eq. 7/8 decomposition that an `AcceptAll` site never computes.
+        let decision = if infeasible {
+            None
+        } else if matches!(self.config.admission, AdmissionPolicy::AcceptAll) {
+            self.tracer
+                .is_provenance()
+                .then(|| self.evaluate(now, spec))
         } else {
-            match self.config.admission {
-                AdmissionPolicy::AcceptAll => true,
-                _ => self.evaluate(now, spec).accept,
-            }
+            Some(self.evaluate(now, spec))
         };
+        let accept = !infeasible
+            && match self.config.admission {
+                // Wider-than-site tasks are infeasible regardless of policy.
+                AdmissionPolicy::AcceptAll => true,
+                _ => decision.as_ref().is_some_and(|d| d.accept),
+            };
+        if self.tracer.is_provenance() {
+            let ev = self.admission_decision_event(now, spec, decision.as_ref(), accept);
+            self.tracer.emit(ev);
+        }
         self.note_audit(
             now,
             Some(spec.id),
@@ -815,12 +832,168 @@ impl SiteState {
         }
     }
 
+    /// Builds the provenance candidate list for one decision: maps the
+    /// retained competing-set indexes through the pure explainers of
+    /// `mbts-core`, keeping the top-[`MAX_DECISION_CANDIDATES`] plus
+    /// every chosen candidate, in rank order. Read-only, like
+    /// [`schedule_event`](Self::schedule_event).
+    fn provenance_candidates(
+        &self,
+        now: Time,
+        competing: &[Job],
+        chosen: &[usize],
+    ) -> Vec<DecisionCandidate> {
+        let ex = explain_decision(&self.config.policy, now, competing);
+        let mut keep: Vec<usize> = chosen.to_vec();
+        for &idx in ex.ranked() {
+            if keep.len() >= MAX_DECISION_CANDIDATES.max(chosen.len()) {
+                break;
+            }
+            if !chosen.contains(&idx) {
+                keep.push(idx);
+            }
+        }
+        keep.sort_by_key(|&idx| ex.rank_of(idx));
+        keep.into_iter()
+            .map(|idx| {
+                let d = decompose(self.config.admission_discount_rate, now, competing, idx);
+                DecisionCandidate {
+                    rank: ex.rank_of(idx),
+                    task: Some(competing[idx].id()),
+                    site: None,
+                    score: TraceEvent::finite(ex.score(idx)),
+                    pv: TraceEvent::finite(d.pv),
+                    cost: TraceEvent::finite(d.cost),
+                    slack: TraceEvent::finite(d.slack),
+                    chosen: chosen.contains(&idx),
+                }
+            })
+            .collect()
+    }
+
+    /// Provenance record for a dispatch or backfill start: the pending
+    /// queue plus the started job, ranked and decomposed.
+    fn dispatch_decision_event(&self, job: &Job, now: Time, backfill: bool) -> TraceEvent {
+        let mut competing: Vec<Job> = self.pending.jobs().to_vec();
+        competing.push(job.clone());
+        let chosen = competing.len() - 1;
+        let candidates = self.provenance_candidates(now, &competing, &[chosen]);
+        TraceEvent {
+            at: now,
+            task: Some(job.id()),
+            site: self.trace_site,
+            kind: TraceKind::DecisionRecord {
+                decision: if backfill {
+                    DecisionKind::Backfill
+                } else {
+                    DecisionKind::Dispatch
+                },
+                considered: competing.len(),
+                candidates,
+            },
+        }
+    }
+
+    /// Provenance record for the §6 admission verdict: one candidate
+    /// whose score is the expected yield of accepting (the admission
+    /// counterfactual `mbts analyze` reads regret from).
+    fn admission_decision_event(
+        &self,
+        now: Time,
+        spec: TaskSpec,
+        decision: Option<&AdmissionDecision>,
+        accept: bool,
+    ) -> TraceEvent {
+        let (score, pv, cost, slack) = match decision {
+            Some(d) => (d.expected_yield, d.present_value, d.cost, d.slack),
+            // Infeasible width: no candidate schedule exists.
+            None => (0.0, 0.0, 0.0, f64::NEG_INFINITY),
+        };
+        TraceEvent {
+            at: now,
+            task: Some(spec.id),
+            site: self.trace_site,
+            kind: TraceKind::DecisionRecord {
+                decision: DecisionKind::Admission,
+                considered: 1,
+                candidates: vec![DecisionCandidate {
+                    rank: 1,
+                    task: Some(spec.id),
+                    site: None,
+                    score: TraceEvent::finite(score),
+                    pv: TraceEvent::finite(pv),
+                    cost: TraceEvent::finite(cost),
+                    slack: TraceEvent::finite(slack),
+                    chosen: accept,
+                }],
+            },
+        }
+    }
+
+    /// Provenance record for a preemption round: the running gangs as
+    /// candidates (ranked within queue ∪ running, the same competing set
+    /// the victim scores were computed over), with `chosen` marking the
+    /// victims and the event's task naming the preempting winner.
+    fn preempt_decision_event(
+        &self,
+        now: Time,
+        running_views: &[Job],
+        chosen_running: &[usize],
+        winner: mbts_workload::TaskId,
+    ) -> TraceEvent {
+        let base = self.pending.len();
+        let mut competing: Vec<Job> = self.pending.jobs().to_vec();
+        competing.extend(running_views.iter().cloned());
+        let ex = explain_decision(&self.config.policy, now, &competing);
+        let chosen: Vec<usize> = chosen_running.iter().map(|&ri| base + ri).collect();
+        let mut keep: Vec<usize> = chosen.clone();
+        for &idx in ex.ranked() {
+            if keep.len() >= MAX_DECISION_CANDIDATES.max(chosen.len()) {
+                break;
+            }
+            if idx >= base && !chosen.contains(&idx) {
+                keep.push(idx);
+            }
+        }
+        keep.sort_by_key(|&idx| ex.rank_of(idx));
+        let candidates = keep
+            .into_iter()
+            .map(|idx| {
+                let d = decompose(self.config.admission_discount_rate, now, &competing, idx);
+                DecisionCandidate {
+                    rank: ex.rank_of(idx),
+                    task: Some(competing[idx].id()),
+                    site: None,
+                    score: TraceEvent::finite(ex.score(idx)),
+                    pv: TraceEvent::finite(d.pv),
+                    cost: TraceEvent::finite(d.cost),
+                    slack: TraceEvent::finite(d.slack),
+                    chosen: chosen.contains(&idx),
+                }
+            })
+            .collect();
+        TraceEvent {
+            at: now,
+            task: Some(winner),
+            site: self.trace_site,
+            kind: TraceKind::DecisionRecord {
+                decision: DecisionKind::Preempt,
+                considered: running_views.len(),
+                candidates,
+            },
+        }
+    }
+
     /// Starts `job` at `now`, consuming its gang's processors; returns the
     /// completion token.
     fn start(&mut self, mut job: Job, now: Time, backfill: bool) -> CompletionToken {
         let width = job.spec.width;
         assert!(width <= self.free_procs, "gang does not fit");
         if self.tracer.is_enabled() {
+            if self.tracer.is_provenance() {
+                let ev = self.dispatch_decision_event(&job, now, backfill);
+                self.tracer.emit(ev);
+            }
             let ev = self.schedule_event(&job, now, backfill);
             self.tracer.emit(ev);
         }
@@ -930,6 +1103,11 @@ impl SiteState {
             }
             if avail < need || chosen.is_empty() {
                 break;
+            }
+            if self.tracer.is_provenance() {
+                let winner = self.pending.jobs()[best_idx].id();
+                let ev = self.preempt_decision_event(now, &running_views, &chosen, winner);
+                self.tracer.emit(ev);
             }
             // Suspend the victims back into the queue (descending index
             // keeps the remaining indices valid under swap_remove)…

@@ -9,10 +9,64 @@ use mbts_sim::Time;
 use mbts_workload::TaskId;
 use serde::{Deserialize, Serialize};
 
+/// Cap on the number of candidates carried by one [`TraceKind::DecisionRecord`].
+/// Explainers keep the top-ranked candidates plus every chosen one; the
+/// record's `considered` field preserves the true candidate-set size so
+/// truncation is never silent.
+pub const MAX_DECISION_CANDIDATES: usize = 16;
+
+/// Which decision point produced a [`TraceKind::DecisionRecord`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DecisionKind {
+    /// A queue-order dispatch: candidates are the pending pool plus the
+    /// job that started; the chosen candidate is the dispatched job.
+    Dispatch,
+    /// An EASY backfill start ahead of a held reservation.
+    Backfill,
+    /// A preemption sweep: candidates are the running gangs scored
+    /// against the arrival; chosen candidates are the evicted victims and
+    /// the record's `task` is the incoming winner.
+    Preempt,
+    /// Slack-based admission control (Eq. 7/8): a single candidate whose
+    /// `chosen` flag is the accept/reject verdict.
+    Admission,
+    /// The economy's bid selection: one candidate per site, `chosen`
+    /// marking the winning bid (none chosen when every site declined).
+    BidSelection,
+}
+
+/// One scored alternative inside a [`TraceKind::DecisionRecord`]: the
+/// policy score next to its decomposition — Eq. 3 present value, the
+/// Eq. 8 opportunity-cost term, and the Eq. 7 slack between them.
+///
+/// For `Admission`/`BidSelection` records the `score` is the expected
+/// yield of accepting (the admission counterfactual); for the scheduling
+/// kinds it is the active policy's ranking score.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionCandidate {
+    /// 1-based rank among the considered candidates (score descending,
+    /// task id ascending as the tiebreak).
+    pub rank: usize,
+    /// The candidate task, if the candidate is a task.
+    pub task: Option<TaskId>,
+    /// The candidate site (bid-selection records only).
+    pub site: Option<usize>,
+    /// The score the decision ranked this candidate by.
+    pub score: f64,
+    /// Eq. 3 discounted present value at decision time.
+    pub pv: f64,
+    /// Eq. 8 opportunity cost charged by the competing candidates.
+    pub cost: f64,
+    /// Eq. 7 slack, clamped finite per [`TraceEvent::finite`].
+    pub slack: f64,
+    /// Whether the decision selected this candidate.
+    pub chosen: bool,
+}
+
 /// What happened. Payload fields carry the decision diagnostics the paper
 /// reasons about: Eq. 3 present value, Eq. 8 opportunity cost, and the
 /// slack between them for `Scheduled`; realized yield for `Completed`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum TraceKind {
     /// A task reached admission control (`accepted == false` means the
     /// site turned it away at the door).
@@ -54,11 +108,26 @@ pub enum TraceKind {
     Repaired { procs: usize },
     /// A contract paid out (positive) or charged a breach (negative).
     ContractSettled { amount: f64 },
+    /// Provenance: the ranked candidate set behind one scheduling,
+    /// preemption, admission, or bid-selection decision. Emitted only by
+    /// provenance-level tracers ([`crate::Tracer::with_provenance`]) so
+    /// default traces are byte-identical with and without this variant
+    /// compiled in.
+    DecisionRecord {
+        /// Which decision point this explains.
+        decision: DecisionKind,
+        /// Size of the full candidate set before truncation to
+        /// [`MAX_DECISION_CANDIDATES`].
+        considered: usize,
+        /// Retained candidates, rank order (every chosen candidate is
+        /// always retained).
+        candidates: Vec<DecisionCandidate>,
+    },
 }
 
 /// One timestamped event. `task` is absent for site-wide events
 /// (crash/repair); `site` is set only by the multi-site economy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceEvent {
     /// Simulation time of the decision.
     pub at: Time,
@@ -138,6 +207,37 @@ mod tests {
                 task: None,
                 site: Some(0),
                 kind: TraceKind::Crashed { procs: 3 },
+            },
+            TraceEvent {
+                at: Time::new(10.0),
+                task: Some(TaskId(2)),
+                site: None,
+                kind: TraceKind::DecisionRecord {
+                    decision: DecisionKind::Dispatch,
+                    considered: 3,
+                    candidates: vec![
+                        DecisionCandidate {
+                            rank: 1,
+                            task: Some(TaskId(2)),
+                            site: None,
+                            score: 4.5,
+                            pv: 9.0,
+                            cost: 4.5,
+                            slack: 2.25,
+                            chosen: true,
+                        },
+                        DecisionCandidate {
+                            rank: 2,
+                            task: Some(TaskId(3)),
+                            site: None,
+                            score: 1.0,
+                            pv: 3.0,
+                            cost: 2.0,
+                            slack: TraceEvent::finite(f64::NEG_INFINITY),
+                            chosen: false,
+                        },
+                    ],
+                },
             },
         ]
     }

@@ -20,11 +20,33 @@
 //! Every sink's state (the "tracer cursor") is checkpointable via
 //! [`Tracer::snapshot`] / [`TracerSnapshot`], so the durable-recovery
 //! layer can resume a traced run without losing or duplicating events.
+//!
+//! Two observability layers sit on top of the raw stream:
+//! - [`analyze`] — post-hoc trace analytics (yield attribution,
+//!   preemption-chain trees, admission regret, utilization timelines),
+//!   the engine behind `mbts analyze`;
+//! - [`profiler`] — the reporting half of the hot-path self-profiler
+//!   (instrumentation lives in `mbts_sim::profiler`), rendering HDR-style
+//!   log-bucketed latency histograms as text or Prometheus exposition.
+//!
+//! Provenance: wrapping any tracer with [`Tracer::with_provenance`] makes
+//! decision points additionally emit [`TraceKind::DecisionRecord`] events
+//! carrying the ranked candidate set with per-candidate PV /
+//! opportunity-cost / slack decomposition. The wrapper only changes what
+//! is *recorded*: a provenance trace with its decision records filtered
+//! out is byte-identical to the default trace.
 
+pub mod analyze;
 pub mod event;
 pub mod metrics;
+pub mod profiler;
 pub mod sink;
 
-pub use event::{from_jsonl, to_jsonl, TraceEvent, TraceKind};
+pub use analyze::{AnalyzeOptions, TraceReport};
+pub use event::{
+    from_jsonl, to_jsonl, DecisionCandidate, DecisionKind, TraceEvent, TraceKind,
+    MAX_DECISION_CANDIDATES,
+};
 pub use metrics::{MetricsRegistry, PolicyMetrics};
+pub use profiler::{ProfileReport, SectionProfile, PROFILE_MARKER};
 pub use sink::{BufferSink, JsonlSink, RingSink, TraceSink, Tracer, TracerSnapshot};

@@ -49,6 +49,10 @@ pub struct PolicyMetrics {
     pub settlements: u64,
     /// Net settled amount across all contracts.
     pub settled_total: f64,
+    /// Provenance decision records seen (provenance-level tracers only).
+    pub decisions: u64,
+    /// Candidates carried across all decision records.
+    pub decision_candidates: u64,
     /// Delay past the no-wait finish, per completed task.
     pub delay: Histogram,
     /// Exact delay moments.
@@ -89,6 +93,8 @@ impl PolicyMetrics {
             repaired_procs: 0,
             settlements: 0,
             settled_total: 0.0,
+            decisions: 0,
+            decision_candidates: 0,
             delay: Histogram::new(DELAY_RANGE.0, DELAY_RANGE.1, DELAY_RANGE.2),
             delay_stats: OnlineStats::new(),
             yields: Histogram::new(YIELD_RANGE.0, YIELD_RANGE.1, YIELD_RANGE.2),
@@ -115,14 +121,14 @@ impl PolicyMetrics {
         }
         self.cursor = Some(ev.at);
 
-        match ev.kind {
+        match &ev.kind {
             TraceKind::TaskArrived { accepted } => {
                 self.arrived += 1;
-                if accepted {
+                if *accepted {
                     self.accepted += 1;
                 }
             }
-            TraceKind::Scheduled {
+            &TraceKind::Scheduled {
                 slack,
                 width,
                 backfill,
@@ -133,23 +139,31 @@ impl PolicyMetrics {
                     self.backfills += 1;
                 }
                 self.slack_stats.push(slack);
+                // Zero-width gangs (degenerate specs) contribute nothing
+                // to the busy integral; the addition is a no-op but the
+                // invariant is stated here on purpose.
                 self.busy += width;
             }
-            TraceKind::Preempted { width } => {
+            &TraceKind::Preempted { width } => {
                 self.preempted += 1;
                 self.busy = self.busy.saturating_sub(width);
             }
-            TraceKind::Requeued { width } => {
+            &TraceKind::Requeued { width } => {
                 self.requeued += 1;
                 self.busy = self.busy.saturating_sub(width);
             }
-            TraceKind::Completed {
+            &TraceKind::Completed {
                 earned,
                 delay,
                 width,
                 preemptions,
             } => {
                 self.completed += 1;
+                // Delay is time past the no-wait finish and can never be
+                // meaningfully negative; a negative or NaN sample (a
+                // corrupt or hand-edited trace) clamps to the zero bucket
+                // instead of vanishing into the histogram underflow bin.
+                let delay = delay.max(0.0);
                 self.delay.record(delay);
                 self.delay_stats.push(delay);
                 self.yields.record(earned);
@@ -157,21 +171,21 @@ impl PolicyMetrics {
                 self.preemptions.record(preemptions as f64);
                 self.busy = self.busy.saturating_sub(width);
             }
-            TraceKind::Dropped { earned } => {
+            &TraceKind::Dropped { earned } => {
                 self.dropped += 1;
                 self.yields.record(earned);
                 self.yield_stats.push(earned);
             }
             TraceKind::Cancelled => self.cancelled += 1,
             TraceKind::Orphaned => self.orphaned += 1,
-            TraceKind::Crashed { procs } => {
+            &TraceKind::Crashed { procs } => {
                 self.crashed_procs += procs as u64;
                 self.open_crashes
                     .entry(ev.site)
                     .or_default()
                     .push_back(ev.at);
             }
-            TraceKind::Repaired { procs } => {
+            &TraceKind::Repaired { procs } => {
                 self.repaired_procs += procs as u64;
                 if let Some(open) = self.open_crashes.get_mut(&ev.site) {
                     if let Some(crashed_at) = open.pop_front() {
@@ -179,9 +193,13 @@ impl PolicyMetrics {
                     }
                 }
             }
-            TraceKind::ContractSettled { amount } => {
+            &TraceKind::ContractSettled { amount } => {
                 self.settlements += 1;
                 self.settled_total += amount;
+            }
+            TraceKind::DecisionRecord { candidates, .. } => {
+                self.decisions += 1;
+                self.decision_candidates += candidates.len() as u64;
             }
         }
     }
@@ -200,9 +218,31 @@ impl PolicyMetrics {
     }
 
     /// Busy processor-time over configured capacity across all finished
-    /// runs; NaN before any events.
+    /// runs. A zero-span (no events, or a single-instant run) or
+    /// zero-processor configuration reports 0.0 rather than NaN so the
+    /// figure always renders and merges cleanly.
     pub fn utilization(&self) -> f64 {
-        self.busy_time / (self.processors as f64 * self.span)
+        let denom = self.processors as f64 * self.span;
+        if denom <= 0.0 {
+            return 0.0;
+        }
+        self.busy_time / denom
+    }
+
+    /// True when no event has ever been folded into these aggregates.
+    pub fn is_empty(&self) -> bool {
+        self.arrived == 0
+            && self.scheduled == 0
+            && self.preempted == 0
+            && self.requeued == 0
+            && self.completed == 0
+            && self.dropped == 0
+            && self.cancelled == 0
+            && self.orphaned == 0
+            && self.crashed_procs == 0
+            && self.repaired_procs == 0
+            && self.settlements == 0
+            && self.decisions == 0
     }
 
     fn merge(&mut self, other: &PolicyMetrics) {
@@ -220,6 +260,8 @@ impl PolicyMetrics {
         self.repaired_procs += other.repaired_procs;
         self.settlements += other.settlements;
         self.settled_total += other.settled_total;
+        self.decisions += other.decisions;
+        self.decision_candidates += other.decision_candidates;
         self.delay.merge(&other.delay);
         self.delay_stats.merge(&other.delay_stats);
         self.yields.merge(&other.yields);
@@ -259,6 +301,11 @@ impl Serialize for PolicyMetrics {
             ("repaired_procs".into(), self.repaired_procs.to_value()),
             ("settlements".into(), self.settlements.to_value()),
             ("settled_total".into(), self.settled_total.to_value()),
+            ("decisions".into(), self.decisions.to_value()),
+            (
+                "decision_candidates".into(),
+                self.decision_candidates.to_value(),
+            ),
             ("delay".into(), self.delay.to_value()),
             ("delay_stats".into(), self.delay_stats.to_value()),
             ("yields".into(), self.yields.to_value()),
@@ -290,6 +337,16 @@ impl Deserialize for PolicyMetrics {
                 )?
             };
         }
+        // Optional with a zero default so registries snapshotted before
+        // the provenance layer existed still deserialize.
+        macro_rules! counter_or_zero {
+            ($name:literal) => {
+                match get_field(entries, $name) {
+                    Some(v) => Deserialize::from_value(v)?,
+                    None => 0,
+                }
+            };
+        }
         let open: Vec<(Option<usize>, Vec<Time>)> = field!("open_crashes");
         Ok(PolicyMetrics {
             arrived: field!("arrived"),
@@ -306,6 +363,8 @@ impl Deserialize for PolicyMetrics {
             repaired_procs: field!("repaired_procs"),
             settlements: field!("settlements"),
             settled_total: field!("settled_total"),
+            decisions: counter_or_zero!("decisions"),
+            decision_candidates: counter_or_zero!("decision_candidates"),
             delay: field!("delay"),
             delay_stats: field!("delay_stats"),
             yields: field!("yields"),
@@ -432,8 +491,16 @@ impl MetricsRegistry {
     /// yield distributions, utilization and fault-recovery latency.
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if self.policies.is_empty() {
+            out.push_str("(empty registry: no policies recorded)\n");
+            return out;
+        }
         for (label, pm) in &self.policies {
             out.push_str(&format!("policy {label}\n"));
+            if pm.is_empty() {
+                out.push_str("  (no events recorded)\n");
+                continue;
+            }
             out.push_str(&format!(
                 "  arrived {}  accepted {}  scheduled {} (backfills {})  completed {}\n",
                 pm.arrived, pm.accepted, pm.scheduled, pm.backfills, pm.completed
@@ -442,23 +509,31 @@ impl MetricsRegistry {
                 "  preempted {}  requeued {}  dropped {}  cancelled {}  orphaned {}\n",
                 pm.preempted, pm.requeued, pm.dropped, pm.cancelled, pm.orphaned
             ));
-            out.push_str(&format!(
-                "  delay mean {:.3}  p50 {:.3}  p99 {:.3}\n",
-                pm.delay_stats.mean(),
-                pm.delay.quantile(0.5),
-                pm.delay.quantile(0.99)
-            ));
-            out.push_str(&format!(
-                "  yield mean {:.3}  total {:.3}  p50 {:.3}\n",
-                pm.yield_stats.mean(),
-                pm.yield_stats.mean() * pm.yield_stats.count() as f64,
-                pm.yields.quantile(0.5)
-            ));
-            out.push_str(&format!(
-                "  preemptions/task p99 {:.1}  slack mean {:.3}\n",
-                pm.preemptions.quantile(0.99),
-                pm.slack_stats.mean()
-            ));
+            // Distribution lines render only over non-empty samples so an
+            // event stream without completions never prints NaN moments.
+            if pm.delay_stats.count() > 0 {
+                out.push_str(&format!(
+                    "  delay mean {:.3}  p50 {:.3}  p99 {:.3}\n",
+                    pm.delay_stats.mean(),
+                    pm.delay.quantile(0.5),
+                    pm.delay.quantile(0.99)
+                ));
+            }
+            if pm.yield_stats.count() > 0 {
+                out.push_str(&format!(
+                    "  yield mean {:.3}  total {:.3}  p50 {:.3}\n",
+                    pm.yield_stats.mean(),
+                    pm.yield_stats.mean() * pm.yield_stats.count() as f64,
+                    pm.yields.quantile(0.5)
+                ));
+            }
+            if pm.scheduled > 0 {
+                out.push_str(&format!(
+                    "  preemptions/task p99 {:.1}  slack mean {:.3}\n",
+                    pm.preemptions.quantile(0.99),
+                    pm.slack_stats.mean()
+                ));
+            }
             out.push_str(&format!("  utilization {:.3}\n", pm.utilization()));
             if pm.recovery.count() > 0 {
                 out.push_str(&format!(
@@ -474,6 +549,86 @@ impl MetricsRegistry {
                     "  contracts settled {}  net {:.3}\n",
                     pm.settlements, pm.settled_total
                 ));
+            }
+            if pm.decisions > 0 {
+                out.push_str(&format!(
+                    "  decision records {}  candidates/decision {:.1}\n",
+                    pm.decisions,
+                    pm.decision_candidates as f64 / pm.decisions as f64
+                ));
+            }
+        }
+        out
+    }
+
+    /// Prometheus text-format export of the counter surface — the shape
+    /// `mbts metrics --prom FILE` writes next to the profiler histograms.
+    pub fn prometheus(&self) -> String {
+        fn counter(out: &mut String, name: &str, help: &str, rows: &[(String, u64)]) {
+            if rows.is_empty() {
+                return;
+            }
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n"));
+            for (labels, v) in rows {
+                out.push_str(&format!("{name}{{{labels}}} {v}\n"));
+            }
+        }
+        let mut out = String::new();
+        let mut tasks: Vec<(String, u64)> = Vec::new();
+        let mut decisions: Vec<(String, u64)> = Vec::new();
+        let mut yields: Vec<String> = Vec::new();
+        let mut utils: Vec<String> = Vec::new();
+        for (label, pm) in &self.policies {
+            for (outcome, v) in [
+                ("arrived", pm.arrived),
+                ("accepted", pm.accepted),
+                ("scheduled", pm.scheduled),
+                ("backfilled", pm.backfills),
+                ("preempted", pm.preempted),
+                ("requeued", pm.requeued),
+                ("completed", pm.completed),
+                ("dropped", pm.dropped),
+                ("cancelled", pm.cancelled),
+                ("orphaned", pm.orphaned),
+            ] {
+                tasks.push((format!("policy=\"{label}\",outcome=\"{outcome}\""), v));
+            }
+            decisions.push((format!("policy=\"{label}\""), pm.decisions));
+            yields.push(format!(
+                "mbts_yield_total{{policy=\"{label}\"}} {}\n",
+                pm.yield_stats.mean() * pm.yield_stats.count() as f64
+            ));
+            utils.push(format!(
+                "mbts_utilization{{policy=\"{label}\"}} {}\n",
+                pm.utilization()
+            ));
+        }
+        counter(
+            &mut out,
+            "mbts_tasks_total",
+            "Task lifecycle counters per policy",
+            &tasks,
+        );
+        counter(
+            &mut out,
+            "mbts_decision_records_total",
+            "Provenance decision records per policy",
+            &decisions,
+        );
+        if !yields.is_empty() {
+            out.push_str(
+                "# HELP mbts_yield_total Total realized yield per policy\n\
+                 # TYPE mbts_yield_total gauge\n",
+            );
+            for g in yields {
+                out.push_str(&g);
+            }
+            out.push_str(
+                "# HELP mbts_utilization Busy processor-time over capacity\n\
+                 # TYPE mbts_utilization gauge\n",
+            );
+            for g in utils {
+                out.push_str(&g);
             }
         }
         out
@@ -594,5 +749,123 @@ mod tests {
         let pm = reg.policy("swpt").unwrap();
         // Busy 2 of each 4-unit run.
         assert!((pm.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_registry_and_no_event_policies_render_explicitly() {
+        let reg = MetricsRegistry::new("idle", 4);
+        let report = reg.render();
+        assert!(report.contains("policy idle"));
+        assert!(report.contains("(no events recorded)"));
+        assert!(
+            !report.contains("NaN"),
+            "report must stay NaN-free: {report}"
+        );
+        // Zero span → utilization must be finite, not NaN.
+        assert_eq!(reg.policy("idle").unwrap().utilization(), 0.0);
+    }
+
+    #[test]
+    fn negative_and_nan_delay_samples_clamp_to_zero() {
+        let mut reg = MetricsRegistry::new("fcfs", 1);
+        for (task, delay) in [(1u64, -3.5), (2, f64::NAN), (3, 2.0)] {
+            reg.record(&ev(
+                1.0,
+                task,
+                TraceKind::Completed {
+                    earned: 1.0,
+                    delay,
+                    width: 1,
+                    preemptions: 0,
+                },
+            ));
+        }
+        reg.finish_run();
+        let pm = reg.policy("fcfs").unwrap();
+        assert_eq!(pm.completed, 3);
+        assert_eq!(pm.delay_stats.count(), 3);
+        // Two bad samples clamp to 0.0, one is 2.0 → mean 2/3.
+        assert!((pm.delay_stats.mean() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(pm.delay_stats.mean().is_finite());
+    }
+
+    #[test]
+    fn zero_width_gangs_leave_the_busy_integral_consistent() {
+        let mut reg = MetricsRegistry::new("fcfs", 2);
+        reg.record_all(&[
+            ev(
+                0.0,
+                1,
+                TraceKind::Scheduled {
+                    rank: 1,
+                    pv: 1.0,
+                    cost: 0.0,
+                    slack: 1.0,
+                    width: 0,
+                    backfill: false,
+                },
+            ),
+            ev(
+                4.0,
+                1,
+                TraceKind::Completed {
+                    earned: 1.0,
+                    delay: 0.0,
+                    width: 0,
+                    preemptions: 0,
+                },
+            ),
+        ]);
+        let pm = reg.policy("fcfs").unwrap();
+        assert_eq!(pm.scheduled, 1);
+        assert_eq!(pm.utilization(), 0.0);
+        assert!(pm.utilization().is_finite());
+    }
+
+    #[test]
+    fn decision_records_are_counted_not_distributed() {
+        use crate::event::{DecisionCandidate, DecisionKind};
+        let mut reg = MetricsRegistry::new("first_reward", 2);
+        reg.record_all(&[ev(
+            0.0,
+            1,
+            TraceKind::DecisionRecord {
+                decision: DecisionKind::Dispatch,
+                considered: 2,
+                candidates: vec![
+                    DecisionCandidate {
+                        rank: 1,
+                        task: Some(TaskId(1)),
+                        site: None,
+                        score: 2.0,
+                        pv: 3.0,
+                        cost: 1.0,
+                        slack: 2.0,
+                        chosen: true,
+                    },
+                    DecisionCandidate {
+                        rank: 2,
+                        task: Some(TaskId(2)),
+                        site: None,
+                        score: 1.0,
+                        pv: 2.0,
+                        cost: 1.0,
+                        slack: 1.0,
+                        chosen: false,
+                    },
+                ],
+            },
+        )]);
+        let pm = reg.policy("first_reward").unwrap();
+        assert_eq!(pm.decisions, 1);
+        assert_eq!(pm.decision_candidates, 2);
+        // Decision records never perturb the task counters.
+        assert_eq!(pm.arrived, 0);
+        assert_eq!(pm.scheduled, 0);
+        let report = reg.render();
+        assert!(report.contains("decision records 1"));
+        let prom = reg.prometheus();
+        assert!(prom.contains("mbts_decision_records_total{policy=\"first_reward\"} 1"));
+        assert!(prom.contains("# TYPE mbts_tasks_total counter"));
     }
 }

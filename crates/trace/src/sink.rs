@@ -71,7 +71,7 @@ impl TraceSink for RingSink {
         if self.events.len() == self.capacity {
             self.events.pop_front();
         }
-        self.events.push_back(*ev);
+        self.events.push_back(ev.clone());
         self.seen += 1;
     }
 }
@@ -102,7 +102,7 @@ impl BufferSink {
 
 impl TraceSink for BufferSink {
     fn record(&mut self, ev: &TraceEvent) {
-        self.events.push(*ev);
+        self.events.push(ev.clone());
     }
 }
 
@@ -266,6 +266,13 @@ pub enum Tracer {
     Metrics(Box<MetricsRegistry>),
     /// Stream every event to a JSONL file as it happens.
     Jsonl(JsonlSink),
+    /// Provenance verbosity: the wrapped tracer additionally receives
+    /// [`crate::TraceKind::DecisionRecord`] events explaining each
+    /// dispatch/preemption/admission/bid decision. The wrapper changes
+    /// *what* is emitted, never *how* the scheduler decides, so a
+    /// provenance trace minus its decision records is byte-identical to
+    /// the default trace.
+    Provenance(Box<Tracer>),
 }
 
 impl Tracer {
@@ -289,11 +296,35 @@ impl Tracer {
         Ok(Tracer::Jsonl(JsonlSink::create(path)?))
     }
 
+    /// Raises this tracer to provenance verbosity: decision points emit
+    /// [`crate::TraceKind::DecisionRecord`] events in addition to the
+    /// default stream. Idempotent; wrapping `Off` stays `Off` (provenance
+    /// with nowhere to record is still zero-cost).
+    pub fn with_provenance(self) -> Self {
+        match self {
+            Tracer::Off => Tracer::Off,
+            Tracer::Provenance(inner) => Tracer::Provenance(inner),
+            other => Tracer::Provenance(Box::new(other)),
+        }
+    }
+
     /// Whether emissions do anything. Callers gate any event-payload
     /// computation behind this so the disabled path stays free.
     #[inline]
     pub fn is_enabled(&self) -> bool {
-        !matches!(self, Tracer::Off)
+        match self {
+            Tracer::Off => false,
+            Tracer::Provenance(inner) => inner.is_enabled(),
+            _ => true,
+        }
+    }
+
+    /// Whether decision points should spend the (possibly O(pending))
+    /// effort of building a `DecisionRecord`. Only true for an enabled
+    /// tracer wrapped by [`with_provenance`](Self::with_provenance).
+    #[inline]
+    pub fn is_provenance(&self) -> bool {
+        matches!(self, Tracer::Provenance(inner) if inner.is_enabled())
     }
 
     /// Routes one event to the active sink (no-op when disabled).
@@ -305,6 +336,7 @@ impl Tracer {
             Tracer::Buffer(s) => s.record(&ev),
             Tracer::Metrics(r) => r.record(&ev),
             Tracer::Jsonl(s) => s.record(&ev),
+            Tracer::Provenance(inner) => inner.emit(ev),
         }
     }
 
@@ -313,6 +345,7 @@ impl Tracer {
     pub fn into_events(self) -> Option<Vec<TraceEvent>> {
         match self {
             Tracer::Buffer(s) => Some(s.into_events()),
+            Tracer::Provenance(inner) => inner.into_events(),
             _ => None,
         }
     }
@@ -321,6 +354,7 @@ impl Tracer {
     pub fn into_registry(self) -> Option<MetricsRegistry> {
         match self {
             Tracer::Metrics(r) => Some(*r),
+            Tracer::Provenance(inner) => inner.into_registry(),
             _ => None,
         }
     }
@@ -337,12 +371,13 @@ impl Tracer {
             Tracer::Ring(s) => TracerSnapshot::Ring {
                 capacity: s.capacity,
                 seen: s.seen,
-                events: s.events.iter().copied().collect(),
+                events: s.events.iter().cloned().collect(),
             },
             Tracer::Buffer(s) => TracerSnapshot::Buffer {
                 events: s.events.clone(),
             },
             Tracer::Metrics(r) => TracerSnapshot::Metrics((**r).clone()),
+            Tracer::Provenance(inner) => TracerSnapshot::Provenance(Box::new(inner.snapshot())),
         }
     }
 
@@ -361,6 +396,7 @@ impl Tracer {
             }),
             TracerSnapshot::Buffer { events } => Tracer::Buffer(BufferSink { events }),
             TracerSnapshot::Metrics(r) => Tracer::Metrics(Box::new(r)),
+            TracerSnapshot::Provenance(inner) => Tracer::from_snapshot(*inner).with_provenance(),
         }
     }
 }
@@ -386,6 +422,8 @@ pub enum TracerSnapshot {
     },
     /// A metrics registry's aggregates.
     Metrics(MetricsRegistry),
+    /// A provenance-level tracer wrapping the snapshot of its inner sink.
+    Provenance(Box<TracerSnapshot>),
 }
 
 #[cfg(test)]
@@ -503,6 +541,68 @@ mod tests {
         assert!(sink.error().is_some());
         // Once failed the sink is inert, not panicking.
         sink.record(&ev(0));
+    }
+
+    #[test]
+    fn provenance_wrapper_gates_decision_records() {
+        // Off stays Off (and stays cheap).
+        let t = Tracer::Off.with_provenance();
+        assert!(!t.is_enabled());
+        assert!(!t.is_provenance());
+
+        // Plain tracers are enabled but not provenance-level.
+        assert!(Tracer::buffer().is_enabled());
+        assert!(!Tracer::buffer().is_provenance());
+
+        // Wrapped tracers are both, and wrapping is idempotent.
+        let mut t = Tracer::buffer().with_provenance().with_provenance();
+        assert!(t.is_enabled());
+        assert!(t.is_provenance());
+        t.emit(ev(0));
+        t.emit(ev(1));
+        let events = t.into_events().expect("provenance buffer keeps events");
+        assert_eq!(events.len(), 2);
+    }
+
+    #[test]
+    fn provenance_snapshot_roundtrips_and_keeps_verbosity() {
+        let mut t = Tracer::ring(4).with_provenance();
+        for i in 0..9 {
+            t.emit(ev(i));
+        }
+        let json = serde_json::to_string(&t.snapshot()).unwrap();
+        let snap: TracerSnapshot = serde_json::from_str(&json).unwrap();
+        let mut restored = Tracer::from_snapshot(snap);
+        assert!(restored.is_provenance(), "verbosity survives the snapshot");
+        t.emit(ev(9));
+        restored.emit(ev(9));
+        let (Tracer::Provenance(a), Tracer::Provenance(b)) = (&t, &restored) else {
+            panic!("provenance tracers expected");
+        };
+        let (Tracer::Ring(a), Tracer::Ring(b)) = (a.as_ref(), b.as_ref()) else {
+            panic!("ring inner expected");
+        };
+        assert_eq!(a.seen(), b.seen());
+        assert_eq!(
+            a.events().collect::<Vec<_>>(),
+            b.events().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn provenance_over_jsonl_snapshots_as_off() {
+        let path = std::env::temp_dir().join(format!(
+            "mbts-prov-jsonl-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let t = Tracer::jsonl(&path).unwrap().with_provenance();
+        assert!(t.is_provenance());
+        // The file stream is external to a checkpoint, so the snapshot
+        // degrades to Off just like a bare Jsonl tracer.
+        let restored = Tracer::from_snapshot(t.snapshot());
+        assert!(!restored.is_enabled());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -14,9 +14,20 @@
 //!             [--policy SPEC] [--admission SPEC]
 //!             [--selection earliest|slack|random|first] [--second-price]
 //!             [--journal FILE]
+//! mbts analyze FILE... [--format text|json] [--buckets N] [--out FILE]
+//! mbts metrics --trace FILE [--label NAME] [--prom FILE]
 //! mbts resume --journal FILE
 //! mbts policies
 //! ```
+//!
+//! `run`/`market` accept `--trace-out FILE` to capture the structured
+//! event stream as JSON Lines, `--provenance` to additionally record a
+//! ranked, score-decomposed candidate set at every dispatch, preemption,
+//! admission and bid-selection decision, and `--profile FILE` to enable
+//! the hot-path self-profiler and save its latency histograms. `mbts
+//! analyze` post-processes any of those outputs (plus durable journals)
+//! into yield-attribution, preemption-chain, admission-regret and
+//! utilization reports.
 //!
 //! `--journal FILE` makes `run`/`market` crash-recoverable: the full
 //! replay state is snapshotted and every applied event journaled to
@@ -65,6 +76,13 @@ pub enum Command {
         audit: Option<PathBuf>,
         /// Journal snapshots + events to this path (crash-recoverable).
         journal: Option<PathBuf>,
+        /// Write the trace-event stream (JSON Lines) to this path.
+        trace_out: Option<PathBuf>,
+        /// Emit decision-provenance records into the trace stream.
+        provenance: bool,
+        /// Enable the hot-path self-profiler and write its report
+        /// (JSON) to this path.
+        profile: Option<PathBuf>,
     },
     /// Run a multi-site economy over a stored trace.
     Market {
@@ -74,6 +92,39 @@ pub enum Command {
         economy: EconomyConfig,
         /// Journal snapshots + events to this path (crash-recoverable).
         journal: Option<PathBuf>,
+        /// Write the market-layer trace-event stream to this path.
+        trace_out: Option<PathBuf>,
+        /// Emit decision-provenance records into the trace stream.
+        provenance: bool,
+        /// Enable the hot-path self-profiler and write its report
+        /// (JSON) to this path.
+        profile: Option<PathBuf>,
+    },
+    /// Post-process trace / journal / profiler files into reports.
+    Analyze {
+        /// Input files: trace JSONL, durable journals, or profiler
+        /// reports (auto-detected per file).
+        inputs: Vec<PathBuf>,
+        /// Emit machine-readable JSON instead of text.
+        json: bool,
+        /// Utilization-timeline bucket count.
+        buckets: usize,
+        /// Write the report here instead of stdout.
+        out: Option<PathBuf>,
+    },
+    /// Aggregate a trace into per-policy metrics; optionally export
+    /// Prometheus exposition text.
+    Metrics {
+        /// Input trace (JSON Lines of trace events).
+        trace: PathBuf,
+        /// Policy label the metrics are attributed to.
+        label: String,
+        /// Processor count for utilization accounting.
+        processors: usize,
+        /// Profiler report (JSON) to fold into the Prometheus export.
+        profile: Option<PathBuf>,
+        /// Write Prometheus exposition text to this path.
+        prom: Option<PathBuf>,
     },
     /// Recover an interrupted journaled run and finish it.
     Resume {
@@ -198,17 +249,20 @@ pub fn parse_selection(spec: &str) -> Result<ClientSelection, String> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage: mbts <gen|run|market|compare|validate|policies> [options]\n\
+    "usage: mbts <gen|run|market|analyze|metrics|compare|validate|policies> [options]\n\
      \n\
      mbts gen    --out FILE [--swf LOG] [--tasks N] [--processors P] [--load L] [--seed S]\n\
      \x20           [--value-skew R] [--decay-skew R] [--mean-decay D]\n\
      \x20           [--bound zero|unbounded|prop:F] [--widths one|uniform:LO:HI|pow2:E]\n\
      mbts run    --trace FILE [--policy SPEC] [--admission SPEC] [--processors P]\n\
      \x20           [--preemption] [--drop-expired] [--gantt] [--classes] [--audit FILE]\n\
-     \x20           [--journal FILE]\n\
+     \x20           [--journal FILE] [--trace-out FILE [--provenance]] [--profile FILE]\n\
      mbts market --trace FILE [--sites N] [--procs-per-site P] [--policy SPEC]\n\
      \x20           [--admission SPEC] [--selection KIND] [--second-price]\n\
-     \x20           [--journal FILE]\n\
+     \x20           [--journal FILE] [--trace-out FILE [--provenance]] [--profile FILE]\n\
+     mbts analyze FILE... [--format text|json] [--buckets N] [--out FILE]\n\
+     mbts metrics --trace FILE [--label NAME] [--processors P] [--profile FILE]\n\
+     \x20           [--prom FILE]\n\
      mbts resume --journal FILE\n\
      mbts compare --a SPEC --b SPEC [--tasks N] [--load L] [--seeds N]\n\
      \x20           [--processors P] [--admission SPEC] [--mean-decay D]\n\
@@ -282,6 +336,11 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if let Some(a) = get("--admission") {
                 site = site.with_admission(parse_admission(a)?);
             }
+            let trace_out = get("--trace-out").map(PathBuf::from);
+            let provenance = has("--provenance");
+            if provenance && trace_out.is_none() {
+                return Err("--provenance requires --trace-out FILE".into());
+            }
             Ok(Command::Run {
                 trace,
                 site,
@@ -289,6 +348,9 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 classes: has("--classes"),
                 audit,
                 journal: get("--journal").map(PathBuf::from),
+                trace_out,
+                provenance,
+                profile: get("--profile").map(PathBuf::from),
             })
         }
         "market" => {
@@ -308,10 +370,63 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 economy.pricing = PricingStrategy::second_price();
             }
             economy.seed = int("--seed", 0)? as u64;
+            let trace_out = get("--trace-out").map(PathBuf::from);
+            let provenance = has("--provenance");
+            if provenance && trace_out.is_none() {
+                return Err("--provenance requires --trace-out FILE".into());
+            }
             Ok(Command::Market {
                 trace,
                 economy,
                 journal: get("--journal").map(PathBuf::from),
+                trace_out,
+                provenance,
+                profile: get("--profile").map(PathBuf::from),
+            })
+        }
+        "analyze" => {
+            let json = match get("--format") {
+                None | Some("text") => false,
+                Some("json") => true,
+                Some(other) => return Err(format!("unknown format '{other}' (try: text, json)")),
+            };
+            let buckets = int("--buckets", 20)?;
+            if buckets == 0 {
+                return Err("--buckets must be at least 1".into());
+            }
+            // Positional inputs: everything that is neither a flag nor
+            // the value of a value-taking flag.
+            let mut inputs = Vec::new();
+            let mut skip = false;
+            for a in &rest {
+                if skip {
+                    skip = false;
+                    continue;
+                }
+                match *a {
+                    "--format" | "--buckets" | "--out" => skip = true,
+                    f if f.starts_with("--") => return Err(format!("unknown flag '{f}'")),
+                    file => inputs.push(PathBuf::from(file)),
+                }
+            }
+            if inputs.is_empty() {
+                return Err("analyze requires at least one input file".into());
+            }
+            Ok(Command::Analyze {
+                inputs,
+                json,
+                buckets,
+                out: get("--out").map(PathBuf::from),
+            })
+        }
+        "metrics" => {
+            let trace = PathBuf::from(get("--trace").ok_or("metrics requires --trace FILE")?);
+            Ok(Command::Metrics {
+                trace,
+                label: get("--label").unwrap_or("trace").to_string(),
+                processors: int("--processors", 16)?,
+                profile: get("--profile").map(PathBuf::from),
+                prom: get("--prom").map(PathBuf::from),
             })
         }
         "resume" => {
@@ -406,6 +521,144 @@ fn resume_banner(
     .map_err(|e| e.to_string())
 }
 
+/// Builds the tracer for a `run`/`market` invocation: a buffering sink
+/// when the event stream is wanted, optionally provenance-wrapped.
+fn make_tracer(capture: bool, provenance: bool) -> mbts_trace::Tracer {
+    let tracer = if capture {
+        mbts_trace::Tracer::buffer()
+    } else {
+        mbts_trace::Tracer::Off
+    };
+    if provenance {
+        tracer.with_provenance()
+    } else {
+        tracer
+    }
+}
+
+/// Arms the self-profiler for one run; returns whether it was armed.
+fn start_profiling(wanted: bool) -> bool {
+    if wanted {
+        mbts_sim::profiler::reset();
+        mbts_sim::profiler::enable();
+    }
+    wanted
+}
+
+/// Writes the captured event stream as JSON Lines, if requested.
+fn write_trace_out(
+    path: Option<&std::path::Path>,
+    tracer: mbts_trace::Tracer,
+    out: &mut dyn std::io::Write,
+) -> Result<(), String> {
+    let Some(path) = path else { return Ok(()) };
+    let events = tracer.into_events().unwrap_or_default();
+    std::fs::write(path, mbts_trace::to_jsonl(&events))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    writeln!(out, "trace: {} events -> {}", events.len(), path.display()).map_err(|e| e.to_string())
+}
+
+/// Disarms the self-profiler and saves its report, if it was armed.
+fn write_profile_out(
+    armed: bool,
+    path: Option<&std::path::Path>,
+    out: &mut dyn std::io::Write,
+) -> Result<(), String> {
+    if !armed {
+        return Ok(());
+    }
+    let report = mbts_trace::ProfileReport::capture();
+    mbts_sim::profiler::disable();
+    let Some(path) = path else { return Ok(()) };
+    let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(path, json).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    writeln!(out, "profile -> {}", path.display()).map_err(|e| e.to_string())
+}
+
+/// One `mbts analyze` input, after auto-detection.
+enum AnalyzeInput {
+    /// A saved self-profiler report.
+    Profile(mbts_trace::ProfileReport),
+    /// A trace-event stream (from JSONL, or replayed out of a journal).
+    Events(Vec<mbts_trace::TraceEvent>),
+}
+
+/// One entry of `mbts analyze --format json` output: exactly one of
+/// `trace` / `profile` is populated, matching `kind`.
+#[derive(serde::Serialize)]
+struct AnalyzeEntry {
+    /// Input file the report was computed from.
+    file: String,
+    /// `"trace"` or `"profile"`.
+    kind: &'static str,
+    /// Trace analytics, for trace / journal inputs.
+    trace: Option<mbts_trace::TraceReport>,
+    /// Profiler histograms, for profiler-report inputs.
+    profile: Option<mbts_trace::ProfileReport>,
+}
+
+/// Reads and validates a saved [`mbts_trace::ProfileReport`].
+fn read_profile_report(path: &std::path::Path) -> Result<mbts_trace::ProfileReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let report: mbts_trace::ProfileReport = serde_json::from_str(&text)
+        .map_err(|e| format!("{} is not a profiler report: {e}", path.display()))?;
+    if report.kind != mbts_trace::PROFILE_MARKER {
+        return Err(format!(
+            "{} is not a profiler report (kind '{}')",
+            path.display(),
+            report.kind
+        ));
+    }
+    Ok(report)
+}
+
+/// Detects what kind of file an `analyze` input is and loads it:
+/// durable journals are recognized by their magic header (the run is
+/// replayed to completion and its captured tracer events extracted),
+/// profiler reports by their JSON marker, and anything else is parsed
+/// as a trace-event JSONL stream.
+fn load_analyze_input(path: &std::path::Path) -> Result<AnalyzeInput, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if bytes.starts_with(&mbts_durable::framing::MAGIC) {
+        return match mbts_durable::DurableRun::<mbts_site::SiteRun>::recover(&bytes) {
+            Ok((mut run, _)) => {
+                run.run_to_completion();
+                let (_, tracer) = run.finish();
+                Ok(AnalyzeInput::Events(
+                    tracer.into_events().unwrap_or_default(),
+                ))
+            }
+            Err(site_err) => {
+                match mbts_durable::DurableRun::<mbts_market::EconomyRun>::recover(&bytes) {
+                    Ok((mut run, _)) => {
+                        run.run_to_completion();
+                        let (_, tracer) = run.finish();
+                        Ok(AnalyzeInput::Events(
+                            tracer.into_events().unwrap_or_default(),
+                        ))
+                    }
+                    Err(eco_err) => Err(format!(
+                        "cannot replay journal {}: as site run: {site_err}; \
+                         as economy run: {eco_err}",
+                        path.display()
+                    )),
+                }
+            }
+        };
+    }
+    let text =
+        String::from_utf8(bytes).map_err(|e| format!("{} is not UTF-8: {e}", path.display()))?;
+    if let Ok(report) = serde_json::from_str::<mbts_trace::ProfileReport>(&text) {
+        if report.kind == mbts_trace::PROFILE_MARKER {
+            return Ok(AnalyzeInput::Profile(report));
+        }
+    }
+    mbts_trace::from_jsonl(&text)
+        .map(AnalyzeInput::Events)
+        .map_err(|e| format!("cannot parse {} as a trace: {e}", path.display()))
+}
+
 /// Executes a parsed command, writing human-readable output to `out`.
 pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String> {
     match cmd {
@@ -443,17 +696,22 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             classes,
             audit,
             journal,
+            trace_out,
+            provenance,
+            profile,
         } => {
             let trace =
                 Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
-            let outcome = match journal {
+            let tracer = make_tracer(trace_out.is_some(), provenance);
+            let profiling = start_profiling(profile.is_some());
+            let (outcome, tracer) = match journal {
                 Some(path) => {
                     let j = mbts_durable::Journal::create(&path)
                         .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
                     let mut durable = mbts_durable::durable_site_run(
                         site.clone(),
                         &trace,
-                        mbts_trace::Tracer::Off,
+                        tracer,
                         j,
                         JOURNAL_SNAPSHOT_EVERY,
                     )
@@ -468,10 +726,12 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                         path.display()
                     )
                     .map_err(|e| e.to_string())?;
-                    durable.into_parts().0.finish().0
+                    durable.into_parts().0.finish()
                 }
-                None => Site::new(site.clone()).run_trace(&trace),
+                None => Site::new(site.clone()).run_trace_traced(&trace, tracer),
             };
+            write_trace_out(trace_out.as_deref(), tracer, out)?;
+            write_profile_out(profiling, profile.as_deref(), out)?;
             let m = &outcome.metrics;
             writeln!(
                 out,
@@ -546,17 +806,22 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             trace,
             economy,
             journal,
+            trace_out,
+            provenance,
+            profile,
         } => {
             let trace =
                 Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
-            let outcome = match journal {
+            let tracer = make_tracer(trace_out.is_some(), provenance);
+            let profiling = start_profiling(profile.is_some());
+            let (outcome, tracer) = match journal {
                 Some(path) => {
                     let j = mbts_durable::Journal::create(&path)
                         .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
                     let mut durable = mbts_durable::durable_economy_run(
                         economy,
                         &trace,
-                        mbts_trace::Tracer::Off,
+                        tracer,
                         j,
                         JOURNAL_SNAPSHOT_EVERY,
                     )
@@ -571,11 +836,103 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                         path.display()
                     )
                     .map_err(|e| e.to_string())?;
-                    durable.into_parts().0.finish().0
+                    durable.into_parts().0.finish()
                 }
-                None => Economy::new(economy).run_trace(&trace),
+                None => Economy::new(economy).run_trace_traced(&trace, tracer),
             };
+            write_trace_out(trace_out.as_deref(), tracer, out)?;
+            write_profile_out(profiling, profile.as_deref(), out)?;
             market_summary(&outcome, out)
+        }
+        Command::Analyze {
+            inputs,
+            json,
+            buckets,
+            out: out_path,
+        } => {
+            let opts = mbts_trace::AnalyzeOptions {
+                timeline_buckets: buckets,
+            };
+            let mut text = String::new();
+            let mut reports: Vec<AnalyzeEntry> = Vec::new();
+            for path in &inputs {
+                let label = path.display().to_string();
+                match load_analyze_input(path)? {
+                    AnalyzeInput::Profile(report) => {
+                        if json {
+                            reports.push(AnalyzeEntry {
+                                file: label,
+                                kind: "profile",
+                                trace: None,
+                                profile: Some(report),
+                            });
+                        } else {
+                            text.push_str(&report.render_text());
+                            text.push('\n');
+                        }
+                    }
+                    AnalyzeInput::Events(events) => {
+                        let report = mbts_trace::analyze::analyze(&label, &events, &opts);
+                        if json {
+                            reports.push(AnalyzeEntry {
+                                file: label,
+                                kind: "trace",
+                                trace: Some(report),
+                                profile: None,
+                            });
+                        } else {
+                            text.push_str(&mbts_trace::analyze::render_text(&report));
+                            text.push('\n');
+                        }
+                    }
+                }
+            }
+            if json {
+                text = serde_json::to_string_pretty(&reports).map_err(|e| e.to_string())?;
+                text.push('\n');
+            }
+            match out_path {
+                Some(path) => {
+                    std::fs::write(&path, &text)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    writeln!(out, "analysis -> {}", path.display()).map_err(|e| e.to_string())
+                }
+                None => write!(out, "{text}").map_err(|e| e.to_string()),
+            }
+        }
+        Command::Metrics {
+            trace,
+            label,
+            processors,
+            profile,
+            prom,
+        } => {
+            let text = std::fs::read_to_string(&trace)
+                .map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+            let events = mbts_trace::from_jsonl(&text)
+                .map_err(|e| format!("cannot parse {}: {e}", trace.display()))?;
+            let mut registry = mbts_trace::MetricsRegistry::new(&label, processors);
+            registry.record_all(&events);
+            registry.finish_run();
+            write!(out, "{}", registry.render()).map_err(|e| e.to_string())?;
+            if let Some(path) = prom {
+                let mut exposition = registry.prometheus();
+                let profile_report = match profile {
+                    Some(p) => Some(read_profile_report(&p)?),
+                    None => {
+                        let live = mbts_trace::ProfileReport::capture();
+                        (!live.is_empty()).then_some(live)
+                    }
+                };
+                if let Some(report) = profile_report {
+                    exposition.push_str(&report.render_prometheus());
+                }
+                std::fs::write(&path, &exposition)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                writeln!(out, "prometheus exposition -> {}", path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
         }
         Command::Resume { journal } => {
             let bytes = mbts_durable::load(&journal)
@@ -785,6 +1142,165 @@ mod tests {
         assert!(parse(&args("run")).is_err());
         assert!(parse(&args("frobnicate")).is_err());
         assert!(parse(&[]).is_err());
+        // --provenance is meaningless without a captured stream.
+        assert!(parse(&args("run --trace t.json --provenance")).is_err());
+        assert!(parse(&args("market --trace t.json --provenance")).is_err());
+        assert!(parse(&args("analyze")).is_err());
+        assert!(parse(&args("analyze t.jsonl --format yaml")).is_err());
+        assert!(parse(&args("analyze t.jsonl --buckets 0")).is_err());
+        assert!(parse(&args("analyze t.jsonl --frobnicate")).is_err());
+        assert!(parse(&args("metrics")).is_err());
+    }
+
+    #[test]
+    fn parse_analyze_and_metrics_commands() {
+        match parse(&args(
+            "analyze a.jsonl b.bin --format json --buckets 8 --out r.json",
+        ))
+        .unwrap()
+        {
+            Command::Analyze {
+                inputs,
+                json,
+                buckets,
+                out,
+            } => {
+                assert_eq!(
+                    inputs,
+                    vec![PathBuf::from("a.jsonl"), PathBuf::from("b.bin")]
+                );
+                assert!(json);
+                assert_eq!(buckets, 8);
+                assert_eq!(out, Some(PathBuf::from("r.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&args(
+            "metrics --trace t.jsonl --label pv --processors 8 --prom m.prom",
+        ))
+        .unwrap()
+        {
+            Command::Metrics {
+                trace,
+                label,
+                processors,
+                profile,
+                prom,
+            } => {
+                assert_eq!(trace, PathBuf::from("t.jsonl"));
+                assert_eq!(label, "pv");
+                assert_eq!(processors, 8);
+                assert_eq!(profile, None);
+                assert_eq!(prom, Some(PathBuf::from("m.prom")));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&args(
+            "run --trace t.json --trace-out ev.jsonl --provenance --profile p.json",
+        ))
+        .unwrap()
+        {
+            Command::Run {
+                trace_out,
+                provenance,
+                profile,
+                ..
+            } => {
+                assert_eq!(trace_out, Some(PathBuf::from("ev.jsonl")));
+                assert!(provenance);
+                assert_eq!(profile, Some(PathBuf::from("p.json")));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn analyze_and_metrics_end_to_end() {
+        let dir = std::env::temp_dir().join("mbts-cli-analyze-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("trace.json");
+        let events = dir.join("events.jsonl");
+        let profile = dir.join("profile.json");
+        let prom = dir.join("metrics.prom");
+        let (trace_s, events_s, profile_s, prom_s) = (
+            trace.to_str().unwrap(),
+            events.to_str().unwrap(),
+            profile.to_str().unwrap(),
+            prom.to_str().unwrap(),
+        );
+
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!(
+                "gen --out {trace_s} --tasks 80 --processors 4 --load 2.0 --seed 5"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!(
+                "run --trace {trace_s} --processors 4 --policy first-reward:0.3:0.01 \
+                 --admission slack:180 --preemption --trace-out {events_s} --provenance \
+                 --profile {profile_s}"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf).to_string();
+        assert!(text.contains("trace:"), "{text}");
+        assert!(text.contains("profile ->"), "{text}");
+
+        // Text analysis covers every report section.
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!("analyze {events_s} {profile_s}"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf).to_string();
+        assert!(text.contains("yield attribution"), "{text}");
+        assert!(text.contains("admission regret"), "{text}");
+        assert!(text.contains("decision provenance"), "{text}");
+        assert!(text.contains("hot-path profile"), "{text}");
+
+        // JSON analysis parses back.
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!("analyze {events_s} --format json"))).unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf).to_string();
+        assert!(text.contains("\"kind\": \"trace\""), "{text}");
+        assert!(text.contains("\"rejected_positive\""), "{text}");
+
+        // Metrics + Prometheus export, folding in the saved profile.
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!(
+                "metrics --trace {events_s} --label first_reward --processors 4 \
+                 --profile {profile_s} --prom {prom_s}"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+        let text = String::from_utf8_lossy(&buf).to_string();
+        assert!(text.contains("policy first_reward"), "{text}");
+        let exposition = std::fs::read_to_string(&prom).unwrap();
+        assert!(exposition.contains("mbts_tasks_total"), "{exposition}");
+        assert!(
+            exposition.contains("mbts_profiler_latency_seconds_bucket"),
+            "{exposition}"
+        );
+
+        for p in [&trace, &events, &profile, &prom] {
+            std::fs::remove_file(p).ok();
+        }
     }
 
     #[test]

@@ -66,8 +66,20 @@ macro_rules! assert_identical {
 /// finishes — asserting outcome and trace-stream identity. Returns the
 /// total event count.
 fn kill_sweep_site(name: &str, mk: impl Fn(Tracer) -> SiteRun, snapshot_every: u64) -> u64 {
-    let mut durable =
-        DurableRun::new(mk(Tracer::buffer()), Journal::in_memory(), snapshot_every).unwrap();
+    kill_sweep_site_traced(name, mk, snapshot_every, Tracer::buffer())
+}
+
+/// [`kill_sweep_site`] with a caller-chosen tracer, so the sweep can
+/// also cover the provenance verbosity level: the tracer state is part
+/// of every snapshot, and recovery must resume the decision-record
+/// stream without losing or duplicating records.
+fn kill_sweep_site_traced(
+    name: &str,
+    mk: impl Fn(Tracer) -> SiteRun,
+    snapshot_every: u64,
+    tracer: Tracer,
+) -> u64 {
+    let mut durable = DurableRun::new(mk(tracer), Journal::in_memory(), snapshot_every).unwrap();
     let mut offsets = vec![durable.offset()];
     while durable.step().unwrap() {
         offsets.push(durable.offset());
@@ -103,7 +115,18 @@ fn kill_sweep_economy(
     trace: &Trace,
     snapshot_every: u64,
 ) -> u64 {
-    let run = EconomyRun::new(config.clone(), trace, Tracer::buffer());
+    kill_sweep_economy_traced(name, config, trace, snapshot_every, Tracer::buffer())
+}
+
+/// The tracer-parameterized twin of [`kill_sweep_economy`].
+fn kill_sweep_economy_traced(
+    name: &str,
+    config: &EconomyConfig,
+    trace: &Trace,
+    snapshot_every: u64,
+    tracer: Tracer,
+) -> u64 {
+    let run = EconomyRun::new(config.clone(), trace, tracer);
     let mut durable = DurableRun::new(run, Journal::in_memory(), snapshot_every).unwrap();
     let mut offsets = vec![durable.offset()];
     while durable.step().unwrap() {
@@ -207,6 +230,54 @@ fn kill_every_event_economy_smoke() {
     );
     let total = kill_sweep_economy("economy-smoke", &config, &trace, 32);
     assert!(total > 48, "economy sweep saw only {total} events");
+}
+
+/// Kill sweeps with the provenance verbosity level *on*: every snapshot
+/// now carries a wrapped tracer cursor plus buffered `DecisionRecord`
+/// events, and recovery from any kill point must reproduce the exact
+/// provenance stream — same candidates, same ranks, same float bits —
+/// the uninterrupted run emits.
+#[test]
+fn kill_every_event_site_smoke_with_provenance() {
+    let trace = generate_trace(&fig67_mix(1.6).with_tasks(24).with_processors(4), 17);
+    let config = SiteConfig::new(4)
+        .with_policy(Policy::first_reward(0.3, 0.01))
+        .with_preemption(true)
+        .with_admission(AdmissionPolicy::SlackThreshold { threshold: 180.0 })
+        .with_lost_work(LostWorkPolicy::Checkpoint {
+            interval: 25.0,
+            restart_penalty: 2.0,
+        });
+    let plan = FaultPlan::new(smoke_faults(), 5);
+    let total = kill_sweep_site_traced(
+        "site-smoke-provenance",
+        |tracer| SiteRun::with_faults(config.clone(), &trace, &plan, tracer),
+        32,
+        Tracer::buffer().with_provenance(),
+    );
+    assert!(total > 48, "provenance sweep saw only {total} events");
+}
+
+#[test]
+fn kill_every_event_economy_smoke_with_provenance() {
+    let trace = generate_trace(&fig67_mix(1.5).with_tasks(20).with_processors(8), 37);
+    let config = EconomyConfig::uniform(
+        2,
+        SiteConfig::new(4)
+            .with_policy(Policy::FirstPrice)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 }),
+    );
+    let total = kill_sweep_economy_traced(
+        "economy-smoke-provenance",
+        &config,
+        &trace,
+        16,
+        Tracer::buffer().with_provenance(),
+    );
+    assert!(
+        total > 20,
+        "economy provenance sweep saw only {total} events"
+    );
 }
 
 /// Satellite: the kill point *between* a site's `Crash` event and its

@@ -208,6 +208,62 @@ fn traced_replay_is_bit_identical_to_untraced_replay() {
 }
 
 #[test]
+fn provenance_off_streams_are_byte_identical_to_default_streams() {
+    // The provenance level must be strictly additive: with it *off*
+    // (the default) the serialized event stream carries not one byte of
+    // the new decision-record machinery, and with it *on* the stream is
+    // exactly the default stream with `DecisionRecord` lines spliced in
+    // — never a reordering, never a perturbed float.
+    use mbts::trace::{to_jsonl, TraceKind, Tracer};
+    let mix = MixConfig::millennium_default()
+        .with_tasks(300)
+        .with_processors(4)
+        .with_load_factor(1.8)
+        .with_width(WidthPolicy::PowersOfTwo { max_exp: 2 })
+        .with_bound(BoundPolicy::ProportionalPenalty { fraction: 0.5 });
+    for (label, policy) in all_policies() {
+        for seed in [11, 12] {
+            let trace = generate_trace(&mix, seed);
+            let cfg = SiteConfig::new(4)
+                .with_policy(policy)
+                .with_preemption(true)
+                .with_drop_expired(true)
+                .with_admission(AdmissionPolicy::SlackThreshold { threshold: 150.0 });
+            let (plain_outcome, plain) =
+                Site::new(cfg.clone()).run_trace_traced(&trace, Tracer::buffer());
+            let (prov_outcome, prov) =
+                Site::new(cfg).run_trace_traced(&trace, Tracer::buffer().with_provenance());
+            assert_eq!(
+                plain_outcome.outcomes, prov_outcome.outcomes,
+                "outcome stream diverged under provenance: {label} seed {seed}"
+            );
+            assert_eq!(
+                plain_outcome.metrics.total_yield.to_bits(),
+                prov_outcome.metrics.total_yield.to_bits(),
+                "total yield diverged under provenance: {label} seed {seed}"
+            );
+            let plain_jsonl = to_jsonl(&plain.into_events().expect("buffer keeps events"));
+            let prov_events = prov.into_events().expect("buffer keeps events");
+            assert!(
+                prov_events
+                    .iter()
+                    .any(|e| matches!(e.kind, TraceKind::DecisionRecord { .. })),
+                "provenance stream recorded no decisions: {label} seed {seed}"
+            );
+            let filtered: Vec<_> = prov_events
+                .into_iter()
+                .filter(|e| !matches!(e.kind, TraceKind::DecisionRecord { .. }))
+                .collect();
+            assert_eq!(
+                to_jsonl(&filtered),
+                plain_jsonl,
+                "provenance-off stream is not byte-identical: {label} seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
 fn traced_faulty_replay_is_bit_identical_to_untraced_faulty_replay() {
     use mbts::sim::UpDown;
     use mbts::trace::Tracer;
