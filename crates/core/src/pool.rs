@@ -11,12 +11,16 @@
 //! |--------------------------|-----------------------|----------------------|
 //! | submit (push)            | —                     | `O(log n)`           |
 //! | dispatch, invariant [^i] | `O(n)` scan           | `O(log n)` heap peek |
-//! | dispatch, FirstPrice/PV  | `O(n)` scan           | `O(n)` re-rank       |
+//! | dispatch, FirstPrice/PV  | `O(n)` scan           | `O(k log n)` refresh [^k] |
 //! | dispatch, FirstReward    | `O(n log n)` build + n searches | `O(n)` merge sweep |
 //! | cancel / expire (remove) | `O(n)` compact        | `O(log n)`           |
 //!
 //! [^i]: `Fcfs`, `Srpt`, `Swpt`, `EarliestDeadline` — policies whose
 //! score is fixed at submission ([`Policy::time_invariant_score`]).
+//!
+//! [^k]: `k` = entries whose stale bound still beats the true maximum,
+//! typically O(1) between nearby dispatch instants; a periodic `O(n)`
+//! rescale bounds the worst case.
 //!
 //! Three cooperating structures make this work:
 //!
@@ -34,11 +38,12 @@
 //!    time-invariant policies: selection is a peek, removal leaves a
 //!    stale entry that is discarded when it surfaces (generation
 //!    counters detect re-submitted ids after preemption). Time-varying
-//!    simple policies (`FirstPrice`/`PresentValue`) fall back to one
-//!    flat scan the first time a given `now` is queried and only pay
-//!    for heapification when a second selection at the same instant
-//!    proves the scores will be reused (a multi-processor dispatch
-//!    burst).
+//!    simple policies (`FirstPrice`/`PresentValue`) reuse the same heap
+//!    as a *bound* index: their scores only decay with time, so entries
+//!    scored in the past are upper bounds, and selection refreshes just
+//!    the entries that surface at the top until one survives its own
+//!    refresh — with a periodic full rescale once refresh churn rivals
+//!    a rebuild.
 //! 3. An RPT-ordered index lets `FirstReward` score the whole frontier
 //!    in one merge sweep: visiting candidates by ascending RPT makes the
 //!    window split point monotone, so every Eq. 4 query is answered in
@@ -185,11 +190,18 @@ impl Default for IncrementalCostModel {
 
 /// A max-heap entry: best score first, ties to the lowest task id —
 /// the same total order [`Policy::select`] implements by scanning.
+///
+/// For time-varying policies (FirstPrice/PV) `score` is the value as of
+/// `at`, which is an **upper bound** on the score at any later instant:
+/// both policies only decay with time. `at` is excluded from the order;
+/// it just lets a selection skip re-scoring an entry already exact at
+/// the query instant.
 #[derive(Debug, Clone, Copy)]
 struct HeapEntry {
     score: f64,
     id: u64,
     gen: u64,
+    at: Time,
 }
 
 impl PartialEq for HeapEntry {
@@ -273,14 +285,15 @@ pub struct PendingPool {
     gens: Vec<u64>,
     /// Lazy-deletion score heap (policies that don't need a cost model).
     heap: BinaryHeap<HeapEntry>,
-    /// Instant the heap's scores were computed at; `None` = stale. For
-    /// time-invariant policies scores are pinned at `Time::ZERO` and the
-    /// heap never goes stale; for FirstPrice/PV it is rebuilt only when
-    /// a second selection at the same `now` shows it will be reused.
+    /// Watermark: the latest instant any heap entry was scored at;
+    /// `None` = heap not built yet. Time-invariant policies pin scores
+    /// at `Time::ZERO` and the heap never goes stale. FirstPrice/PV
+    /// scores are non-increasing in time, so entries scored at or
+    /// before the watermark are upper bounds for any query at or after
+    /// it — selection refreshes only entries that surface at the top
+    /// (periodic-rescale indexing), and a query that travels *backwards*
+    /// past the watermark forces a full rebuild.
     heap_now: Option<Time>,
-    /// Last instant a time-varying policy answered with a flat scan;
-    /// a repeat query at this instant upgrades to the heap.
-    scan_now: Option<Time>,
     /// All jobs keyed by `(RPT, id)` — the FirstReward merge sweep's
     /// visiting order, in a dense-scannable [`MergeMap`]. Only
     /// maintained when the policy needs it.
@@ -301,7 +314,6 @@ impl PendingPool {
             gens: Vec::new(),
             heap: BinaryHeap::new(),
             heap_now: None,
-            scan_now: None,
             by_rpt: MergeMap::new(),
             scratch: Vec::new(),
             generation: 0,
@@ -356,14 +368,12 @@ impl PendingPool {
                 },
             );
             debug_assert!(prev.is_none(), "duplicate rpt entry for task {id}");
-        } else if self.policy.time_invariant_score() {
-            if self.heap_now.is_some() {
-                let score = normalize(self.policy.score(&job, &ScoreCtx::simple(Time::ZERO)));
-                self.heap.push(HeapEntry { score, id, gen });
-            }
-        } else {
-            // FirstPrice/PV: scores drift with `now`; re-rank on demand.
-            self.heap_now = None;
+        } else if let Some(at) = self.heap_now {
+            // Score at the watermark: exact for time-invariant policies
+            // (which pin `at` to `Time::ZERO`), and a valid upper bound
+            // for FirstPrice/PV queries at or after the watermark.
+            let score = normalize(self.policy.score(&job, &ScoreCtx::simple(at)));
+            self.heap.push(HeapEntry { score, id, gen, at });
         }
         self.gens.push(gen);
         self.jobs.push(job);
@@ -448,34 +458,97 @@ impl PendingPool {
             return pick;
         }
         let invariant = self.policy.time_invariant_score();
-        let fresh = match self.heap_now {
-            None => false,
-            Some(t) => invariant || t == now,
+        let rebuild_needed = match self.heap_now {
+            None => true,
+            // Entries are scored at instants ≤ the watermark; they are
+            // upper bounds only for queries at or after it.
+            Some(t) => !invariant && now < t,
         };
-        if !fresh {
-            if !invariant && self.scan_now != Some(now) {
-                // First query at this instant: scores are good for this
-                // `now` only, so a flat scan beats paying to heapify. If
-                // another selection lands at the same instant (a burst
-                // dispatching onto several processors), we build the
-                // heap then and amortize it over the rest of the burst.
-                self.scan_now = Some(now);
-                return self.policy.select(self.jobs.iter(), &ScoreCtx::simple(now));
-            }
+        if rebuild_needed {
             self.rebuild_heap(now);
         }
+        if invariant {
+            loop {
+                let Some(top) = self.heap.peek() else {
+                    // Only stale entries were left; a rebuild covers
+                    // every live job and the pool is non-empty.
+                    self.rebuild_heap(now);
+                    continue;
+                };
+                match self.index.get(&top.id) {
+                    Some(e) if e.gen == top.gen => return Some(e.slot),
+                    _ => {
+                        self.heap.pop();
+                    }
+                }
+            }
+        }
+        let pick = self.select_decaying(now);
+        #[cfg(debug_assertions)]
+        {
+            debug_assert_eq!(
+                pick,
+                self.select_rescan(now),
+                "bound-heap selection diverged from flat selection"
+            );
+        }
+        pick
+    }
+
+    /// Selection for FirstPrice/PV: heap entries hold stale *upper
+    /// bounds*, so the true maximum is found by refreshing entries as
+    /// they surface at the top. An entry whose refreshed score still
+    /// tops the heap is exact: every other live entry's current score is
+    /// ≤ its bound ≤ the top bound. Ties collapse to the same bound, so
+    /// the heap's lowest-id order matches `Policy::select`. When a query
+    /// has drifted far enough that refreshes thrash, one `O(n)` rescale
+    /// (rebuild at `now`) makes every bound exact.
+    fn select_decaying(&mut self, now: Time) -> Option<usize> {
+        // Rebuild once refresh work rivals a full rescore; each refresh
+        // is O(log n) against the rebuild's O(n).
+        let refresh_limit = 8 + self.jobs.len() / 8;
+        let mut refreshed = 0usize;
         loop {
-            let Some(top) = self.heap.peek() else {
-                // Only stale entries were left; a rebuild covers every
-                // live job and the pool is non-empty.
+            let Some(&top) = self.heap.peek() else {
                 self.rebuild_heap(now);
                 continue;
             };
-            match self.index.get(&top.id) {
-                Some(e) if e.gen == top.gen => return Some(e.slot),
+            let e = match self.index.get(&top.id) {
+                Some(e) if e.gen == top.gen => *e,
                 _ => {
                     self.heap.pop();
+                    continue;
                 }
+            };
+            if top.at == now {
+                return Some(e.slot);
+            }
+            let cur = normalize(
+                self.policy
+                    .score(&self.jobs[e.slot], &ScoreCtx::simple(now)),
+            );
+            debug_assert!(
+                cur <= top.score,
+                "decaying-policy score increased over time: {} -> {cur}",
+                top.score
+            );
+            self.heap.pop();
+            self.heap.push(HeapEntry {
+                score: cur,
+                id: top.id,
+                gen: top.gen,
+                at: now,
+            });
+            self.heap_now = Some(now);
+            if cur == top.score {
+                // The refreshed entry still carries the maximal bound,
+                // and among equal bounds the heap already yielded the
+                // lowest id — exact.
+                return Some(e.slot);
+            }
+            refreshed += 1;
+            if refreshed > refresh_limit {
+                self.rebuild_heap(now);
             }
         }
     }
@@ -644,6 +717,7 @@ impl PendingPool {
                     score: normalize(policy.score(job, &ctx)),
                     id: job.id().0,
                     gen,
+                    at,
                 }),
         );
         self.heap = BinaryHeap::from(entries);

@@ -19,13 +19,13 @@ use crate::bidding::{RebidBackoff, RebidBackoffState};
 use crate::budget::{Account, BudgetConfig};
 use crate::contract::{Contract, ContractTerms};
 use crate::pricing::PricingStrategy;
-use mbts_core::AdmissionDecision;
+use mbts_core::{AdmissionDecision, Job};
 use mbts_sim::{
     rng::splitmix64, Engine, EventQueue, FaultConfig, FaultInjector, FaultInjectorState, FaultUnit,
     Model, RngFactory, Time,
 };
 use mbts_site::{
-    AuditViolation, CompletionToken, SiteConfig, SiteOutcome, SiteSnapshot, SiteState,
+    AuditViolation, CompletionToken, JobOutcome, SiteConfig, SiteOutcome, SiteSnapshot, SiteState,
 };
 use mbts_trace::{
     DecisionCandidate, DecisionKind, TraceEvent, TraceKind, Tracer, TracerSnapshot,
@@ -119,13 +119,13 @@ impl MarketFaultConfig {
     }
 
     /// The [`RebidBackoff`] schedule this config describes, with its
-    /// jitter stream seeded from the config's seed.
+    /// per-site jitter stream family seeded from the config's seed.
     pub fn backoff(&self) -> RebidBackoff {
         RebidBackoff::new(
             self.orphan_backoff,
             self.orphan_backoff_cap.unwrap_or(f64::INFINITY),
             self.orphan_jitter,
-            RngFactory::new(self.seed).stream("orphan-backoff"),
+            RngFactory::new(self.seed),
         )
     }
 }
@@ -259,6 +259,11 @@ impl Economy {
         Economy { config }
     }
 
+    /// The economy's configuration.
+    pub fn config(&self) -> &EconomyConfig {
+        &self.config
+    }
+
     /// Replays `trace` as the market's submission stream and runs until
     /// all accepted work completes.
     pub fn run_trace(&self, trace: &Trace) -> EconomyOutcome {
@@ -290,6 +295,31 @@ impl EconomyRun {
     /// Sets up the economy over `trace` with all arrivals (and, with
     /// faults configured, each unit's pre-drawn first crash) scheduled.
     pub fn new(config: EconomyConfig, trace: &Trace, tracer: Tracer) -> Self {
+        let sites: Vec<SiteState> = config
+            .sites
+            .iter()
+            .map(|c| SiteState::new(c.clone()))
+            .collect();
+        let (model, initial) = Self::build_parts(config, trace, tracer, sites);
+        let mut engine = Engine::new(model);
+        for (at, ev) in initial {
+            engine.schedule(at, ev);
+        }
+        EconomyRun { engine }
+    }
+    /// The shared construction body behind [`new`](Self::new) and the
+    /// sharded runner: builds the model around a pre-built cluster and
+    /// returns the initial events (all arrivals, then each fault unit's
+    /// pre-drawn first crash) in the exact order the serial engine
+    /// schedules them — sequence numbers, and therefore tie-breaks, are
+    /// part of the replay contract.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn build_parts<C: SiteCluster>(
+        config: EconomyConfig,
+        trace: &Trace,
+        tracer: Tracer,
+        sites: C,
+    ) -> (EcoModel<C>, Vec<(Time, EcoEvent)>) {
         assert!(!config.sites.is_empty(), "economy needs at least one site");
         let accounts = config
             .budgets
@@ -305,7 +335,12 @@ impl EconomyRun {
         });
         let rebid_backoff = fault_cfg.as_ref().map(|f| f.backoff());
         let mut crash_budget = fault_cfg.as_ref().map(|f| f.max_crashes).unwrap_or(0);
-        let mut initial = Vec::new();
+        let mut initial: Vec<(Time, EcoEvent)> = trace
+            .tasks
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| (spec.arrival, EcoEvent::Arrival(i)))
+            .collect();
         if let Some(inj) = injector.as_mut() {
             for unit in inj.units() {
                 if crash_budget == 0 {
@@ -313,16 +348,12 @@ impl EconomyRun {
                 }
                 if let Some(up) = inj.uptime(unit) {
                     crash_budget -= 1;
-                    initial.push((Time::ZERO + up, unit));
+                    initial.push((Time::ZERO + up, EcoEvent::Crash(unit)));
                 }
             }
         }
         let model = EcoModel {
-            sites: config
-                .sites
-                .iter()
-                .map(|c| SiteState::new(c.clone()))
-                .collect(),
+            sites,
             trace: trace.tasks.clone(),
             selection: config.selection,
             pricing: config.pricing,
@@ -361,14 +392,7 @@ impl EconomyRun {
             audit_violations: Vec::new(),
             tracer,
         };
-        let mut engine = Engine::new(model);
-        for (i, spec) in trace.tasks.iter().enumerate() {
-            engine.schedule(spec.arrival, EcoEvent::Arrival(i));
-        }
-        for (at, unit) in initial {
-            engine.schedule(at, EcoEvent::Crash(unit));
-        }
-        EconomyRun { engine }
+        (model, initial)
     }
 
     /// Applies the next event; `false` once the queue has run dry.
@@ -404,6 +428,28 @@ impl EconomyRun {
     /// Captures the complete replay state at the current event boundary.
     pub fn snapshot(&self) -> EconomySnapshot {
         let m = self.engine.model();
+        Self::snapshot_parts(
+            m,
+            m.sites.iter().map(|s| s.snapshot()).collect(),
+            self.engine.queue().snapshot_entries(),
+            self.engine.queue().next_seq(),
+            self.engine.now(),
+            self.engine.events_handled(),
+        )
+    }
+
+    /// Flattens a model plus clock/queue state into an
+    /// [`EconomySnapshot`]. Shared with the sharded runner — site
+    /// snapshots are taken by the caller because only it knows how to
+    /// reach its cluster's sites.
+    pub(crate) fn snapshot_parts<C: SiteCluster>(
+        m: &EcoModel<C>,
+        sites: Vec<SiteSnapshot>,
+        queue: Vec<(Time, u64, EcoEvent)>,
+        next_seq: u64,
+        now: Time,
+        handled: u64,
+    ) -> EconomySnapshot {
         let sorted = |map: &HashMap<u64, u32>| {
             let mut v: Vec<(u64, u32)> = map.iter().map(|(&k, &n)| (k, n)).collect();
             v.sort_unstable();
@@ -413,7 +459,7 @@ impl EconomyRun {
             m.contract_of.iter().map(|(&k, &v)| (k, v)).collect();
         contract_of.sort_unstable();
         EconomySnapshot {
-            sites: m.sites.iter().map(|s| s.snapshot()).collect(),
+            sites,
             trace: m.trace.clone(),
             selection: m.selection,
             pricing: m.pricing,
@@ -451,22 +497,38 @@ impl EconomyRun {
             orphans_abandoned: m.orphans_abandoned,
             audit_violations: m.audit_violations.clone(),
             tracer: m.tracer.snapshot(),
-            queue: self.engine.queue().snapshot_entries(),
-            next_seq: self.engine.queue().next_seq(),
-            now: self.engine.now(),
-            handled: self.engine.events_handled(),
+            queue,
+            next_seq,
+            now,
+            handled,
         }
     }
 
     /// Reconstructs a run from a [`snapshot`](Self::snapshot); the resumed
     /// run replays bit-identically to the one that was captured.
-    pub fn from_snapshot(snap: EconomySnapshot) -> Self {
+    pub fn from_snapshot(mut snap: EconomySnapshot) -> Self {
+        let sites: Vec<SiteState> = std::mem::take(&mut snap.sites)
+            .into_iter()
+            .map(SiteState::from_snapshot)
+            .collect();
+        let (model, entries, next_seq, now, handled) = Self::restore_parts(snap, sites);
+        let queue = EventQueue::restore(entries, next_seq);
+        EconomyRun {
+            engine: Engine::from_parts(model, queue, now, handled),
+        }
+    }
+
+    /// The model-rebuild half of [`from_snapshot`](Self::from_snapshot),
+    /// shared with the sharded runner: `snap.sites` has already been
+    /// consumed into `sites` by the caller. Returns the model plus the
+    /// queue entries and clock state needed to resume.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn restore_parts<C: SiteCluster>(
+        snap: EconomySnapshot,
+        sites: C,
+    ) -> (EcoModel<C>, Vec<(Time, u64, EcoEvent)>, u64, Time, u64) {
         let model = EcoModel {
-            sites: snap
-                .sites
-                .into_iter()
-                .map(SiteState::from_snapshot)
-                .collect(),
+            sites,
             trace: snap.trace,
             selection: snap.selection,
             pricing: snap.pricing,
@@ -505,10 +567,7 @@ impl EconomyRun {
             audit_violations: snap.audit_violations,
             tracer: Tracer::from_snapshot(snap.tracer),
         };
-        let queue = EventQueue::restore(snap.queue, snap.next_seq);
-        EconomyRun {
-            engine: Engine::from_parts(model, queue, snap.now, snap.handled),
-        }
+        (model, snap.queue, snap.next_seq, snap.now, snap.handled)
     }
 
     /// Consumes the (finished) run, yielding the outcome and the tracer.
@@ -518,10 +577,22 @@ impl EconomyRun {
             "finish() on a run with pending events"
         );
         let mut model = self.engine.into_model();
+        let sites = std::mem::take(&mut model.sites);
+        let per_site = sites.into_iter().map(|s| s.into_outcome()).collect();
+        Self::outcome_parts(model, per_site)
+    }
+
+    /// The outcome-assembly half of [`finish`](Self::finish), shared with
+    /// the sharded runner: `per_site` outcomes come from the caller's
+    /// cluster; everything else from the model.
+    pub(crate) fn outcome_parts<C: SiteCluster>(
+        mut model: EcoModel<C>,
+        per_site: Vec<SiteOutcome>,
+    ) -> (EconomyOutcome, Tracer) {
         let tracer = std::mem::take(&mut model.tracer);
         let outcome = EconomyOutcome {
             client_spend: model.accounts.iter().map(|a| a.spent).collect(),
-            per_site: model.sites.into_iter().map(|s| s.into_outcome()).collect(),
+            per_site,
             contracts: model.contracts,
             offered: model.offered,
             placed: model.placed,
@@ -681,11 +752,98 @@ pub enum EcoEvent {
         client: usize,
         /// Failed re-bid rounds so far.
         attempt: u32,
+        /// The site whose outage orphaned the task; selects the
+        /// per-site jitter stream for subsequent backoff draws.
+        origin: SiteId,
     },
 }
 
-struct EcoModel {
-    sites: Vec<SiteState>,
+/// The site-facing operations the §6 negotiation performs, abstracted so
+/// the same [`EcoModel`] drives either the serial in-process site vector
+/// or a sharded worker pool ([`crate::parallel::ShardCluster`]).
+///
+/// Implementors MUST apply each op to the named site exactly as a
+/// [`SiteState`] method call would — the serial/sharded bit-identity
+/// contract rests on this trait being a pure routing layer with no
+/// policy of its own.
+pub(crate) trait SiteCluster {
+    /// Broadcasts `spec` to every site and collects the per-site
+    /// admission verdicts, in site order (read-only on sites).
+    fn evaluate_all(&mut self, now: Time, spec: TaskSpec) -> Vec<(usize, AdmissionDecision)>;
+    /// Awards a contract to `site`: `note_offer` then `accept`, returning
+    /// the accepted job's predicted completion tokens.
+    fn award(&mut self, site: SiteId, now: Time, spec: TaskSpec) -> Vec<CompletionToken>;
+    /// Withdraws a still-queued task from `site` (deadline enforcement).
+    fn cancel_pending(&mut self, site: SiteId, now: Time, task: TaskId) -> bool;
+    /// Kills `n` processors at `site`; returns how many actually died.
+    fn crash_processors(&mut self, site: SiteId, n: usize, now: Time) -> usize;
+    /// Whole-site outage: kills all capacity, then orphans the pending
+    /// queue. Returns `(processors killed, orphaned jobs)`.
+    fn crash_site(&mut self, site: SiteId, now: Time) -> (usize, Vec<Job>);
+    /// Restores `n` processors at `site`; returns fresh completion tokens.
+    fn repair(&mut self, site: SiteId, n: usize, now: Time) -> Vec<CompletionToken>;
+    /// Delivers a completion token to `site`.
+    fn on_completion(
+        &mut self,
+        site: SiteId,
+        now: Time,
+        token: CompletionToken,
+    ) -> (Option<JobOutcome>, Vec<CompletionToken>);
+    /// `true` when no site holds pending or running work.
+    fn all_quiescent(&mut self) -> bool;
+}
+
+/// The serial cluster: sites live in-process and every op is a direct
+/// method call. This is the reference implementation the sharded runner
+/// must match bit-for-bit.
+impl SiteCluster for Vec<SiteState> {
+    fn evaluate_all(&mut self, now: Time, spec: TaskSpec) -> Vec<(usize, AdmissionDecision)> {
+        self.iter()
+            .enumerate()
+            .map(|(s, site)| (s, site.evaluate(now, spec)))
+            .collect()
+    }
+
+    fn award(&mut self, site: SiteId, now: Time, spec: TaskSpec) -> Vec<CompletionToken> {
+        self[site].note_offer(now);
+        self[site].accept(now, spec)
+    }
+
+    fn cancel_pending(&mut self, site: SiteId, now: Time, task: TaskId) -> bool {
+        self[site].cancel_pending(now, task)
+    }
+
+    fn crash_processors(&mut self, site: SiteId, n: usize, now: Time) -> usize {
+        self[site].crash(n, now)
+    }
+
+    fn crash_site(&mut self, site: SiteId, now: Time) -> (usize, Vec<Job>) {
+        let cap = self[site].capacity();
+        let killed = self[site].crash(cap, now);
+        let orphans = self[site].orphan_pending(now);
+        (killed, orphans)
+    }
+
+    fn repair(&mut self, site: SiteId, n: usize, now: Time) -> Vec<CompletionToken> {
+        self[site].repair(n, now)
+    }
+
+    fn on_completion(
+        &mut self,
+        site: SiteId,
+        now: Time,
+        token: CompletionToken,
+    ) -> (Option<JobOutcome>, Vec<CompletionToken>) {
+        self[site].on_completion_detailed(now, token)
+    }
+
+    fn all_quiescent(&mut self) -> bool {
+        self.iter().all(|s| s.is_quiescent())
+    }
+}
+
+pub(crate) struct EcoModel<C: SiteCluster = Vec<SiteState>> {
+    sites: C,
     trace: Vec<TaskSpec>,
     selection: ClientSelection,
     pricing: PricingStrategy,
@@ -737,13 +895,17 @@ struct EcoModel {
     tracer: Tracer,
 }
 
-impl EcoModel {
+impl<C: SiteCluster> EcoModel<C> {
+    /// Direct access to the site cluster (the sharded driver dispatches
+    /// completion windows through it).
+    pub(crate) fn cluster_mut(&mut self) -> &mut C {
+        &mut self.sites
+    }
+
     /// `true` once the workload is over and nothing is in flight — fault
     /// scheduling stops here so the run can terminate.
-    fn drained(&self) -> bool {
-        self.arrivals_left == 0
-            && self.pending_rebids == 0
-            && self.sites.iter().all(|s| s.is_quiescent())
+    pub(crate) fn drained(&mut self) -> bool {
+        self.arrivals_left == 0 && self.pending_rebids == 0 && self.sites.all_quiescent()
     }
 
     /// Records a market-level conservation failure: panic in debug
@@ -887,23 +1049,22 @@ impl EcoModel {
         self.crashes += 1;
         let site = unit.site();
         let killed = match unit {
-            FaultUnit::Processor { .. } => self.sites[site].crash(1, now),
+            FaultUnit::Processor { .. } => self.sites.crash_processors(site, 1, now),
             FaultUnit::Site { .. } => {
                 // Whole site down: kill all capacity, then orphan the
                 // queue back to its clients.
-                let cap = self.sites[site].capacity();
-                let killed = self.sites[site].crash(cap, now);
-                let orphans = self.sites[site].orphan_pending(now);
+                let (killed, orphans) = self.sites.crash_site(site, now);
                 for job in orphans {
                     self.orphaned += 1;
                     self.settle_orphan_breach(now, site, job.id().0);
                     let spec = job.spec;
                     let client = self.client_of(&spec);
                     self.pending_rebids += 1;
-                    // Each orphan draws its own first delay so jittered
-                    // configs fan the re-bid storm out.
+                    // Each orphan draws its own first delay — from the
+                    // crashed site's stream — so jittered configs fan
+                    // the re-bid storm out.
                     let delay = match self.rebid_backoff.as_mut() {
-                        Some(b) => b.delay(0),
+                        Some(b) => b.delay(site, 0),
                         None => 60.0,
                     };
                     queue.schedule(
@@ -912,6 +1073,7 @@ impl EcoModel {
                             spec,
                             client,
                             attempt: 0,
+                            origin: site,
                         },
                     );
                 }
@@ -933,7 +1095,7 @@ impl EcoModel {
     ) {
         self.repairs += 1;
         let site = unit.site();
-        for token in self.sites[site].repair(n, now) {
+        for token in self.sites.repair(site, n, now) {
             queue.schedule(token.at, EcoEvent::Completion { site, token });
         }
         // Schedule the unit's next failure unless the run is winding down
@@ -957,6 +1119,7 @@ impl EcoModel {
         spec: TaskSpec,
         client: usize,
         attempt: u32,
+        origin: SiteId,
         queue: &mut EventQueue<EcoEvent>,
     ) {
         self.pending_rebids -= 1;
@@ -974,7 +1137,7 @@ impl EcoModel {
                 .rebid_backoff
                 .as_mut()
                 .expect("rebid without fault config")
-                .delay(attempt + 1);
+                .delay(origin, attempt + 1);
             self.pending_rebids += 1;
             queue.schedule(
                 now + mbts_sim::Duration::new(delay),
@@ -982,6 +1145,7 @@ impl EcoModel {
                     spec,
                     client,
                     attempt: attempt + 1,
+                    origin,
                 },
             );
         } else {
@@ -1053,12 +1217,7 @@ impl EcoModel {
 
         // Broadcast the bid; every site's verdict is collected (evaluate
         // is read-only) and willing sites become server bids.
-        let decisions: Vec<(usize, AdmissionDecision)> = self
-            .sites
-            .iter()
-            .enumerate()
-            .map(|(s, site)| (s, site.evaluate(now, spec)))
-            .collect();
+        let decisions: Vec<(usize, AdmissionDecision)> = self.sites.evaluate_all(now, spec);
         let bids: Vec<ServerBid> = decisions
             .iter()
             .filter(|(_, d)| d.accept)
@@ -1098,8 +1257,7 @@ impl EcoModel {
         self.second_quote.push(second);
         self.contract_of.insert(spec.id.0, contract_idx);
 
-        self.sites[winner.site].note_offer(now);
-        for token in self.sites[winner.site].accept(now, spec) {
+        for token in self.sites.award(winner.site, now, spec) {
             queue.schedule(
                 token.at,
                 EcoEvent::Completion {
@@ -1138,7 +1296,7 @@ impl EcoModel {
         };
         // Only still-queued tasks can be withdrawn; a running task is
         // about to finish, so leave it be.
-        if !self.sites[site].cancel_pending(now, task_id) {
+        if !self.sites.cancel_pending(site, now, task_id) {
             return;
         }
         self.cancelled += 1;
@@ -1165,6 +1323,27 @@ impl EcoModel {
         }
     }
 
+    /// Settles the contract of a finished task: value-function settlement,
+    /// pricing filter, ledger postings, trace event, conservation audit.
+    /// Split out of [`handle_completion`](Self::handle_completion) so the
+    /// sharded runner can replay settlements in exact serial event order
+    /// at window-merge time (the f64 ledger sums are order-sensitive).
+    pub(crate) fn settle_completion(&mut self, now: Time, site: SiteId, task: TaskId) {
+        if let Some(&ci) = self.contract_of.get(&task.0) {
+            let settled = self.contracts[ci].settle(now);
+            self.total_settled += settled;
+            let paid = self.pricing.settle(settled, self.second_quote[ci]);
+            self.total_paid += paid;
+            self.site_accounts[site] += paid;
+            let client = self.contracts[ci].client;
+            if !self.accounts.is_empty() {
+                self.accounts[client].debit(paid);
+            }
+            self.trace_settlement(now, site, task, paid);
+            self.audit_money(now);
+        }
+    }
+
     fn handle_completion(
         &mut self,
         now: Time,
@@ -1172,21 +1351,9 @@ impl EcoModel {
         token: CompletionToken,
         queue: &mut EventQueue<EcoEvent>,
     ) {
-        let (finished, tokens) = self.sites[site].on_completion_detailed(now, token);
+        let (finished, tokens) = self.sites.on_completion(site, now, token);
         if let Some(outcome) = finished {
-            if let Some(&ci) = self.contract_of.get(&outcome.id.0) {
-                let settled = self.contracts[ci].settle(now);
-                self.total_settled += settled;
-                let paid = self.pricing.settle(settled, self.second_quote[ci]);
-                self.total_paid += paid;
-                self.site_accounts[site] += paid;
-                let client = self.contracts[ci].client;
-                if !self.accounts.is_empty() {
-                    self.accounts[client].debit(paid);
-                }
-                self.trace_settlement(now, site, outcome.id, paid);
-                self.audit_money(now);
-            }
+            self.settle_completion(now, site, outcome.id);
         }
         for t in tokens {
             queue.schedule(t.at, EcoEvent::Completion { site, token: t });
@@ -1194,7 +1361,7 @@ impl EcoModel {
     }
 }
 
-impl Model for EcoModel {
+impl<C: SiteCluster> Model for EcoModel<C> {
     type Event = EcoEvent;
 
     fn handle(&mut self, now: Time, event: EcoEvent, queue: &mut EventQueue<EcoEvent>) {
@@ -1215,7 +1382,8 @@ impl Model for EcoModel {
                 spec,
                 client,
                 attempt,
-            } => self.handle_orphan_rebid(now, spec, client, attempt, queue),
+                origin,
+            } => self.handle_orphan_rebid(now, spec, client, attempt, origin, queue),
         }
     }
 }

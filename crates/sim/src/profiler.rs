@@ -37,14 +37,22 @@ pub enum Section {
     MergeSweep = 2,
     /// Durable snapshot frame serialization + journal write.
     SnapshotWrite = 3,
+    /// Sharded market: one shard executing its slice of a completion
+    /// window (site-local stepping between barriers).
+    ShardWindow = 4,
+    /// Sharded market: the coordinator blocked at a lookahead barrier
+    /// waiting for the slowest shard's reply.
+    BarrierStall = 5,
 }
 
 /// Every section, in wire order. Indexes match `Section as usize`.
-pub const SECTIONS: [Section; 4] = [
+pub const SECTIONS: [Section; 6] = [
     Section::PoolInsert,
     Section::CostModelUpdate,
     Section::MergeSweep,
     Section::SnapshotWrite,
+    Section::ShardWindow,
+    Section::BarrierStall,
 ];
 
 impl Section {
@@ -55,6 +63,8 @@ impl Section {
             Section::CostModelUpdate => "cost_model_update",
             Section::MergeSweep => "merge_sweep",
             Section::SnapshotWrite => "snapshot_write",
+            Section::ShardWindow => "shard_window",
+            Section::BarrierStall => "barrier_stall",
         }
     }
 }
@@ -84,6 +94,8 @@ impl SectionCounters {
 }
 
 static COUNTERS: [SectionCounters; NSECTIONS] = [
+    SectionCounters::new(),
+    SectionCounters::new(),
     SectionCounters::new(),
     SectionCounters::new(),
     SectionCounters::new(),

@@ -17,7 +17,7 @@ pub const PROFILE_MARKER: &str = "mbts_profile";
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SectionProfile {
     /// Stable section name (`pool_insert`, `cost_model_update`,
-    /// `merge_sweep`, `snapshot_write`).
+    /// `merge_sweep`, `snapshot_write`, `shard_window`, `barrier_stall`).
     pub section: String,
     /// Samples recorded.
     pub count: u64,
@@ -62,6 +62,39 @@ fn upper_edge_ns(bucket: usize) -> u64 {
     1u64 << (bucket as u32 + 1).min(63)
 }
 
+/// One shard's execution summary from a sharded market run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardProfile {
+    /// Shard index (contiguous site ranges, ascending).
+    pub shard: usize,
+    /// Sites hosted by this shard.
+    pub sites: usize,
+    /// Nanoseconds the shard spent executing operations.
+    pub busy_ns: u64,
+    /// Operations (evaluations, awards, completion windows, …) executed.
+    pub ops: u64,
+    /// `busy_ns` over the run's wall-clock time, in `[0, 1]`-ish
+    /// (threaded shards overlap, so the sum can exceed 1).
+    pub utilization: f64,
+}
+
+/// Cluster-level summary of a sharded market run, folded into the
+/// profile report by the CLI when `--shards` and `--profile` combine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    /// Per-shard rows, ascending by shard index.
+    pub shards: Vec<ShardProfile>,
+    /// Completion windows merged by the coordinator.
+    pub windows: u64,
+    /// Nanoseconds the coordinator spent waiting between the first and
+    /// last shard reply across all barriers.
+    pub barrier_stall_ns: u64,
+    /// Wall-clock nanoseconds of the whole run.
+    pub wall_ns: u64,
+    /// Whether shards ran on worker threads (vs. inline).
+    pub threaded: bool,
+}
+
 /// A point-in-time capture of every section, serializable to JSON for
 /// `mbts analyze` and renderable as Prometheus text.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -72,6 +105,10 @@ pub struct ProfileReport {
     pub enabled: bool,
     /// Per-section histograms, wire order.
     pub sections: Vec<SectionProfile>,
+    /// Shard-cluster summary, present only for sharded market runs.
+    /// Defaults keep reports written before this field deserializable.
+    #[serde(default)]
+    pub shards: Option<ShardSummary>,
 }
 
 impl ProfileReport {
@@ -90,6 +127,7 @@ impl ProfileReport {
                     buckets: s.buckets,
                 })
                 .collect(),
+            shards: None,
         }
     }
 
@@ -104,22 +142,41 @@ impl ProfileReport {
         let mut out = String::from("hot-path profile (log2-bucketed ns)\n");
         if self.is_empty() {
             out.push_str("  (no samples: profiler disabled or nothing instrumented ran)\n");
-            return out;
-        }
-        for s in &self.sections {
-            if s.count == 0 {
-                out.push_str(&format!("  {:<18} no samples\n", s.section));
-                continue;
+        } else {
+            for s in &self.sections {
+                if s.count == 0 {
+                    out.push_str(&format!("  {:<18} no samples\n", s.section));
+                    continue;
+                }
+                out.push_str(&format!(
+                    "  {:<18} n={:<9} mean {:>10.0}ns  p50 ≤{:>10}ns  p99 ≤{:>10}ns  max {:>10}ns\n",
+                    s.section,
+                    s.count,
+                    s.mean_ns(),
+                    s.quantile_ns(0.50),
+                    s.quantile_ns(0.99),
+                    s.max_ns
+                ));
             }
+        }
+        if let Some(sh) = &self.shards {
             out.push_str(&format!(
-                "  {:<18} n={:<9} mean {:>10.0}ns  p50 ≤{:>10}ns  p99 ≤{:>10}ns  max {:>10}ns\n",
-                s.section,
-                s.count,
-                s.mean_ns(),
-                s.quantile_ns(0.50),
-                s.quantile_ns(0.99),
-                s.max_ns
+                "shard cluster ({} shards, {}, {} windows, barrier stall {:.3}ms)\n",
+                sh.shards.len(),
+                if sh.threaded { "threaded" } else { "inline" },
+                sh.windows,
+                sh.barrier_stall_ns as f64 * 1e-6
             ));
+            for p in &sh.shards {
+                out.push_str(&format!(
+                    "  shard {:<3} sites={:<5} ops={:<9} busy {:>10.3}ms  utilization {:>6.1}%\n",
+                    p.shard,
+                    p.sites,
+                    p.ops,
+                    p.busy_ns as f64 * 1e-6,
+                    p.utilization * 100.0
+                ));
+            }
         }
         out
     }
@@ -158,6 +215,41 @@ impl ProfileReport {
                 s.section, s.count
             ));
         }
+        if let Some(sh) = &self.shards {
+            out.push_str(
+                "# HELP mbts_shard_busy_seconds Time each market shard spent executing\n\
+                 # TYPE mbts_shard_busy_seconds gauge\n",
+            );
+            for p in &sh.shards {
+                out.push_str(&format!(
+                    "mbts_shard_busy_seconds{{shard=\"{}\"}} {:e}\n",
+                    p.shard,
+                    p.busy_ns as f64 * 1e-9
+                ));
+            }
+            out.push_str(
+                "# HELP mbts_shard_utilization Shard busy time over run wall-clock time\n\
+                 # TYPE mbts_shard_utilization gauge\n",
+            );
+            for p in &sh.shards {
+                out.push_str(&format!(
+                    "mbts_shard_utilization{{shard=\"{}\"}} {}\n",
+                    p.shard, p.utilization
+                ));
+            }
+            out.push_str(&format!(
+                "# HELP mbts_shard_barrier_stall_seconds Coordinator wait between first and last shard reply\n\
+                 # TYPE mbts_shard_barrier_stall_seconds counter\n\
+                 mbts_shard_barrier_stall_seconds {:e}\n",
+                sh.barrier_stall_ns as f64 * 1e-9
+            ));
+            out.push_str(&format!(
+                "# HELP mbts_shard_windows_total Completion windows merged by the coordinator\n\
+                 # TYPE mbts_shard_windows_total counter\n\
+                 mbts_shard_windows_total {}\n",
+                sh.windows
+            ));
+        }
         out
     }
 }
@@ -170,7 +262,7 @@ mod tests {
     fn capture_serializes_and_round_trips() {
         let report = ProfileReport::capture();
         assert_eq!(report.kind, PROFILE_MARKER);
-        assert_eq!(report.sections.len(), 4);
+        assert_eq!(report.sections.len(), 6);
         assert_eq!(report.sections[0].section, "pool_insert");
         let json = serde_json::to_string(&report).unwrap();
         let back: ProfileReport = serde_json::from_str(&json).unwrap();
@@ -223,8 +315,56 @@ mod tests {
             kind: PROFILE_MARKER.into(),
             enabled: false,
             sections: vec![],
+            shards: None,
         };
         assert!(report.is_empty());
         assert!(report.render_text().contains("no samples"));
+    }
+
+    #[test]
+    fn shard_summary_renders_in_text_and_prometheus() {
+        let mut report = ProfileReport::capture();
+        report.shards = Some(ShardSummary {
+            shards: vec![
+                ShardProfile {
+                    shard: 0,
+                    sites: 4,
+                    busy_ns: 2_000_000,
+                    ops: 120,
+                    utilization: 0.5,
+                },
+                ShardProfile {
+                    shard: 1,
+                    sites: 4,
+                    busy_ns: 1_000_000,
+                    ops: 80,
+                    utilization: 0.25,
+                },
+            ],
+            windows: 17,
+            barrier_stall_ns: 300_000,
+            wall_ns: 4_000_000,
+            threaded: true,
+        });
+        let text = report.render_text();
+        assert!(text.contains("shard cluster (2 shards, threaded, 17 windows"));
+        assert!(text.contains("shard 0"));
+        assert!(text.contains("utilization   50.0%"));
+        let prom = report.render_prometheus();
+        assert!(prom.contains("mbts_shard_busy_seconds{shard=\"0\"} 2e-3"));
+        assert!(prom.contains("mbts_shard_utilization{shard=\"1\"} 0.25"));
+        assert!(prom.contains("mbts_shard_windows_total 17"));
+        assert!(prom.contains("mbts_shard_barrier_stall_seconds 3.0000000000000003e-4"));
+    }
+
+    #[test]
+    fn reports_without_a_shard_field_still_deserialize() {
+        // Files written before the shard summary existed omit the key.
+        let legacy = r#"{"kind":"mbts_profile","enabled":false,"sections":[]}"#;
+        let report: ProfileReport = serde_json::from_str(legacy).unwrap();
+        assert!(report.shards.is_none());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ProfileReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 }

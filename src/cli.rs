@@ -13,7 +13,7 @@
 //! mbts market --trace trace.json [--sites N] [--procs-per-site P]
 //!             [--policy SPEC] [--admission SPEC]
 //!             [--selection earliest|slack|random|first] [--second-price]
-//!             [--journal FILE]
+//!             [--journal FILE] [--shards N]
 //! mbts analyze FILE... [--format text|json] [--buckets N] [--out FILE]
 //! mbts metrics --trace FILE [--label NAME] [--prom FILE]
 //! mbts resume --journal FILE
@@ -28,6 +28,12 @@
 //! analyze` post-processes any of those outputs (plus durable journals)
 //! into yield-attribution, preemption-chain, admission-regret and
 //! utilization reports.
+//!
+//! `--shards N` runs the economy as N parallel site groups under the
+//! conservative parallel-discrete-event engine; the result is
+//! bit-identical to the serial run, and the summary (plus the profile
+//! report, when `--profile` is also given) gains per-shard utilization
+//! and barrier-stall figures.
 //!
 //! `--journal FILE` makes `run`/`market` crash-recoverable: the full
 //! replay state is snapshotted and every applied event journaled to
@@ -99,6 +105,10 @@ pub enum Command {
         /// Enable the hot-path self-profiler and write its report
         /// (JSON) to this path.
         profile: Option<PathBuf>,
+        /// Run the economy sharded across this many parallel site
+        /// groups (1 = the serial engine). Results are bit-identical
+        /// whatever the count.
+        shards: usize,
     },
     /// Post-process trace / journal / profiler files into reports.
     Analyze {
@@ -258,7 +268,7 @@ pub fn usage() -> &'static str {
      \x20           [--preemption] [--drop-expired] [--gantt] [--classes] [--audit FILE]\n\
      \x20           [--journal FILE] [--trace-out FILE [--provenance]] [--profile FILE]\n\
      mbts market --trace FILE [--sites N] [--procs-per-site P] [--policy SPEC]\n\
-     \x20           [--admission SPEC] [--selection KIND] [--second-price]\n\
+     \x20           [--admission SPEC] [--selection KIND] [--second-price] [--shards N]\n\
      \x20           [--journal FILE] [--trace-out FILE [--provenance]] [--profile FILE]\n\
      mbts analyze FILE... [--format text|json] [--buckets N] [--out FILE]\n\
      mbts metrics --trace FILE [--label NAME] [--processors P] [--profile FILE]\n\
@@ -375,13 +385,22 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             if provenance && trace_out.is_none() {
                 return Err("--provenance requires --trace-out FILE".into());
             }
+            let journal = get("--journal").map(PathBuf::from);
+            let shards = int("--shards", 1)?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".into());
+            }
+            if shards > 1 && journal.is_some() {
+                return Err("--shards requires the serial engine; drop --journal".into());
+            }
             Ok(Command::Market {
                 trace,
                 economy,
-                journal: get("--journal").map(PathBuf::from),
+                journal,
                 trace_out,
                 provenance,
                 profile: get("--profile").map(PathBuf::from),
+                shards,
             })
         }
         "analyze" => {
@@ -558,16 +577,73 @@ fn write_trace_out(
     writeln!(out, "trace: {} events -> {}", events.len(), path.display()).map_err(|e| e.to_string())
 }
 
+/// Converts a market-layer shard report into the trace-layer summary
+/// that rides along in the profile report.
+fn shard_summary(stats: &mbts_market::ShardStats) -> mbts_trace::ShardSummary {
+    mbts_trace::ShardSummary {
+        shards: stats
+            .shards
+            .iter()
+            .map(|s| mbts_trace::ShardProfile {
+                shard: s.shard,
+                sites: s.sites,
+                busy_ns: s.busy_ns,
+                ops: s.ops,
+                utilization: s.utilization(stats.wall_ns),
+            })
+            .collect(),
+        windows: stats.windows,
+        barrier_stall_ns: stats.barrier_stall_ns,
+        wall_ns: stats.wall_ns,
+        threaded: stats.threaded,
+    }
+}
+
+/// Prints the per-shard utilization table after a sharded market run.
+fn shard_banner(
+    summary: &mbts_trace::ShardSummary,
+    out: &mut dyn std::io::Write,
+) -> Result<(), String> {
+    writeln!(
+        out,
+        "shards: {} ({}), {} windows, barrier stall {:.3}ms",
+        summary.shards.len(),
+        if summary.threaded {
+            "threaded"
+        } else {
+            "inline"
+        },
+        summary.windows,
+        summary.barrier_stall_ns as f64 * 1e-6
+    )
+    .map_err(|e| e.to_string())?;
+    for p in &summary.shards {
+        writeln!(
+            out,
+            "  shard {}: {} sites, {} ops, busy {:.3}ms, utilization {:.1}%",
+            p.shard,
+            p.sites,
+            p.ops,
+            p.busy_ns as f64 * 1e-6,
+            p.utilization * 100.0
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
 /// Disarms the self-profiler and saves its report, if it was armed.
 fn write_profile_out(
     armed: bool,
     path: Option<&std::path::Path>,
+    shards: Option<mbts_trace::ShardSummary>,
     out: &mut dyn std::io::Write,
 ) -> Result<(), String> {
     if !armed {
         return Ok(());
     }
-    let report = mbts_trace::ProfileReport::capture();
+    let mut report = mbts_trace::ProfileReport::capture();
+    report.shards = shards;
     mbts_sim::profiler::disable();
     let Some(path) = path else { return Ok(()) };
     let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
@@ -731,7 +807,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 None => Site::new(site.clone()).run_trace_traced(&trace, tracer),
             };
             write_trace_out(trace_out.as_deref(), tracer, out)?;
-            write_profile_out(profiling, profile.as_deref(), out)?;
+            write_profile_out(profiling, profile.as_deref(), None, out)?;
             let m = &outcome.metrics;
             writeln!(
                 out,
@@ -809,11 +885,28 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             trace_out,
             provenance,
             profile,
+            shards,
         } => {
             let trace =
                 Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
             let tracer = make_tracer(trace_out.is_some(), provenance);
             let profiling = start_profiling(profile.is_some());
+            if shards > 1 {
+                let mut run = mbts_market::ShardedEconomyRun::new(
+                    economy,
+                    &trace,
+                    tracer,
+                    shards,
+                    mbts_market::ShardExecMode::Auto,
+                );
+                run.run_to_completion();
+                let summary = shard_summary(&run.shard_stats());
+                let (outcome, tracer) = run.finish();
+                shard_banner(&summary, out)?;
+                write_trace_out(trace_out.as_deref(), tracer, out)?;
+                write_profile_out(profiling, profile.as_deref(), Some(summary), out)?;
+                return market_summary(&outcome, out);
+            }
             let (outcome, tracer) = match journal {
                 Some(path) => {
                     let j = mbts_durable::Journal::create(&path)
@@ -841,7 +934,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 None => Economy::new(economy).run_trace_traced(&trace, tracer),
             };
             write_trace_out(trace_out.as_deref(), tracer, out)?;
-            write_profile_out(profiling, profile.as_deref(), out)?;
+            write_profile_out(profiling, profile.as_deref(), None, out)?;
             market_summary(&outcome, out)
         }
         Command::Analyze {
@@ -1126,14 +1219,29 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Market { economy, .. } => {
+            Command::Market {
+                economy, shards, ..
+            } => {
                 assert_eq!(economy.sites.len(), 2);
                 assert_eq!(economy.sites[0].processors, 6);
                 assert_eq!(economy.selection, ClientSelection::Random);
                 assert_eq!(economy.pricing, PricingStrategy::second_price());
+                assert_eq!(shards, 1, "serial engine by default");
             }
             other => panic!("wrong command: {other:?}"),
         }
+    }
+
+    #[test]
+    fn parse_market_shards_flag() {
+        match parse(&args("market --trace t.json --sites 8 --shards 4")).unwrap() {
+            Command::Market { shards, .. } => assert_eq!(shards, 4),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("market --trace t.json --shards 0")).is_err());
+        // The durable journal wraps the serial engine only.
+        assert!(parse(&args("market --trace t.json --shards 2 --journal j.bin")).is_err());
+        assert!(parse(&args("market --trace t.json --shards 1 --journal j.bin")).is_ok());
     }
 
     #[test]
@@ -1353,6 +1461,67 @@ mod tests {
         assert!(String::from_utf8_lossy(&buf).contains("first-reward"));
 
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sharded_market_cli_matches_serial_and_reports_shards() {
+        let dir = std::env::temp_dir().join("mbts-cli-shards");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let path_s = path.to_str().unwrap();
+        let profile = dir.join("profile.json");
+
+        let mut buf = Vec::new();
+        execute(
+            parse(&args(&format!(
+                "gen --out {path_s} --tasks 150 --processors 8 --load 1.4 --seed 9"
+            )))
+            .unwrap(),
+            &mut buf,
+        )
+        .unwrap();
+
+        let market =
+            format!("market --trace {path_s} --sites 4 --procs-per-site 2 --admission slack:0");
+        let mut serial = Vec::new();
+        execute(parse(&args(&market)).unwrap(), &mut serial).unwrap();
+        let serial = String::from_utf8_lossy(&serial).to_string();
+
+        let mut sharded = Vec::new();
+        execute(
+            parse(&args(&format!(
+                "{market} --shards 4 --profile {}",
+                profile.display()
+            )))
+            .unwrap(),
+            &mut sharded,
+        )
+        .unwrap();
+        let sharded = String::from_utf8_lossy(&sharded).to_string();
+
+        // The sharded run prepends its utilization banner; the economy
+        // summary that follows must be identical to the serial run's.
+        assert!(sharded.contains("shards: 4"), "{sharded}");
+        assert!(sharded.contains("shard 0:"), "{sharded}");
+        assert!(sharded.contains("utilization"), "{sharded}");
+        let summary = sharded
+            .lines()
+            .skip_while(|l| !l.contains("sites | offered"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(serial.trim_end().ends_with(summary.trim_end()), "{sharded}");
+
+        // The profile report carries the shard summary for `analyze`
+        // and `metrics --prom`.
+        let report = read_profile_report(&profile).unwrap();
+        let shards = report.shards.clone().expect("shard summary present");
+        assert_eq!(shards.shards.len(), 4);
+        assert!(report
+            .render_prometheus()
+            .contains("mbts_shard_utilization"));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&profile).ok();
     }
 
     #[test]

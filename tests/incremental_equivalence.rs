@@ -8,9 +8,15 @@
 use mbts::core::{
     build_candidate, AdmissionPolicy, CostModel, Job, Policy, ScheduleEntry, ScheduleMode, ScoreCtx,
 };
-use mbts::sim::{FaultConfig, Time};
+use mbts::market::{
+    Economy, EconomyConfig, EconomyRun, MarketFaultConfig, MigrationConfig, ShardExecMode,
+    ShardedEconomyRun,
+};
+use mbts::sim::{FaultConfig, Time, UpDown};
 use mbts::site::{FaultPlan, Site, SiteConfig};
-use mbts::workload::{generate_trace, BoundPolicy, MixConfig, WidthPolicy};
+use mbts::trace::Tracer;
+use mbts::workload::{generate_trace, BoundPolicy, MixConfig, Trace, WidthPolicy};
+use proptest::prelude::*;
 
 /// Every dispatch policy the paper evaluates.
 fn all_policies() -> Vec<(&'static str, Policy)> {
@@ -391,5 +397,159 @@ fn dynamic_candidate_matches_from_scratch_rescore_bit_for_bit() {
                 );
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-market equivalence: the conservative-PDES runner is an
+// optimization, not a behavior change. Whatever the shard count, the
+// execution mode, or where a run pauses for a snapshot, the final
+// `EconomySnapshot` must be byte-identical to the serial engine's.
+// ---------------------------------------------------------------------------
+
+fn market_trace(tasks: usize, seed: u64) -> Trace {
+    generate_trace(
+        &MixConfig::millennium_default()
+            .with_tasks(tasks)
+            .with_processors(16)
+            .with_load_factor(1.5),
+        seed,
+    )
+}
+
+/// A hostile economy: faults on both processor and site granularity,
+/// migration with bounded attempts, jittered orphan rebids — every
+/// coordinator RNG stream and money-conservation auditor engaged.
+fn market_cfg(sites: usize, policy: Policy) -> EconomyConfig {
+    let mut c = EconomyConfig::uniform(
+        sites,
+        SiteConfig::new(2)
+            .with_policy(policy)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 }),
+    );
+    c.migration = Some(MigrationConfig {
+        grace: 50.0,
+        max_attempts: 3,
+    });
+    let mut faults = MarketFaultConfig::new(
+        FaultConfig {
+            processor: Some(UpDown::exponential(2_500.0, 120.0)),
+            site: Some(UpDown::exponential(15_000.0, 500.0)),
+        },
+        5,
+    );
+    faults.orphan_backoff = 30.0;
+    faults.orphan_jitter = 0.25;
+    c.faults = Some(faults);
+    c
+}
+
+fn serial_snapshot_json(cfg: &EconomyConfig, trace: &Trace) -> String {
+    let mut run = EconomyRun::new(cfg.clone(), trace, Tracer::Off);
+    while run.step() {}
+    serde_json::to_string(&run.snapshot()).expect("serialize serial snapshot")
+}
+
+fn sharded_snapshot_json(
+    cfg: &EconomyConfig,
+    trace: &Trace,
+    shards: usize,
+    mode: ShardExecMode,
+) -> String {
+    let mut run = ShardedEconomyRun::new(cfg.clone(), trace, Tracer::Off, shards, mode);
+    while run.step() {}
+    serde_json::to_string(&run.snapshot()).expect("serialize sharded snapshot")
+}
+
+#[test]
+fn sharded_market_snapshots_match_serial_for_every_policy() {
+    for (label, policy) in all_policies() {
+        for seed in [71, 72, 73] {
+            let trace = market_trace(160, seed);
+            let cfg = market_cfg(8, policy);
+            let serial = serial_snapshot_json(&cfg, &trace);
+            for shards in [1, 2, 4, 8] {
+                let sharded = sharded_snapshot_json(&cfg, &trace, shards, ShardExecMode::Inline);
+                assert_eq!(
+                    serial, sharded,
+                    "final snapshot diverged: {label} seed {seed} shards {shards}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn threaded_sharded_market_matches_serial_outcome_and_snapshot() {
+    for (label, policy) in all_policies() {
+        let trace = market_trace(200, 74);
+        let cfg = market_cfg(8, policy);
+        let eco = Economy::new(cfg.clone());
+        let serial_outcome = eco.run_trace(&trace);
+        let serial_snap = serial_snapshot_json(&cfg, &trace);
+        for shards in [2, 8] {
+            let (outcome, _) =
+                eco.run_trace_sharded(&trace, Tracer::Off, shards, ShardExecMode::Threads);
+            assert_eq!(
+                serial_outcome, outcome,
+                "outcome diverged: {label} x{shards}"
+            );
+            assert!(
+                outcome.audit_violations.is_empty(),
+                "auditors flagged the sharded run: {label} x{shards}"
+            );
+            let snap = sharded_snapshot_json(&cfg, &trace, shards, ShardExecMode::Threads);
+            assert_eq!(serial_snap, snap, "snapshot diverged: {label} x{shards}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any barrier-respecting interleaving converges to the serial
+    /// state: pause a sharded run at an arbitrary event boundary, then
+    /// finish it (a) in place, (b) resumed under a *different* shard
+    /// count, and (c) resumed in the serial engine. All three final
+    /// snapshots must be byte-identical to an uninterrupted serial run.
+    #[test]
+    fn barrier_respecting_interleavings_yield_byte_identical_snapshots(
+        seed in 1u64..500,
+        policy_idx in 0usize..7,
+        shards_a in 1usize..=8,
+        shards_b in 1usize..=8,
+        threaded in any::<bool>(),
+        pause_after in 1u64..400,
+    ) {
+        let (_, policy) = all_policies()[policy_idx];
+        let trace = market_trace(120, seed);
+        let cfg = market_cfg(6, policy);
+        let serial = serial_snapshot_json(&cfg, &trace);
+
+        let mode = if threaded { ShardExecMode::Threads } else { ShardExecMode::Inline };
+        let mut a = ShardedEconomyRun::new(cfg.clone(), &trace, Tracer::Off, shards_a, mode);
+        while !a.is_done() && a.events_handled() < pause_after {
+            a.step();
+        }
+        let mid = serde_json::to_string(&a.snapshot()).expect("serialize mid-run snapshot");
+        while a.step() {}
+        let done_a = serde_json::to_string(&a.snapshot()).expect("serialize final snapshot");
+        prop_assert_eq!(&done_a, &serial, "in-place continuation diverged");
+
+        let mut b = ShardedEconomyRun::from_snapshot(
+            serde_json::from_str(&mid).expect("mid-run snapshot round-trips"),
+            shards_b,
+            ShardExecMode::Inline,
+        );
+        while b.step() {}
+        let done_b = serde_json::to_string(&b.snapshot()).expect("serialize resumed snapshot");
+        prop_assert_eq!(&done_b, &serial, "re-sharded continuation diverged");
+
+        let mut s = EconomyRun::from_snapshot(
+            serde_json::from_str(&mid).expect("mid-run snapshot round-trips"),
+        );
+        while s.step() {}
+        let done_s = serde_json::to_string(&s.snapshot()).expect("serialize serial resume");
+        prop_assert_eq!(&done_s, &serial, "serial continuation diverged");
     }
 }
