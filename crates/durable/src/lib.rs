@@ -61,5 +61,5 @@ pub mod journal;
 pub mod run;
 
 pub use framing::{FramingError, RecordTag, ScanOutcome};
-pub use journal::{load, recover_bytes, Journal, RecoverError, Recovered};
+pub use journal::{load, recover_bytes, Journal, JournalSink, RecoverError, Recovered};
 pub use run::{durable_economy_run, durable_site_run, DurableRun, Recoverable, RecoveryReport};

@@ -1,0 +1,506 @@
+//! `mbts flood`: a pipelined, multi-connection load generator for the
+//! live daemon, with seeded-jitter retry budgets and an honest report.
+//!
+//! Each connection thread drives its share of submissions in pipelined
+//! batches (one write, N responses), records batch round-trip latency
+//! into a log2-bucket histogram, and obeys the daemon's backpressure:
+//! a 429 reply consumes one unit of the request's bounded retry budget
+//! and is retried after the server's `Retry-After` hint (capped, jittered
+//! by a seeded xorshift so floods are reproducible). Connection drops —
+//! expected while a chaos harness SIGKILLs the daemon — are retried with
+//! a bounded reconnect loop and counted, never silently absorbed.
+//!
+//! The report never gates on throughput by itself: the caller decides
+//! whether the machine is allowed to enforce `gate_rps` (multi-core
+//! runners only), and single-CPU numbers are recorded honestly.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::{Duration as StdDuration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::http;
+
+/// Log2-bucketed latency histogram (mirrors the self-profiler's shape).
+const LAT_BUCKETS: usize = 40;
+
+/// Configuration for one flood run.
+#[derive(Debug, Clone)]
+pub struct FloodConfig {
+    /// Daemon address, e.g. `127.0.0.1:7741`.
+    pub addr: String,
+    /// Total submissions to deliver (across all connections).
+    pub requests: u64,
+    /// Concurrent connections (threads).
+    pub connections: usize,
+    /// Pipelining depth: requests written per batch.
+    pub pipeline: usize,
+    /// RNG seed for bid values and retry jitter.
+    pub seed: u64,
+    /// Per-read socket timeout.
+    pub timeout: StdDuration,
+    /// Retry budget per request on 429/connection-drop.
+    pub retries: u32,
+    /// Issue a cancel for an earlier accepted task every N submissions
+    /// (0 = never) — keeps the cancel path hot under load.
+    pub cancel_every: u64,
+    /// Throughput floor; enforcement is the caller's call (multi-core).
+    pub gate_rps: Option<f64>,
+}
+
+impl Default for FloodConfig {
+    fn default() -> Self {
+        FloodConfig {
+            addr: "127.0.0.1:7741".to_string(),
+            requests: 10_000,
+            connections: 4,
+            pipeline: 32,
+            seed: 42,
+            timeout: StdDuration::from_secs(5),
+            retries: 3,
+            cancel_every: 0,
+            gate_rps: None,
+        }
+    }
+}
+
+/// What one flood run observed — serialized as `BENCH_serve.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FloodReport {
+    /// Responses received (any status).
+    pub completed: u64,
+    /// Submissions the site admitted.
+    pub accepted: u64,
+    /// Submissions the site's admission control refused.
+    pub rejected: u64,
+    /// 429s with a shed body (overload victims).
+    pub shed: u64,
+    /// 429s from the full admission queue.
+    pub backpressured: u64,
+    /// 503s (drain or core timeout).
+    pub unavailable: u64,
+    /// Cancels acknowledged.
+    pub cancelled: u64,
+    /// Retries spent (429s and reconnects).
+    pub retries: u64,
+    /// Requests abandoned after exhausting their retry budget.
+    pub exhausted: u64,
+    /// Socket-level errors (drops during chaos kills, timeouts).
+    pub errors: u64,
+    /// Wall-clock seconds.
+    pub wall_s: f64,
+    /// Completed responses per second.
+    pub rps: f64,
+    /// Median batch round-trip, microseconds (bucket upper bound).
+    pub p50_us: f64,
+    /// 99th-percentile batch round-trip, microseconds.
+    pub p99_us: f64,
+    /// Worst batch round-trip, microseconds.
+    pub max_us: f64,
+    /// Connections used.
+    pub connections: usize,
+    /// Pipelining depth used.
+    pub pipeline: usize,
+    /// `available_parallelism()` of the machine that ran the flood.
+    pub parallelism: usize,
+    /// The configured throughput floor, if any.
+    pub gate_rps: Option<f64>,
+    /// Whether the floor was actually enforced (multi-core runners only).
+    pub gate_enforced: bool,
+    /// Whether the run met the floor (always reported, even unenforced).
+    pub gate_met: Option<bool>,
+}
+
+/// Minimum logical cores before a throughput gate is allowed to fail the
+/// run — single-CPU containers record honest numbers instead.
+pub const GATE_MIN_PARALLELISM: usize = 4;
+
+#[derive(Debug, Clone)]
+struct Histogram {
+    buckets: [u64; LAT_BUCKETS],
+    count: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; LAT_BUCKETS],
+            count: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn record(&mut self, ns: u64) {
+        let b = (63 - ns.max(1).leading_zeros() as usize).min(LAT_BUCKETS - 1);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Approximate quantile: upper bound of the bucket holding it.
+    fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        self.max_ns
+    }
+}
+
+#[derive(Debug, Default)]
+struct ThreadTally {
+    completed: u64,
+    accepted: u64,
+    rejected: u64,
+    shed: u64,
+    backpressured: u64,
+    unavailable: u64,
+    cancelled: u64,
+    retries: u64,
+    exhausted: u64,
+    errors: u64,
+    hist: Histogram,
+}
+
+/// Seeded xorshift64* — reproducible jitter without external crates.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545f4914f6cdd1d)
+    }
+
+    fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+        let u = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + u * (hi - lo)
+    }
+}
+
+#[derive(Debug, Deserialize)]
+struct SubmitReply {
+    task: u64,
+    accepted: bool,
+}
+
+/// One queued outbound request with its remaining retry budget.
+struct Item {
+    body: Vec<u8>,
+    is_cancel: bool,
+    attempts: u32,
+}
+
+/// Runs the flood and aggregates per-thread tallies.
+pub fn flood(cfg: &FloodConfig) -> io::Result<FloodReport> {
+    let connections = cfg.connections.max(1);
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..connections {
+        let cfg = cfg.clone();
+        let share = per_thread_share(cfg.requests, connections, t);
+        handles.push(
+            thread::Builder::new()
+                .name(format!("mbts-flood-{t}"))
+                .spawn(move || flood_thread(&cfg, t, share))?,
+        );
+    }
+    let mut tally = ThreadTally::default();
+    let mut first_err: Option<io::Error> = None;
+    for h in handles {
+        match h.join() {
+            Ok(Ok(t)) => {
+                tally.completed += t.completed;
+                tally.accepted += t.accepted;
+                tally.rejected += t.rejected;
+                tally.shed += t.shed;
+                tally.backpressured += t.backpressured;
+                tally.unavailable += t.unavailable;
+                tally.cancelled += t.cancelled;
+                tally.retries += t.retries;
+                tally.exhausted += t.exhausted;
+                tally.errors += t.errors;
+                tally.hist.merge(&t.hist);
+            }
+            Ok(Err(e)) => first_err = first_err.or(Some(e)),
+            Err(_) => {
+                first_err = first_err.or_else(|| Some(io::Error::other("flood thread panicked")))
+            }
+        }
+    }
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    let wall_s = started.elapsed().as_secs_f64().max(1e-9);
+    let rps = tally.completed as f64 / wall_s;
+    let parallelism = thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let gate_enforced = cfg.gate_rps.is_some() && parallelism >= GATE_MIN_PARALLELISM;
+    let gate_met = cfg.gate_rps.map(|g| rps >= g);
+    Ok(FloodReport {
+        completed: tally.completed,
+        accepted: tally.accepted,
+        rejected: tally.rejected,
+        shed: tally.shed,
+        backpressured: tally.backpressured,
+        unavailable: tally.unavailable,
+        cancelled: tally.cancelled,
+        retries: tally.retries,
+        exhausted: tally.exhausted,
+        errors: tally.errors,
+        wall_s,
+        rps,
+        p50_us: tally.hist.quantile_ns(0.50) as f64 / 1e3,
+        p99_us: tally.hist.quantile_ns(0.99) as f64 / 1e3,
+        max_us: tally.hist.max_ns as f64 / 1e3,
+        connections,
+        pipeline: cfg.pipeline.max(1),
+        parallelism,
+        gate_rps: cfg.gate_rps,
+        gate_enforced,
+        gate_met,
+    })
+}
+
+fn per_thread_share(total: u64, threads: usize, index: usize) -> u64 {
+    let base = total / threads as u64;
+    let extra = total % threads as u64;
+    base + u64::from((index as u64) < extra)
+}
+
+fn connect(addr: &str, timeout: StdDuration) -> io::Result<TcpStream> {
+    // Bounded reconnect loop: a chaos harness may be restarting the
+    // daemon right now.
+    let deadline = Instant::now() + StdDuration::from_secs(30);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                s.set_read_timeout(Some(timeout))?;
+                s.set_write_timeout(Some(timeout))?;
+                return Ok(s);
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(e);
+                }
+                thread::sleep(StdDuration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn submit_body(rng: &mut Rng) -> Vec<u8> {
+    let runtime = rng.uniform(0.5, 4.0);
+    let value = rng.uniform(1.0, 10.0);
+    let decay = rng.uniform(0.0, 0.5);
+    format!("{{\"runtime\":{runtime:.4},\"value\":{value:.4},\"decay\":{decay:.4}}}").into_bytes()
+}
+
+fn flood_thread(cfg: &FloodConfig, index: usize, share: u64) -> io::Result<ThreadTally> {
+    let mut tally = ThreadTally::default();
+    if share == 0 {
+        return Ok(tally);
+    }
+    let mut rng = Rng::new(cfg.seed ^ ((index as u64 + 1) * 0x517c_c1b7_2722_0a95));
+    let pipeline = cfg.pipeline.max(1);
+
+    let mut backlog: std::collections::VecDeque<Item> = (0..share)
+        .map(|i| {
+            let is_cancel = cfg.cancel_every > 0 && i > 0 && i % cfg.cancel_every == 0;
+            Item {
+                body: if is_cancel {
+                    Vec::new() // filled in from a previously accepted task
+                } else {
+                    submit_body(&mut rng)
+                },
+                is_cancel,
+                attempts: 0,
+            }
+        })
+        .collect();
+    let mut last_accepted: Option<u64> = None;
+
+    let mut stream = connect(&cfg.addr, cfg.timeout)?;
+    'run: while !backlog.is_empty() {
+        let n = backlog.len().min(pipeline);
+        let mut batch: Vec<Item> = backlog.drain(..n).collect();
+        // Late-bind cancel targets to the most recently accepted task.
+        for item in &mut batch {
+            if item.is_cancel {
+                match last_accepted {
+                    Some(id) => item.body = format!("{{\"task\":{id}}}").into_bytes(),
+                    None => item.body = submit_body(&mut rng), // nothing to cancel yet
+                }
+            }
+        }
+        let t0 = Instant::now();
+        let wrote = (|| -> io::Result<()> {
+            let mut w = BufWriter::new(stream.try_clone()?);
+            for item in &batch {
+                let target = if item.is_cancel && last_accepted.is_some() {
+                    "/cancel"
+                } else {
+                    "/submit"
+                };
+                http::write_post(&mut w, target, &item.body)?;
+            }
+            w.flush()
+        })();
+        if wrote.is_err() {
+            tally.errors += 1;
+            backlog.extend(batch);
+            stream = connect(&cfg.addr, cfg.timeout)?;
+            continue 'run;
+        }
+
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut retry_after_ms: u64 = 0;
+        let mut idx = 0;
+        while idx < batch.len() {
+            match http::read_response(&mut reader) {
+                Ok(Some(resp)) => {
+                    let item = &batch[idx];
+                    idx += 1;
+                    tally.completed += 1;
+                    tally
+                        .hist
+                        .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+                    match resp.status {
+                        200 => {
+                            if item.is_cancel && last_accepted.is_some() {
+                                tally.cancelled += 1;
+                                last_accepted = None;
+                            } else if let Ok(r) = serde_json::from_slice::<SubmitReply>(&resp.body)
+                            {
+                                if r.accepted {
+                                    tally.accepted += 1;
+                                    last_accepted = Some(r.task);
+                                } else {
+                                    tally.rejected += 1;
+                                }
+                            }
+                        }
+                        429 => {
+                            let is_shed =
+                                std::str::from_utf8(&resp.body).is_ok_and(|b| b.contains("shed"));
+                            if is_shed {
+                                tally.shed += 1;
+                            } else {
+                                tally.backpressured += 1;
+                            }
+                            if item.attempts < cfg.retries && !item.is_cancel {
+                                let hinted = resp
+                                    .header("retry-after")
+                                    .and_then(|v| v.parse::<u64>().ok())
+                                    .unwrap_or(1)
+                                    * 1000;
+                                retry_after_ms = retry_after_ms.max(hinted.min(200));
+                                tally.retries += 1;
+                                backlog.push_back(Item {
+                                    body: item.body.clone(),
+                                    is_cancel: false,
+                                    attempts: item.attempts + 1,
+                                });
+                            } else {
+                                tally.exhausted += 1;
+                            }
+                        }
+                        503 => tally.unavailable += 1,
+                        _ => {}
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    // Connection died mid-batch (chaos kill): everything
+                    // unanswered goes back in the backlog and is retried
+                    // on a fresh connection.
+                    tally.errors += 1;
+                    for item in batch.drain(idx..) {
+                        backlog.push_back(item);
+                    }
+                    stream = connect(&cfg.addr, cfg.timeout)?;
+                    continue 'run;
+                }
+            }
+        }
+        if retry_after_ms > 0 {
+            // Seeded jitter: 50–150% of the (capped) server hint.
+            let jittered = (retry_after_ms as f64 * rng.uniform(0.5, 1.5)) as u64;
+            thread::sleep(StdDuration::from_millis(jittered.max(1)));
+        }
+    }
+    Ok(tally)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = Histogram::default();
+        for ns in [100, 200, 400, 800, 1_000_000] {
+            h.record(ns);
+        }
+        assert!(h.quantile_ns(0.5) <= h.quantile_ns(0.99));
+        assert!(h.quantile_ns(0.99) <= h.max_ns.next_power_of_two().max(h.max_ns));
+        assert_eq!(h.count, 5);
+    }
+
+    #[test]
+    fn thread_share_partitions_exactly() {
+        let total: u64 = 1_003;
+        let threads = 7;
+        let sum: u64 = (0..threads)
+            .map(|i| per_thread_share(total, threads, i))
+            .sum();
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let mut a = Rng::new(9);
+        let mut b = Rng::new(9);
+        for _ in 0..10 {
+            assert_eq!(a.next(), b.next());
+        }
+        let v = Rng::new(9).uniform(1.0, 2.0);
+        assert!((1.0..2.0).contains(&v));
+    }
+
+    #[test]
+    fn gate_is_never_enforced_below_min_parallelism() {
+        // Pure logic check: enforcement requires both a gate and cores.
+        let parallelism = 1;
+        let gate_enforced = Some(100_000.0).is_some() && parallelism >= GATE_MIN_PARALLELISM;
+        assert!(!gate_enforced);
+    }
+}

@@ -43,16 +43,27 @@ pub enum Section {
     /// Sharded market: the coordinator blocked at a lookahead barrier
     /// waiting for the slowest shard's reply.
     BarrierStall = 5,
+    /// Live service: parsing one HTTP request off the wire.
+    ServeParse = 6,
+    /// Live service: a request's wait in the bounded admission queue,
+    /// from enqueue to the core thread picking it up.
+    ServeQueueWait = 7,
+    /// Live service: journal append + state-machine apply of one
+    /// accepted command.
+    ServeApply = 8,
 }
 
 /// Every section, in wire order. Indexes match `Section as usize`.
-pub const SECTIONS: [Section; 6] = [
+pub const SECTIONS: [Section; 9] = [
     Section::PoolInsert,
     Section::CostModelUpdate,
     Section::MergeSweep,
     Section::SnapshotWrite,
     Section::ShardWindow,
     Section::BarrierStall,
+    Section::ServeParse,
+    Section::ServeQueueWait,
+    Section::ServeApply,
 ];
 
 impl Section {
@@ -65,6 +76,9 @@ impl Section {
             Section::SnapshotWrite => "snapshot_write",
             Section::ShardWindow => "shard_window",
             Section::BarrierStall => "barrier_stall",
+            Section::ServeParse => "serve_parse",
+            Section::ServeQueueWait => "serve_queue_wait",
+            Section::ServeApply => "serve_apply",
         }
     }
 }
@@ -94,6 +108,9 @@ impl SectionCounters {
 }
 
 static COUNTERS: [SectionCounters; NSECTIONS] = [
+    SectionCounters::new(),
+    SectionCounters::new(),
+    SectionCounters::new(),
     SectionCounters::new(),
     SectionCounters::new(),
     SectionCounters::new(),

@@ -128,6 +128,14 @@ pub struct AdmissionReport {
     pub rejected_positive: u64,
     /// Summed expected yield forgone across those rejections.
     pub rejected_positive_expected: f64,
+    /// Submissions dropped by a live service's overload shedding
+    /// ([`DecisionKind::Shed`] records). Absent from pre-serve reports.
+    #[serde(default)]
+    pub shed: u64,
+    /// The regret of shedding: summed positive present value of the shed
+    /// submissions at the instant they were dropped.
+    #[serde(default)]
+    pub shed_pv_lost: f64,
     /// Whether any admission/bid provenance records were present (the
     /// rejected-* counters are only meaningful when true).
     pub has_provenance: bool,
@@ -161,6 +169,9 @@ pub struct DecisionSummary {
     pub admission: u64,
     /// Economy bid selections.
     pub bid_selection: u64,
+    /// Overload-shedding decisions (live service front-end).
+    #[serde(default)]
+    pub shed: u64,
     /// Mean size of the full candidate set (`considered`, pre-truncation).
     pub mean_considered: f64,
 }
@@ -227,6 +238,8 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
     let mut considered_sum = 0u64;
     let mut rejected_positive = 0u64;
     let mut rejected_positive_expected = 0.0;
+    let mut shed = 0u64;
+    let mut shed_pv_lost = 0.0;
     let mut has_provenance = false;
 
     for ev in events {
@@ -289,6 +302,7 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
                     DecisionKind::Preempt => decisions.preempt += 1,
                     DecisionKind::Admission => decisions.admission += 1,
                     DecisionKind::BidSelection => decisions.bid_selection += 1,
+                    DecisionKind::Shed => decisions.shed += 1,
                 }
                 match decision {
                     DecisionKind::Admission | DecisionKind::BidSelection => {
@@ -305,6 +319,15 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
                                 rejected_positive += 1;
                                 rejected_positive_expected += best;
                             }
+                        }
+                    }
+                    DecisionKind::Shed => {
+                        has_provenance = true;
+                        // Regret of shedding: the PV the service walked
+                        // away from (expired victims contribute 0).
+                        for c in candidates.iter().filter(|c| c.chosen) {
+                            shed += 1;
+                            shed_pv_lost += c.pv.max(0.0);
                         }
                     }
                     _ => {}
@@ -481,6 +504,8 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
         accepted_negative_yield,
         rejected_positive,
         rejected_positive_expected,
+        shed,
+        shed_pv_lost,
         has_provenance,
     };
     TraceReport {
@@ -590,6 +615,12 @@ pub fn render_text(r: &TraceReport) -> String {
             "  rejected-but-positive: n/a (no provenance records; rerun with --provenance)\n",
         );
     }
+    if a.shed > 0 {
+        out.push_str(&format!(
+            "  shed under overload {} (regret of shedding: {:.3} present value lost)\n",
+            a.shed, a.shed_pv_lost
+        ));
+    }
 
     if !r.utilization.is_empty() {
         out.push_str("utilization (mean busy processors per bucket)\n");
@@ -610,8 +641,8 @@ pub fn render_text(r: &TraceReport) -> String {
     let d = &r.decisions;
     if d.records > 0 {
         out.push_str(&format!(
-            "decision provenance: {} records (dispatch {}, backfill {}, preempt {}, admission {}, bid {})  mean candidate set {:.1}\n",
-            d.records, d.dispatch, d.backfill, d.preempt, d.admission, d.bid_selection,
+            "decision provenance: {} records (dispatch {}, backfill {}, preempt {}, admission {}, bid {}, shed {})  mean candidate set {:.1}\n",
+            d.records, d.dispatch, d.backfill, d.preempt, d.admission, d.bid_selection, d.shed,
             d.mean_considered
         ));
     }

@@ -33,6 +33,12 @@ pub enum DecisionKind {
     /// The economy's bid selection: one candidate per site, `chosen`
     /// marking the winning bid (none chosen when every site declined).
     BidSelection,
+    /// Overload shedding at a live service front-end: the candidate is
+    /// the dropped submission (`chosen = true`), its `pv`/`cost`/`slack`
+    /// the Eq. 7/8 decomposition at shed time, and `considered` the
+    /// admission-queue depth the shed pass scanned. The summed `pv` of
+    /// shed candidates is the service's "regret of shedding".
+    Shed,
 }
 
 /// One scored alternative inside a [`TraceKind::DecisionRecord`]: the

@@ -48,5 +48,7 @@ pub use event::{
     MAX_DECISION_CANDIDATES,
 };
 pub use metrics::{MetricsRegistry, PolicyMetrics};
-pub use profiler::{ProfileReport, SectionProfile, ShardProfile, ShardSummary, PROFILE_MARKER};
+pub use profiler::{
+    ProfileReport, SectionProfile, ServeSummary, ShardProfile, ShardSummary, PROFILE_MARKER,
+};
 pub use sink::{BufferSink, JsonlSink, RingSink, TraceSink, Tracer, TracerSnapshot};

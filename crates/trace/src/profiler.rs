@@ -17,7 +17,8 @@ pub const PROFILE_MARKER: &str = "mbts_profile";
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SectionProfile {
     /// Stable section name (`pool_insert`, `cost_model_update`,
-    /// `merge_sweep`, `snapshot_write`, `shard_window`, `barrier_stall`).
+    /// `merge_sweep`, `snapshot_write`, `shard_window`, `barrier_stall`,
+    /// `serve_parse`, `serve_queue_wait`, `serve_apply`).
     pub section: String,
     /// Samples recorded.
     pub count: u64,
@@ -95,6 +96,33 @@ pub struct ShardSummary {
     pub threaded: bool,
 }
 
+/// Request-outcome counters of one `mbts serve` session, folded into
+/// the profile report on shutdown so `mbts metrics --prom` can export
+/// accept/shed/timeout rates next to the latency histograms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ServeSummary {
+    /// Requests read off the wire (any endpoint).
+    pub requests: u64,
+    /// Submissions admitted by the site's acceptance heuristic.
+    pub accepted: u64,
+    /// Submissions the heuristic rejected (journaled, then declined).
+    pub rejected: u64,
+    /// Submissions dropped by overload shedding (lowest PV / expired
+    /// first) before reaching the acceptance heuristic.
+    pub shed: u64,
+    /// Submissions bounced by queue-full backpressure (HTTP 429 without
+    /// ever occupying a queue slot).
+    pub backpressured: u64,
+    /// Cancellations applied.
+    pub cancelled: u64,
+    /// Tasks completed by the sim core.
+    pub completed: u64,
+    /// Requests that timed out waiting for the core thread.
+    pub timeouts: u64,
+    /// Wall-clock nanoseconds the service was up.
+    pub wall_ns: u64,
+}
+
 /// A point-in-time capture of every section, serializable to JSON for
 /// `mbts analyze` and renderable as Prometheus text.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -109,6 +137,9 @@ pub struct ProfileReport {
     /// Defaults keep reports written before this field deserializable.
     #[serde(default)]
     pub shards: Option<ShardSummary>,
+    /// Service request counters, present only for `mbts serve` runs.
+    #[serde(default)]
+    pub serve: Option<ServeSummary>,
 }
 
 impl ProfileReport {
@@ -128,6 +159,7 @@ impl ProfileReport {
                 })
                 .collect(),
             shards: None,
+            serve: None,
         }
     }
 
@@ -177,6 +209,29 @@ impl ProfileReport {
                     p.utilization * 100.0
                 ));
             }
+        }
+        if let Some(sv) = &self.serve {
+            let wall_s = sv.wall_ns as f64 * 1e-9;
+            let rps = if wall_s > 0.0 {
+                sv.requests as f64 / wall_s
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "serve ({} requests in {:.2}s, {:.0} req/s)\n  \
+                 accepted {}  rejected {}  shed {}  backpressured {}  \
+                 cancelled {}  completed {}  timeouts {}\n",
+                sv.requests,
+                wall_s,
+                rps,
+                sv.accepted,
+                sv.rejected,
+                sv.shed,
+                sv.backpressured,
+                sv.cancelled,
+                sv.completed,
+                sv.timeouts
+            ));
         }
         out
     }
@@ -250,6 +305,36 @@ impl ProfileReport {
                 sh.windows
             ));
         }
+        if let Some(sv) = &self.serve {
+            out.push_str(
+                "# HELP mbts_serve_requests_total Service requests by outcome\n\
+                 # TYPE mbts_serve_requests_total counter\n",
+            );
+            for (outcome, n) in [
+                ("accepted", sv.accepted),
+                ("rejected", sv.rejected),
+                ("shed", sv.shed),
+                ("backpressured", sv.backpressured),
+                ("cancelled", sv.cancelled),
+                ("timeout", sv.timeouts),
+            ] {
+                out.push_str(&format!(
+                    "mbts_serve_requests_total{{outcome=\"{outcome}\"}} {n}\n"
+                ));
+            }
+            out.push_str(&format!(
+                "# HELP mbts_serve_completed_total Tasks completed by the sim core\n\
+                 # TYPE mbts_serve_completed_total counter\n\
+                 mbts_serve_completed_total {}\n",
+                sv.completed
+            ));
+            out.push_str(&format!(
+                "# HELP mbts_serve_uptime_seconds Service wall-clock uptime\n\
+                 # TYPE mbts_serve_uptime_seconds gauge\n\
+                 mbts_serve_uptime_seconds {:e}\n",
+                sv.wall_ns as f64 * 1e-9
+            ));
+        }
         out
     }
 }
@@ -262,8 +347,10 @@ mod tests {
     fn capture_serializes_and_round_trips() {
         let report = ProfileReport::capture();
         assert_eq!(report.kind, PROFILE_MARKER);
-        assert_eq!(report.sections.len(), 6);
+        assert_eq!(report.sections.len(), 9);
         assert_eq!(report.sections[0].section, "pool_insert");
+        assert_eq!(report.sections[6].section, "serve_parse");
+        assert_eq!(report.sections[8].section, "serve_apply");
         let json = serde_json::to_string(&report).unwrap();
         let back: ProfileReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
@@ -316,6 +403,7 @@ mod tests {
             enabled: false,
             sections: vec![],
             shards: None,
+            serve: None,
         };
         assert!(report.is_empty());
         assert!(report.render_text().contains("no samples"));

@@ -14,6 +14,11 @@
 //!             [--policy SPEC] [--admission SPEC]
 //!             [--selection earliest|slack|random|first] [--second-price]
 //!             [--journal FILE] [--shards N]
+//! mbts serve  [--addr HOST:PORT] [--journal FILE] [--processors P]
+//!             [--policy SPEC] [--admission SPEC] [--queue-cap N]
+//!             [--shed-threshold N] [--time-scale X] [--provenance]
+//! mbts flood  --addr HOST:PORT [--requests N] [--connections N]
+//!             [--pipeline N] [--gate-rps R] [--out FILE]
 //! mbts analyze FILE... [--format text|json] [--buckets N] [--out FILE]
 //! mbts metrics --trace FILE [--label NAME] [--prom FILE]
 //! mbts resume --journal FILE
@@ -33,7 +38,21 @@
 //! conservative parallel-discrete-event engine; the result is
 //! bit-identical to the serial run, and the summary (plus the profile
 //! report, when `--profile` is also given) gains per-shard utilization
-//! and barrier-stall figures.
+//! and barrier-stall figures. `--shards` is incompatible with
+//! `--journal`: the durable journal serializes one global event order,
+//! which only the serial engine produces — passing both is a parse
+//! error, not a silent fallback.
+//!
+//! `mbts serve` fronts the same deterministic core as a live HTTP+JSON
+//! daemon: every accepted command is journal-appended *before* it is
+//! applied, so a `kill -9` at any instant recovers — via `mbts serve
+//! --journal FILE` again, or offline via `mbts resume` / `mbts analyze`
+//! — to exactly the state the acknowledged prefix implies. Overload is
+//! first-class: a bounded admission queue answers 429 + `Retry-After`
+//! when full, and a deadline-aware shed pass drops expired-then-lowest-
+//! present-value work (provenance-traced, so `mbts analyze` can report
+//! the regret of shedding). `mbts flood` is the matching load/chaos
+//! client and writes the `BENCH_serve.json` throughput artifact.
 //!
 //! `--journal FILE` makes `run`/`market` crash-recoverable: the full
 //! replay state is snapshotted and every applied event journaled to
@@ -138,8 +157,62 @@ pub enum Command {
     },
     /// Recover an interrupted journaled run and finish it.
     Resume {
-        /// Journal written by `run --journal` or `market --journal`.
+        /// Journal written by `run --journal`, `market --journal`, or
+        /// `serve --journal`.
         journal: PathBuf,
+    },
+    /// Run the live task-service daemon: HTTP + JSON over the journaled
+    /// deterministic sim core.
+    Serve {
+        /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+        addr: String,
+        /// The fronted site.
+        site: SiteConfig,
+        /// Journal file — the source of truth for recovery. `None`
+        /// journals in memory only (no durability).
+        journal: Option<PathBuf>,
+        /// Bounded admission-queue capacity; a full queue answers 429.
+        queue_capacity: usize,
+        /// Queue depth that trips the shed pass (0 = capacity / 2).
+        shed_threshold: usize,
+        /// Sim-time units that elapse per wall-clock second.
+        time_scale: f64,
+        /// Snapshot cadence in applied commands.
+        snapshot_every: u64,
+        /// Fsync cadence in journal appends (0 = OS-buffered).
+        fsync_every_n: u64,
+        /// Emit provenance decision records (admissions + sheds).
+        provenance: bool,
+        /// `/status` registry retention.
+        status_capacity: usize,
+        /// Artificial per-command apply delay in microseconds — a chaos
+        /// knob that makes overload reproducible on fast machines.
+        throttle_us: u64,
+        /// Enable the self-profiler; write its report here at drain.
+        profile: Option<PathBuf>,
+    },
+    /// Load-test (and chaos-test) a live `mbts serve` daemon.
+    Flood {
+        /// Daemon address.
+        addr: String,
+        /// Total submissions to deliver.
+        requests: u64,
+        /// Concurrent connections (threads).
+        connections: usize,
+        /// Pipelining depth per batch.
+        pipeline: usize,
+        /// RNG seed for bid values and retry jitter.
+        seed: u64,
+        /// Retry budget per request on 429 / connection drop.
+        retries: u32,
+        /// Cancel an earlier accepted task every N submissions (0 =
+        /// never).
+        cancel_every: u64,
+        /// Throughput floor in req/s; enforced only on multi-core
+        /// runners, always reported.
+        gate_rps: Option<f64>,
+        /// Write the flood report (`BENCH_serve.json` shape) here.
+        out: Option<PathBuf>,
     },
     /// Paired A/B comparison of two policies on fresh seeded workloads.
     Compare {
@@ -259,7 +332,7 @@ pub fn parse_selection(spec: &str) -> Result<ClientSelection, String> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage: mbts <gen|run|market|analyze|metrics|compare|validate|policies> [options]\n\
+    "usage: mbts <gen|run|market|serve|flood|analyze|metrics|resume|compare|validate|policies> [options]\n\
      \n\
      mbts gen    --out FILE [--swf LOG] [--tasks N] [--processors P] [--load L] [--seed S]\n\
      \x20           [--value-skew R] [--decay-skew R] [--mean-decay D]\n\
@@ -270,6 +343,15 @@ pub fn usage() -> &'static str {
      mbts market --trace FILE [--sites N] [--procs-per-site P] [--policy SPEC]\n\
      \x20           [--admission SPEC] [--selection KIND] [--second-price] [--shards N]\n\
      \x20           [--journal FILE] [--trace-out FILE [--provenance]] [--profile FILE]\n\
+     \x20           (--shards N is incompatible with --journal FILE: the durable\n\
+     \x20            journal requires the serial engine's global event order)\n\
+     mbts serve  [--addr HOST:PORT] [--journal FILE] [--processors P] [--policy SPEC]\n\
+     \x20           [--admission SPEC] [--queue-cap N] [--shed-threshold N]\n\
+     \x20           [--time-scale X] [--snapshot-every N] [--fsync-every N]\n\
+     \x20           [--provenance] [--status-cap N] [--throttle-us U] [--profile FILE]\n\
+     mbts flood  --addr HOST:PORT [--requests N] [--connections N] [--pipeline N]\n\
+     \x20           [--seed S] [--retries N] [--cancel-every N] [--gate-rps R]\n\
+     \x20           [--out FILE]\n\
      mbts analyze FILE... [--format text|json] [--buckets N] [--out FILE]\n\
      mbts metrics --trace FILE [--label NAME] [--processors P] [--profile FILE]\n\
      \x20           [--prom FILE]\n\
@@ -451,6 +533,69 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         "resume" => {
             let journal = PathBuf::from(get("--journal").ok_or("resume requires --journal FILE")?);
             Ok(Command::Resume { journal })
+        }
+        "serve" => {
+            let addr = get("--addr").unwrap_or("127.0.0.1:7741").to_string();
+            let mut site = SiteConfig::new(int("--processors", 4)?);
+            if let Some(p) = get("--policy") {
+                site = site.with_policy(parse_policy(p)?);
+            }
+            if let Some(a) = get("--admission") {
+                site = site.with_admission(parse_admission(a)?);
+            }
+            let queue_capacity = int("--queue-cap", 1024)?;
+            if queue_capacity == 0 {
+                return Err("--queue-cap must be at least 1".into());
+            }
+            let time_scale = num("--time-scale", 1.0)?;
+            if time_scale <= 0.0 || !time_scale.is_finite() {
+                return Err("--time-scale must be a positive number".into());
+            }
+            Ok(Command::Serve {
+                addr,
+                site,
+                journal: get("--journal").map(PathBuf::from),
+                queue_capacity,
+                shed_threshold: int("--shed-threshold", 0)?,
+                time_scale,
+                snapshot_every: int("--snapshot-every", 8192)? as u64,
+                fsync_every_n: int("--fsync-every", 0)? as u64,
+                provenance: has("--provenance"),
+                status_capacity: int("--status-cap", 65_536)?,
+                throttle_us: int("--throttle-us", 0)? as u64,
+                profile: get("--profile").map(PathBuf::from),
+            })
+        }
+        "flood" => {
+            let addr = get("--addr")
+                .ok_or("flood requires --addr HOST:PORT")?
+                .to_string();
+            let connections = int("--connections", 4)?;
+            if connections == 0 {
+                return Err("--connections must be at least 1".into());
+            }
+            let pipeline = int("--pipeline", 32)?;
+            if pipeline == 0 {
+                return Err("--pipeline must be at least 1".into());
+            }
+            let gate_rps = match get("--gate-rps") {
+                Some(v) => Some(
+                    v.parse::<f64>()
+                        .map_err(|_| "--gate-rps needs a number".to_string())?,
+                ),
+                None => None,
+            };
+            Ok(Command::Flood {
+                addr,
+                requests: int("--requests", 10_000)? as u64,
+                connections,
+                pipeline,
+                seed: int("--seed", 42)? as u64,
+                retries: int("--retries", 3)? as u32,
+                cancel_every: int("--cancel-every", 0)? as u64,
+                gate_rps,
+                out: get("--out").map(PathBuf::from),
+            })
         }
         "compare" => {
             let pa = parse_policy(get("--a").ok_or("compare requires --a SPEC")?)?;
@@ -714,11 +859,16 @@ fn load_analyze_input(path: &std::path::Path) -> Result<AnalyzeInput, String> {
                             tracer.into_events().unwrap_or_default(),
                         ))
                     }
-                    Err(eco_err) => Err(format!(
-                        "cannot replay journal {}: as site run: {site_err}; \
-                         as economy run: {eco_err}",
-                        path.display()
-                    )),
+                    Err(eco_err) => match mbts_serve::ServiceRun::recover(&bytes) {
+                        Ok((machine, _)) => Ok(AnalyzeInput::Events(
+                            machine.into_trace_events().unwrap_or_default(),
+                        )),
+                        Err(serve_err) => Err(format!(
+                            "cannot replay journal {}: as site run: {site_err}; \
+                             as economy run: {eco_err}; as service journal: {serve_err}",
+                            path.display()
+                        )),
+                    },
                 }
             }
         };
@@ -1054,13 +1204,236 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                             let (outcome, _) = run.finish();
                             market_summary(&outcome, out)
                         }
-                        Err(eco_err) => Err(format!(
-                            "cannot resume {}: as site run: {site_err}; as economy run: {eco_err}",
-                            journal.display()
-                        )),
+                        Err(eco_err) => match mbts_serve::ServiceRun::recover(&bytes) {
+                            Ok((machine, recovery)) => {
+                                writeln!(
+                                    out,
+                                    "recovered service run at command {} \
+                                     (replayed {} journaled commands, dropped {} torn bytes)",
+                                    machine.applied(),
+                                    recovery.replayed,
+                                    recovery.dropped_bytes
+                                )
+                                .map_err(|e| e.to_string())?;
+                                let c = machine.counters();
+                                writeln!(
+                                    out,
+                                    "accepted {}  rejected {}  shed {}  cancelled {}  \
+                                     finished {}  drains {}",
+                                    c.accepted,
+                                    c.rejected,
+                                    c.shed,
+                                    c.cancelled,
+                                    c.finished,
+                                    c.drains
+                                )
+                                .map_err(|e| e.to_string())?;
+                                writeln!(
+                                    out,
+                                    "now {}  yield {:.1}  violations {}",
+                                    machine.now(),
+                                    machine.metrics().total_yield,
+                                    machine.violations()
+                                )
+                                .map_err(|e| e.to_string())
+                            }
+                            Err(serve_err) => Err(format!(
+                                "cannot resume {}: as site run: {site_err}; \
+                                 as economy run: {eco_err}; as service journal: {serve_err}",
+                                journal.display()
+                            )),
+                        },
                     }
                 }
             }
+        }
+        Command::Serve {
+            addr,
+            site,
+            journal,
+            queue_capacity,
+            shed_threshold,
+            time_scale,
+            snapshot_every,
+            fsync_every_n,
+            provenance,
+            status_capacity,
+            throttle_us,
+            profile,
+        } => {
+            let profiling = start_profiling(profile.is_some());
+            mbts_serve::install_signal_handlers();
+            let cfg = mbts_serve::ServeConfig {
+                addr,
+                site,
+                journal,
+                queue_capacity,
+                shed_threshold,
+                time_scale,
+                snapshot_every,
+                fsync_every_n,
+                provenance,
+                status_capacity,
+                throttle: std::time::Duration::from_micros(throttle_us),
+                ..mbts_serve::ServeConfig::default()
+            };
+            let server =
+                mbts_serve::Server::start(cfg).map_err(|e| format!("cannot start daemon: {e}"))?;
+            // This banner is a protocol: harnesses (and the chaos tests)
+            // parse the bound address off this exact line before
+            // flooding, so it must be flushed before the daemon blocks.
+            writeln!(out, "mbts serve listening on {}", server.addr).map_err(|e| e.to_string())?;
+            let recovery = server.recovery;
+            if recovery.replayed > 0 || recovery.dropped_bytes > 0 {
+                writeln!(
+                    out,
+                    "recovered service journal: replayed {} commands, dropped {} torn bytes",
+                    recovery.replayed, recovery.dropped_bytes
+                )
+                .map_err(|e| e.to_string())?;
+            }
+            out.flush().map_err(|e| e.to_string())?;
+            let report = server.join().map_err(|e| format!("daemon failed: {e}"))?;
+            if profiling {
+                let mut profile_report = mbts_trace::ProfileReport::capture();
+                profile_report.serve = Some(report.summary.clone());
+                mbts_sim::profiler::disable();
+                if let Some(path) = profile {
+                    let json =
+                        serde_json::to_string_pretty(&profile_report).map_err(|e| e.to_string())?;
+                    std::fs::write(&path, json)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                    writeln!(out, "profile -> {}", path.display()).map_err(|e| e.to_string())?;
+                }
+            }
+            let s = &report.summary;
+            writeln!(
+                out,
+                "requests {}  accepted {}  rejected {}  shed {}  backpressured {}  \
+                 cancelled {}  timeouts {}",
+                s.requests,
+                s.accepted,
+                s.rejected,
+                s.shed,
+                s.backpressured,
+                s.cancelled,
+                s.timeouts
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "completed {}  applied {}  yield {:.1}  violations {}",
+                s.completed, report.applied, report.total_yield, report.violations
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "drain {}  wall {:.2}s",
+                if report.clean_drain {
+                    "clean (drain marker + final snapshot journaled)"
+                } else {
+                    "unclean"
+                },
+                s.wall_ns as f64 * 1e-9
+            )
+            .map_err(|e| e.to_string())?;
+            if report.violations > 0 {
+                return Err(format!(
+                    "{} invariant violation(s) recorded",
+                    report.violations
+                ));
+            }
+            Ok(())
+        }
+        Command::Flood {
+            addr,
+            requests,
+            connections,
+            pipeline,
+            seed,
+            retries,
+            cancel_every,
+            gate_rps,
+            out: out_path,
+        } => {
+            let cfg = mbts_serve::FloodConfig {
+                addr,
+                requests,
+                connections,
+                pipeline,
+                seed,
+                retries,
+                cancel_every,
+                gate_rps,
+                ..mbts_serve::FloodConfig::default()
+            };
+            let report = mbts_serve::flood(&cfg).map_err(|e| format!("flood failed: {e}"))?;
+            writeln!(
+                out,
+                "flood: {} completed in {:.2}s -> {:.0} req/s \
+                 ({} connections x pipeline {}, {}-way parallelism)",
+                report.completed,
+                report.wall_s,
+                report.rps,
+                report.connections,
+                report.pipeline,
+                report.parallelism
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "accepted {}  rejected {}  shed {}  backpressured {}  unavailable {}  \
+                 cancelled {}",
+                report.accepted,
+                report.rejected,
+                report.shed,
+                report.backpressured,
+                report.unavailable,
+                report.cancelled
+            )
+            .map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "retries {}  exhausted {}  errors {}  p50 {:.0}us  p99 {:.0}us  max {:.0}us",
+                report.retries,
+                report.exhausted,
+                report.errors,
+                report.p50_us,
+                report.p99_us,
+                report.max_us
+            )
+            .map_err(|e| e.to_string())?;
+            if let Some(path) = out_path {
+                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                std::fs::write(&path, json)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                writeln!(out, "flood report -> {}", path.display()).map_err(|e| e.to_string())?;
+            }
+            if let Some(floor) = report.gate_rps {
+                let met = report.gate_met == Some(true);
+                if report.gate_enforced {
+                    if !met {
+                        return Err(format!(
+                            "throughput gate missed: {:.0} req/s < {floor:.0} req/s floor",
+                            report.rps
+                        ));
+                    }
+                    writeln!(out, "gate met: {:.0} req/s >= {floor:.0} req/s", report.rps)
+                        .map_err(|e| e.to_string())?;
+                } else {
+                    // Single-CPU runners record honest numbers instead of
+                    // failing a gate they cannot physically meet.
+                    writeln!(
+                        out,
+                        "gate not enforced ({}-way parallelism < {}): floor {floor:.0} req/s, \
+                         met: {met}",
+                        report.parallelism,
+                        mbts_serve::GATE_MIN_PARALLELISM
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+            Ok(())
         }
         Command::Compare { a, b, mix, seeds } => {
             let params = mbts_experiments::ExpParams {
@@ -1242,6 +1615,107 @@ mod tests {
         // The durable journal wraps the serial engine only.
         assert!(parse(&args("market --trace t.json --shards 2 --journal j.bin")).is_err());
         assert!(parse(&args("market --trace t.json --shards 1 --journal j.bin")).is_ok());
+        // The incompatibility is documented, not just enforced.
+        assert!(usage().contains("--shards N is incompatible with --journal FILE"));
+    }
+
+    #[test]
+    fn parse_serve_command() {
+        match parse(&args("serve")).unwrap() {
+            Command::Serve {
+                addr,
+                journal,
+                queue_capacity,
+                shed_threshold,
+                time_scale,
+                provenance,
+                ..
+            } => {
+                assert_eq!(addr, "127.0.0.1:7741");
+                assert_eq!(journal, None);
+                assert_eq!(queue_capacity, 1024);
+                assert_eq!(shed_threshold, 0);
+                assert_eq!(time_scale, 1.0);
+                assert!(!provenance);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&args(
+            "serve --addr 0.0.0.0:9000 --journal svc.mbtsj --processors 8 --policy pv:0.01 \
+             --queue-cap 64 --shed-threshold 8 --time-scale 60 --snapshot-every 100 \
+             --fsync-every 1 --provenance --status-cap 512 --throttle-us 250 --profile p.json",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                site,
+                journal,
+                queue_capacity,
+                shed_threshold,
+                time_scale,
+                snapshot_every,
+                fsync_every_n,
+                provenance,
+                status_capacity,
+                throttle_us,
+                profile,
+            } => {
+                assert_eq!(addr, "0.0.0.0:9000");
+                assert_eq!(site.processors, 8);
+                assert_eq!(journal, Some(PathBuf::from("svc.mbtsj")));
+                assert_eq!(queue_capacity, 64);
+                assert_eq!(shed_threshold, 8);
+                assert_eq!(time_scale, 60.0);
+                assert_eq!(snapshot_every, 100);
+                assert_eq!(fsync_every_n, 1);
+                assert!(provenance);
+                assert_eq!(status_capacity, 512);
+                assert_eq!(throttle_us, 250);
+                assert_eq!(profile, Some(PathBuf::from("p.json")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("serve --queue-cap 0")).is_err());
+        assert!(parse(&args("serve --time-scale 0")).is_err());
+        assert!(parse(&args("serve --time-scale -2")).is_err());
+    }
+
+    #[test]
+    fn parse_flood_command() {
+        assert!(parse(&args("flood")).is_err());
+        match parse(&args(
+            "flood --addr 127.0.0.1:7741 --requests 500 --connections 2 --pipeline 8 \
+             --seed 7 --retries 1 --cancel-every 10 --gate-rps 100000 --out BENCH_serve.json",
+        ))
+        .unwrap()
+        {
+            Command::Flood {
+                addr,
+                requests,
+                connections,
+                pipeline,
+                seed,
+                retries,
+                cancel_every,
+                gate_rps,
+                out,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7741");
+                assert_eq!(requests, 500);
+                assert_eq!(connections, 2);
+                assert_eq!(pipeline, 8);
+                assert_eq!(seed, 7);
+                assert_eq!(retries, 1);
+                assert_eq!(cancel_every, 10);
+                assert_eq!(gate_rps, Some(100_000.0));
+                assert_eq!(out, Some(PathBuf::from("BENCH_serve.json")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("flood --addr a:1 --connections 0")).is_err());
+        assert!(parse(&args("flood --addr a:1 --pipeline 0")).is_err());
+        assert!(parse(&args("flood --addr a:1 --gate-rps fast")).is_err());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`durable`] — crash consistency: CRC-framed snapshot + write-ahead
 //!   event journals that make site and economy runs recoverable at any
 //!   event boundary, bit-identical to an uninterrupted run.
+//! * [`serve`] — the live task service: an HTTP+JSON daemon (`mbts
+//!   serve`) fronting the deterministic core with journaled admission,
+//!   backpressure, deadline-aware shedding, and graceful drain, plus
+//!   the `mbts flood` load/chaos client.
 //! * [`experiments`] — the harness that regenerates every figure of the
 //!   paper's evaluation (Figures 3–7) plus ablations.
 //!
@@ -52,6 +56,7 @@ pub use mbts_core as core;
 pub use mbts_durable as durable;
 pub use mbts_experiments as experiments;
 pub use mbts_market as market;
+pub use mbts_serve as serve;
 pub use mbts_sim as sim;
 pub use mbts_site as site;
 pub use mbts_trace as trace;

@@ -460,3 +460,98 @@ fn kill_every_event_economy_heavy() {
     // floor is well below 2 events/task.
     assert!(total > 250, "economy heavy sweep saw only {total} events");
 }
+
+/// Service-journal leg: crash an `mbts serve` command log after *every*
+/// applied command. Each crash point must recover a machine — state and
+/// captured provenance trace both, via the snapshot JSON — bit-identical
+/// to a fresh machine fed the same accepted prefix; and feeding the
+/// recovered machine the remaining suffix must land on the uncrashed
+/// final state. This is the daemon's durability contract: the journal is
+/// the single source of truth, and an acknowledged command is never
+/// reinterpreted.
+#[test]
+fn kill_every_command_service_journal_smoke() {
+    use mbts::serve::{CommandKind, MachineConfig, ServiceMachine, ServiceRun, ShedReason};
+    use mbts::sim::Time;
+    use mbts::workload::{PenaltyBound, TaskId, TaskSpec};
+
+    let config = MachineConfig {
+        provenance: true,
+        ..MachineConfig::default()
+    };
+    // A command log exercising every verb: submits (varied value/decay so
+    // the acceptance heuristic both admits and declines), cancels (hits
+    // and misses), overload sheds, and a final drain.
+    let mut kinds: Vec<(f64, CommandKind)> = Vec::new();
+    for i in 0..60u64 {
+        let at = i as f64 * 0.4;
+        let spec = TaskSpec::new(
+            0,
+            at,
+            0.8 + (i % 5) as f64,
+            2.0 + (i % 9) as f64,
+            0.02 + 0.01 * (i % 4) as f64,
+            PenaltyBound::ZERO,
+        );
+        kinds.push((at, CommandKind::Submit { spec }));
+        if i % 7 == 3 {
+            kinds.push((
+                at,
+                CommandKind::Cancel {
+                    task: TaskId(i / 2),
+                },
+            ));
+        }
+        if i % 11 == 5 {
+            let spec = TaskSpec::new(0, at, 3.0, 0.5, 0.5, PenaltyBound::ZERO);
+            kinds.push((
+                at,
+                CommandKind::Shed {
+                    spec,
+                    queue_depth: 9,
+                    reason: ShedReason::LowestValue,
+                },
+            ));
+        }
+    }
+    kinds.push((40.0, CommandKind::Drain));
+
+    // Uncrashed reference run, recording the journal offset after every
+    // applied command — each offset is one crash point.
+    let mut reference = ServiceRun::new(config.clone(), Journal::in_memory(), 8).unwrap();
+    let mut offsets = Vec::new();
+    let mut commands = Vec::new();
+    for (at, kind) in &kinds {
+        let (cmd, _) = reference.apply(Time::new(*at), kind.clone()).unwrap();
+        commands.push(cmd);
+        offsets.push(reference.journal().bytes().len());
+    }
+    let reference_final = reference.machine().snapshot_json();
+    let bytes = reference.journal().bytes().to_vec();
+
+    for (k, offset) in offsets.iter().enumerate() {
+        let (recovered, _) = ServiceRun::recover(&bytes[..*offset])
+            .unwrap_or_else(|e| panic!("crash after command {k} failed to recover: {e}"));
+        assert_eq!(recovered.applied() as usize, k + 1);
+
+        let mut fresh = ServiceMachine::new(config.clone());
+        for cmd in &commands[..=k] {
+            fresh.apply(cmd);
+        }
+        assert_eq!(
+            recovered.snapshot_json(),
+            fresh.snapshot_json(),
+            "recovered state diverged from direct replay after command {k}"
+        );
+
+        let mut recovered = recovered;
+        for cmd in &commands[k + 1..] {
+            recovered.apply(cmd);
+        }
+        assert_eq!(
+            recovered.snapshot_json(),
+            reference_final,
+            "finishing from crash point {k} missed the uncrashed outcome"
+        );
+    }
+}

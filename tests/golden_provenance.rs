@@ -164,7 +164,7 @@ fn provenance_fixtures_cover_every_site_decision_kind() {
                     DecisionKind::Backfill => backfills += 1,
                     DecisionKind::Preempt => preempts += 1,
                     DecisionKind::Admission => admissions += 1,
-                    DecisionKind::BidSelection => {}
+                    DecisionKind::BidSelection | DecisionKind::Shed => {}
                 }
             }
         }

@@ -1,0 +1,354 @@
+//! Live-service integration tests: the overload contract (backpressure,
+//! deadline-aware shedding, Retry-After), graceful drain, and the chaos
+//! story — `kill -9` a daemon mid-traffic, recover the journal offline,
+//! restart on the same file, and drain it cleanly with SIGTERM.
+//!
+//! The in-process tests drive a [`mbts::serve::Server`] over real TCP
+//! with a deliberately tiny admission queue and a throttled core so
+//! overload is reproducible on any machine. The process-level test
+//! spawns the actual `mbts` binary (`CARGO_BIN_EXE_mbts`), parses the
+//! `listening on` banner, and kills it for real.
+
+use mbts::serve::{self, ServeConfig, Server, ServiceMachine, ServiceRun};
+use mbts::site::SiteConfig;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One round-trip against a live daemon: POST a JSON body, read the
+/// response. Panics on framing errors — these tests own both ends.
+fn post(addr: &str, target: &str, body: &str) -> serve::http::Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    serve::http::write_post(&mut writer, target, body.as_bytes()).expect("write");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    serve::http::read_response(&mut reader)
+        .expect("read")
+        .expect("response")
+}
+
+fn get(addr: &str, target: &str) -> serve::http::Response {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    let mut writer = BufWriter::new(stream.try_clone().expect("clone"));
+    serve::http::write_get(&mut writer, target).expect("write");
+    writer.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    serve::http::read_response(&mut reader)
+        .expect("read")
+        .expect("response")
+}
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mbts-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+/// Under sustained 2x overload the daemon must stay responsive: a full
+/// admission queue answers 429 + Retry-After instead of hanging, the
+/// shed pass drops lowest-present-value submissions (journaled, with
+/// provenance), `/healthz` keeps answering, and a `/drain` seals the
+/// journal with a final snapshot. The journal then replays into an
+/// analyze report that prices the regret of shedding.
+#[test]
+fn overload_stays_responsive_sheds_lowest_pv_and_drains_cleanly() {
+    let journal = scratch("overload.mbtsj");
+    let _ = std::fs::remove_file(&journal);
+    let server = Server::start(ServeConfig {
+        site: SiteConfig::new(2),
+        journal: Some(journal.clone()),
+        queue_capacity: 3,
+        shed_threshold: 1,
+        provenance: true,
+        snapshot_every: 64,
+        throttle: Duration::from_millis(1),
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr.to_string();
+
+    let h = get(&addr, "/healthz");
+    assert_eq!(h.status, 200);
+
+    // 8 serial clients against a 3-slot queue with a 1ms/command core:
+    // guaranteed queue-full rejections and a busy shed pass.
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0u64;
+                let mut backpressured = 0u64;
+                let mut shed = 0u64;
+                let mut bad_429 = 0u64;
+                for i in 0..60u64 {
+                    // Low-value fast-decay bodies make juicy shed victims;
+                    // interleave high-value ones so admissions happen too.
+                    let value = if i % 3 == 0 { 0.5 } else { 50.0 };
+                    let body = format!("{{\"runtime\":1.5,\"value\":{value},\"decay\":0.01}}");
+                    let resp = post(&addr, "/submit", &body);
+                    let text = String::from_utf8_lossy(&resp.body).to_string();
+                    match resp.status {
+                        200 => ok += 1,
+                        429 => {
+                            let retry_after = resp
+                                .header("retry-after")
+                                .and_then(|v| v.parse::<u64>().ok());
+                            if retry_after.map(|s| s >= 1) != Some(true) {
+                                bad_429 += 1;
+                            }
+                            if text.contains("shed") {
+                                shed += 1;
+                            } else {
+                                backpressured += 1;
+                            }
+                        }
+                        other => panic!("worker {w}: unexpected status {other}: {text}"),
+                    }
+                }
+                (ok, backpressured, shed, bad_429)
+            })
+        })
+        .collect();
+    let mut ok = 0u64;
+    let mut backpressured = 0u64;
+    let mut shed = 0u64;
+    let mut bad_429 = 0u64;
+    for w in workers {
+        let (o, b, s, bad) = w.join().expect("worker");
+        ok += o;
+        backpressured += b;
+        shed += s;
+        bad_429 += bad;
+    }
+    assert_eq!(bad_429, 0, "every 429 must carry Retry-After >= 1s");
+    assert!(ok > 0, "no submission ever succeeded");
+    assert!(
+        backpressured + shed > 0,
+        "2x overload never tripped the overload path"
+    );
+
+    // Liveness under load survived; stats still answers post-overload.
+    let stats = get(&addr, "/stats");
+    assert_eq!(stats.status, 200);
+
+    // Graceful drain over the wire.
+    let drain = post(&addr, "/drain", "{}");
+    assert_eq!(drain.status, 200);
+    let report = server.join().expect("drain");
+    assert!(report.clean_drain, "drain must seal the journal");
+    assert_eq!(report.violations, 0, "invariant auditors must stay clean");
+    assert_eq!(report.summary.accepted + report.summary.rejected, ok);
+    assert_eq!(report.summary.backpressured, backpressured);
+    assert_eq!(report.summary.shed, shed);
+
+    // The journal is the whole story: recover it offline and check the
+    // books against the live report, then price the shed regret.
+    let bytes = std::fs::read(&journal).expect("journal bytes");
+    let (machine, _) = ServiceRun::recover(&bytes).expect("recover");
+    assert_eq!(machine.applied(), report.applied);
+    let c = *machine.counters();
+    assert_eq!(c.accepted, report.summary.accepted);
+    assert_eq!(c.shed, report.summary.shed);
+    assert!(c.drains >= 1, "the drain marker must be journaled");
+
+    if shed > 0 {
+        let events = machine.into_trace_events().expect("provenance trace");
+        let report = mbts::trace::analyze::analyze(
+            "overload",
+            &events,
+            &mbts::trace::AnalyzeOptions::default(),
+        );
+        assert_eq!(
+            report.decisions.shed, shed,
+            "every shed is provenance-traced"
+        );
+        assert_eq!(report.admission.shed, shed);
+        assert!(
+            report.admission.shed_pv_lost > 0.0,
+            "shedding real value must show up as regret"
+        );
+    }
+    std::fs::remove_file(&journal).ok();
+}
+
+/// A daemon with no journal still serves (in-memory journal) and a
+/// programmatic `request_stop` drains exactly like SIGTERM would.
+#[test]
+fn request_stop_drains_like_sigterm() {
+    let server = Server::start(ServeConfig {
+        site: SiteConfig::new(2),
+        ..ServeConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr.to_string();
+    let resp = post(&addr, "/submit", "{\"runtime\":1.0,\"value\":5.0}");
+    assert_eq!(resp.status, 200);
+    server.request_stop();
+    let report = server.join().expect("drain");
+    assert!(report.clean_drain);
+    assert_eq!(report.summary.accepted + report.summary.rejected, 1);
+
+    // Post-drain, new connections are refused (listener is gone).
+    assert!(TcpStream::connect(&addr).is_err());
+}
+
+/// Spawns the real `mbts` binary and returns (child, parsed address).
+fn spawn_daemon(journal: &std::path::Path, extra: &[&str]) -> (std::process::Child, String) {
+    let mut args = vec![
+        "serve".to_string(),
+        "--addr".to_string(),
+        "127.0.0.1:0".to_string(),
+        "--journal".to_string(),
+        journal.display().to_string(),
+    ];
+    args.extend(extra.iter().map(|s| s.to_string()));
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_mbts"))
+        .args(&args)
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn mbts serve");
+    let stdout = child.stdout.as_mut().expect("stdout piped");
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).expect("banner line");
+    let addr = banner
+        .trim()
+        .strip_prefix("mbts serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// The chaos contract, at process level: SIGKILL a daemon mid-traffic,
+/// recover the torn journal offline — replaying the *entire* command
+/// log from the genesis snapshot must reproduce the recovered state
+/// byte-for-byte, and every client-acknowledged command must be in the
+/// log. Then restart the daemon on the same journal, prove it serves,
+/// and drain it with a real SIGTERM expecting exit code 0.
+#[test]
+fn sigkill_recovers_acknowledged_prefix_and_sigterm_drains() {
+    let journal = scratch("chaos.mbtsj");
+    let _ = std::fs::remove_file(&journal);
+
+    // Phase 1: daemon under fire, then SIGKILL. fsync-every 1 makes
+    // "acknowledged" mean "on disk", so the prefix check below is exact.
+    let (mut child, addr) = spawn_daemon(
+        &journal,
+        &[
+            "--fsync-every",
+            "1",
+            "--throttle-us",
+            "300",
+            "--processors",
+            "2",
+        ],
+    );
+    let clients: Vec<_> = (0..2)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                // Count acknowledged (status 200) submissions; stop at
+                // the first socket error — that's the kill landing.
+                let mut acked = 0u64;
+                let Ok(stream) = TcpStream::connect(&addr) else {
+                    return acked;
+                };
+                stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
+                let Ok(read_half) = stream.try_clone() else {
+                    return acked;
+                };
+                let mut reader = BufReader::new(read_half);
+                let mut writer = BufWriter::new(stream);
+                for _ in 0..400 {
+                    let body = b"{\"runtime\":1.0,\"value\":5.0,\"decay\":0.01}";
+                    if serve::http::write_post(&mut writer, "/submit", body).is_err()
+                        || writer.flush().is_err()
+                    {
+                        break;
+                    }
+                    match serve::http::read_response(&mut reader) {
+                        Ok(Some(resp)) if resp.status == 200 => acked += 1,
+                        Ok(Some(_)) => {}
+                        _ => break,
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(400));
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reap");
+    let acked: u64 = clients.into_iter().map(|c| c.join().expect("client")).sum();
+    assert!(
+        acked > 0,
+        "no request was ever acknowledged before the kill"
+    );
+
+    // Phase 2: offline recovery. The incremental recovery (latest
+    // snapshot + suffix) must equal a from-genesis replay of the full
+    // command log, byte for byte — and hold every acknowledged command.
+    let bytes = std::fs::read(&journal).expect("journal bytes");
+    let (recovered, _) = ServiceRun::recover(&bytes).expect("recover after SIGKILL");
+    let applied_at_kill = recovered.applied();
+
+    let scan = mbts::durable::framing::scan(&bytes).expect("scan");
+    let mut records = scan.records.into_iter();
+    let (first_tag, genesis) = records.next().expect("genesis snapshot");
+    assert_eq!(first_tag, mbts::durable::RecordTag::Snapshot);
+    let snap: mbts::serve::ServiceSnapshot =
+        serde_json::from_slice(genesis).expect("genesis parses");
+    let mut replayed = ServiceMachine::from_snapshot(snap);
+    let mut journaled_submits = 0u64;
+    for (tag, payload) in records {
+        if tag != mbts::durable::RecordTag::Event {
+            continue;
+        }
+        let cmd: mbts::serve::Command = serde_json::from_slice(payload).expect("command parses");
+        if matches!(cmd.kind, mbts::serve::CommandKind::Submit { .. }) {
+            journaled_submits += 1;
+        }
+        replayed.apply(&cmd);
+    }
+    assert_eq!(
+        replayed.snapshot_json(),
+        recovered.snapshot_json(),
+        "from-genesis replay diverged from incremental recovery"
+    );
+    assert!(
+        journaled_submits >= acked,
+        "journal holds {journaled_submits} submits but clients saw {acked} acks"
+    );
+
+    // Phase 3: restart on the same journal; the daemon must pick up the
+    // acknowledged prefix, keep serving, and SIGTERM must drain it to
+    // exit code 0 with a sealed journal.
+    let (mut child, addr) = spawn_daemon(&journal, &["--processors", "2"]);
+    let resp = post(&addr, "/submit", "{\"runtime\":1.0,\"value\":9.0}");
+    assert_eq!(resp.status, 200, "restarted daemon must serve");
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let status = child.wait().expect("reap");
+    assert!(
+        status.success(),
+        "SIGTERM drain must exit 0, got {status:?}"
+    );
+
+    let bytes = std::fs::read(&journal).expect("journal bytes");
+    let (sealed, recovery) = ServiceRun::recover(&bytes).expect("recover sealed journal");
+    assert_eq!(
+        recovery.dropped_bytes, 0,
+        "a clean drain leaves no torn tail"
+    );
+    assert!(sealed.applied() > applied_at_kill, "restart lost commands");
+    assert!(sealed.counters().drains >= 1, "drain marker missing");
+    std::fs::remove_file(&journal).ok();
+}

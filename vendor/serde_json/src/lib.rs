@@ -52,6 +52,11 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Serializes `value` as compact JSON bytes (UTF-8 of [`to_string`]).
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
 fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
     match v {
         Value::Null => out.push_str("null"),
@@ -155,6 +160,12 @@ pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
         return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
     }
     Ok(T::from_value(&v)?)
+}
+
+/// Deserializes a `T` from JSON bytes (must be valid UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid utf-8: {e}")))?;
+    from_str(s)
 }
 
 struct Parser<'a> {
