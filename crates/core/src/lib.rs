@@ -49,14 +49,21 @@ pub mod heuristics;
 pub mod job;
 pub mod mergemap;
 pub mod pool;
+pub mod readyset;
 pub mod schedule;
 pub mod value;
 
-pub use admission::{evaluate_admission, AdmissionDecision, AdmissionPolicy};
+pub use admission::{
+    decision_from_schedule_with_successors, evaluate_admission, evaluate_admission_with_successors,
+    AdmissionDecision, AdmissionPolicy,
+};
 pub use cost::{CostModel, DecaySum};
 pub use explain::{decompose, explain_decision, DecisionExplanation, ScoreDecomposition};
 pub use heuristics::{Policy, ScoreCtx};
 pub use job::Job;
 pub use pool::{IncrementalCostModel, PendingPool, PoolCheckpoint};
+pub use readyset::{
+    ReadySet, WorkflowProgress, WorkflowReport, WorkflowRuntime, WorkflowSettlement,
+};
 pub use schedule::{build_candidate, CandidateSchedule, ScheduleEntry, ScheduleMode};
 pub use value::{LinearDecay, PiecewiseLinear, ValueFunction};

@@ -62,4 +62,7 @@ pub mod run;
 
 pub use framing::{FramingError, RecordTag, ScanOutcome};
 pub use journal::{load, recover_bytes, Journal, JournalSink, RecoverError, Recovered};
-pub use run::{durable_economy_run, durable_site_run, DurableRun, Recoverable, RecoveryReport};
+pub use run::{
+    durable_economy_run, durable_site_run, durable_site_workflow_run, DurableRun, Recoverable,
+    RecoveryReport,
+};

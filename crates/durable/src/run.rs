@@ -241,6 +241,25 @@ pub fn durable_site_run(
     DurableRun::new(SiteRun::new(config, trace, tracer), journal, snapshot_every)
 }
 
+/// A journaled workflow replay on one site: only roots are
+/// pre-scheduled, successors release as predecessors complete, and the
+/// workflow overlay's state rides inside every snapshot — a crash
+/// between a completion and the release it triggers recovers
+/// bit-identically.
+pub fn durable_site_workflow_run(
+    config: SiteConfig,
+    set: &mbts_workload::WorkflowSet,
+    tracer: Tracer,
+    journal: Journal,
+    snapshot_every: u64,
+) -> io::Result<DurableRun<SiteRun>> {
+    DurableRun::new(
+        SiteRun::with_workflows(config, set, tracer),
+        journal,
+        snapshot_every,
+    )
+}
+
 /// A journaled economy run: genesis snapshot written, periodic snapshots
 /// every `snapshot_every` events.
 pub fn durable_economy_run(

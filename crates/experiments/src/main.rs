@@ -1,7 +1,7 @@
 //! `mbts-experiments` — CLI regenerating the paper's evaluation.
 //!
 //! ```text
-//! mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|metrics|all|ablate [NAME]> [options]
+//! mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|workflows|metrics|all|ablate [NAME]> [options]
 //!   --quick          reduced scale (1200 tasks, 3 seeds)
 //!   --smoke          tiny scale for CI (250 tasks, 2 seeds)
 //!   --tasks N        trace length (default 5000, as in the paper)
@@ -14,7 +14,7 @@
 
 use mbts_experiments::harness::ExpParams;
 use mbts_experiments::report::FigureResult;
-use mbts_experiments::{ablations, faults, figures, metrics};
+use mbts_experiments::{ablations, faults, figures, metrics, workflows};
 use std::path::PathBuf;
 
 struct Cli {
@@ -80,7 +80,7 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 fn usage() -> String {
-    "usage: mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|metrics|all|ablate> \
+    "usage: mbts-experiments <fig3|fig4|fig5|fig6|fig7|faults|workflows|metrics|all|ablate> \
      [--quick|--smoke] [--tasks N] [--seeds N] [--processors N] [--out DIR] [--plot] \
      [--trace FILE]"
         .to_string()
@@ -130,12 +130,14 @@ fn main() {
         "fig6" => vec![figures::fig6(&cli.params)],
         "fig7" => vec![figures::fig7(&cli.params)],
         "faults" => vec![faults::fault_sweep(&cli.params)],
+        "workflows" => vec![workflows::workflow_grid(&cli.params)],
         "all" => vec![
             figures::fig3(&cli.params),
             figures::fig4(&cli.params),
             figures::fig5(&cli.params),
             figures::fig6(&cli.params),
             figures::fig7(&cli.params),
+            workflows::workflow_grid(&cli.params),
         ],
         "ablate" => match cli.ablation.as_deref() {
             None => ablations::all(&cli.params),

@@ -19,7 +19,7 @@ use crate::bidding::{RebidBackoff, RebidBackoffState};
 use crate::budget::{Account, BudgetConfig};
 use crate::contract::{Contract, ContractTerms};
 use crate::pricing::PricingStrategy;
-use mbts_core::{AdmissionDecision, Job};
+use mbts_core::{AdmissionDecision, Job, WorkflowProgress, WorkflowReport, WorkflowRuntime};
 use mbts_sim::{
     rng::splitmix64, Engine, EventQueue, FaultConfig, FaultInjector, FaultInjectorState, FaultUnit,
     Model, RngFactory, Time,
@@ -31,7 +31,7 @@ use mbts_trace::{
     DecisionCandidate, DecisionKind, TraceEvent, TraceKind, Tracer, TracerSnapshot,
     MAX_DECISION_CANDIDATES,
 };
-use mbts_workload::{TaskId, TaskSpec, Trace};
+use mbts_workload::{TaskId, TaskSpec, Trace, WorkflowFacets, WorkflowSet};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -160,6 +160,15 @@ pub struct EconomyConfig {
     pub retry: Option<RetryConfig>,
     /// Crash/repair injection; `None` = reliable hardware (the default).
     pub faults: Option<MarketFaultConfig>,
+    /// DAG workflow structure over the submission stream; `None` (the
+    /// default, and absent from serialized configs) = independent tasks.
+    /// With workflows installed only root tasks arrive on their own:
+    /// successors enter negotiation via [`EcoEvent::Release`] when their
+    /// last predecessor completes. Incompatible with `drop_expired`
+    /// sites (a silent site-local drop would never reach the market's
+    /// workflow accounting).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workflows: Option<WorkflowSet>,
     /// Seed for the economy's own randomness (random client selection).
     pub seed: u64,
 }
@@ -176,8 +185,17 @@ impl EconomyConfig {
             terms: ContractTerms::default(),
             retry: None,
             faults: None,
+            workflows: None,
             seed: 0,
         }
+    }
+
+    /// Installs a DAG workflow overlay: only root tasks arrive on their
+    /// own; successors are released as predecessors complete. The trace
+    /// run through the economy must be `set.trace()`.
+    pub fn with_workflows(mut self, set: WorkflowSet) -> Self {
+        self.workflows = Some(set);
+        self
     }
 }
 
@@ -224,6 +242,13 @@ pub struct EconomyOutcome {
     /// builds record, debug builds panic). Per-site task/processor/yield
     /// violations live in each [`SiteOutcome::violations`].
     pub audit_violations: Vec<AuditViolation>,
+    /// Workflow members never offered to the market because an upstream
+    /// member failed (workflow mode only).
+    #[serde(default)]
+    pub stranded: usize,
+    /// End-to-end workflow settlement report (workflow mode only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workflows: Option<WorkflowReport>,
 }
 
 impl EconomyOutcome {
@@ -335,12 +360,36 @@ impl EconomyRun {
         });
         let rebid_backoff = fault_cfg.as_ref().map(|f| f.backoff());
         let mut crash_budget = fault_cfg.as_ref().map(|f| f.max_crashes).unwrap_or(0);
-        let mut initial: Vec<(Time, EcoEvent)> = trace
-            .tasks
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| (spec.arrival, EcoEvent::Arrival(i)))
-            .collect();
+        let workflows = config.workflows.as_ref().map(|set| {
+            assert!(
+                config.sites.iter().all(|s| !s.drop_expired),
+                "workflow mode is incompatible with drop_expired sites: a \
+                 site-local drop never reaches the market, so successor \
+                 release and workflow settlement would deadlock"
+            );
+            assert_eq!(
+                set.tasks.len(),
+                trace.tasks.len(),
+                "workflow set does not match the trace; run `set.trace()`"
+            );
+            WorkflowRuntime::new(set.clone())
+        });
+        let wf_facets = config.workflows.as_ref().map(|set| set.facets());
+        // Workflow mode: only roots arrive on their own; successors enter
+        // via EcoEvent::Release when their last predecessor completes.
+        let mut initial: Vec<(Time, EcoEvent)> = match workflows.as_ref() {
+            Some(rt) => rt
+                .roots()
+                .into_iter()
+                .map(|i| (trace.tasks[i].arrival, EcoEvent::Arrival(i)))
+                .collect(),
+            None => trace
+                .tasks
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| (spec.arrival, EcoEvent::Arrival(i)))
+                .collect(),
+        };
         if let Some(inj) = injector.as_mut() {
             for unit in inj.units() {
                 if crash_budget == 0 {
@@ -390,6 +439,9 @@ impl EconomyRun {
             orphans_replaced: 0,
             orphans_abandoned: 0,
             audit_violations: Vec::new(),
+            workflows,
+            wf_facets,
+            stranded: 0,
             tracer,
         };
         (model, initial)
@@ -423,6 +475,11 @@ impl EconomyRun {
     /// The next event due, if any (FIFO among ties, as the engine pops).
     pub fn next_event(&self) -> Option<(Time, &EcoEvent)> {
         self.engine.queue().peek()
+    }
+
+    /// The workflow ledger's current report (workflow mode only).
+    pub fn workflow_report(&self) -> Option<WorkflowReport> {
+        self.engine.model().workflow_report()
     }
 
     /// Captures the complete replay state at the current event boundary.
@@ -496,6 +553,8 @@ impl EconomyRun {
             orphans_replaced: m.orphans_replaced,
             orphans_abandoned: m.orphans_abandoned,
             audit_violations: m.audit_violations.clone(),
+            workflows: m.workflows.clone(),
+            stranded: m.stranded,
             tracer: m.tracer.snapshot(),
             queue,
             next_seq,
@@ -565,6 +624,9 @@ impl EconomyRun {
             orphans_replaced: snap.orphans_replaced,
             orphans_abandoned: snap.orphans_abandoned,
             audit_violations: snap.audit_violations,
+            wf_facets: snap.workflows.as_ref().map(|w| w.set().facets()),
+            workflows: snap.workflows,
+            stranded: snap.stranded,
             tracer: Tracer::from_snapshot(snap.tracer),
         };
         (model, snap.queue, snap.next_seq, snap.now, snap.handled)
@@ -591,6 +653,8 @@ impl EconomyRun {
     ) -> (EconomyOutcome, Tracer) {
         let tracer = std::mem::take(&mut model.tracer);
         let outcome = EconomyOutcome {
+            stranded: model.stranded,
+            workflows: model.workflows.as_ref().map(|w| w.report()),
             client_spend: model.accounts.iter().map(|a| a.spent).collect(),
             per_site,
             contracts: model.contracts,
@@ -695,6 +759,13 @@ pub struct EconomySnapshot {
     pub orphans_abandoned: usize,
     /// Money-conservation violations recorded so far.
     pub audit_violations: Vec<AuditViolation>,
+    /// Workflow overlay state (release tracking + settlement ledger), if
+    /// the run is in workflow mode. Absent from pre-workflow snapshots.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workflows: Option<WorkflowRuntime>,
+    /// Workflow members stranded so far.
+    #[serde(default)]
+    pub stranded: usize,
     /// Market-layer tracer state.
     pub tracer: TracerSnapshot,
     /// Pending event-queue entries `(at, seq, event)`.
@@ -715,6 +786,11 @@ pub struct EconomySnapshot {
 pub enum EcoEvent {
     /// Task `trace[i]` arrives and enters negotiation.
     Arrival(usize),
+    /// Workflow successor `trace[i]` released by its last predecessor's
+    /// completion; enters negotiation exactly like an arrival. A
+    /// first-class journaled event so a crash between predecessor
+    /// settlement and successor negotiation recovers bit-identically.
+    Release(usize),
     /// A site's schedule predicts a completion at this token.
     Completion {
         /// Which site the completion fires on.
@@ -890,6 +966,14 @@ pub(crate) struct EcoModel<C: SiteCluster = Vec<SiteState>> {
     orphans_replaced: usize,
     orphans_abandoned: usize,
     audit_violations: Vec<AuditViolation>,
+    /// DAG workflow overlay (release tracking + end-to-end settlement);
+    /// `None` = independent tasks.
+    workflows: Option<WorkflowRuntime>,
+    /// Facet table for provenance stamping, derived from the workflow
+    /// set (never serialized — rebuilt on restore).
+    wf_facets: Option<WorkflowFacets>,
+    /// Workflow members stranded by upstream failures (never offered).
+    stranded: usize,
     /// Market-layer structured-event sink (settlement events only; off
     /// by default).
     tracer: Tracer,
@@ -982,6 +1066,7 @@ impl<C: SiteCluster> EcoModel<C> {
             .into_iter()
             .map(|(rank, i)| {
                 let (s, d) = &decisions[i];
+                let facet = self.wf_facets.as_ref().and_then(|f| f.get(&spec.id.0));
                 DecisionCandidate {
                     rank,
                     task: None,
@@ -990,6 +1075,8 @@ impl<C: SiteCluster> EcoModel<C> {
                     pv: TraceEvent::finite(d.present_value),
                     cost: TraceEvent::finite(d.cost),
                     slack: TraceEvent::finite(d.slack),
+                    workflow: facet.map(|f| f.workflow),
+                    critical: facet.map(|f| f.critical),
                     chosen: winner == Some(*s),
                 }
             })
@@ -1017,6 +1104,110 @@ impl<C: SiteCluster> EcoModel<C> {
                 site: Some(site),
                 kind: TraceKind::ContractSettled { amount },
             });
+        }
+    }
+
+    /// `true` while the workflow overlay still has unreleased members —
+    /// the sharded runner must process completions one at a time inside
+    /// this window, because any completion may release successors whose
+    /// negotiation order is part of the replay contract.
+    pub(crate) fn workflow_barrier(&self) -> bool {
+        self.workflows
+            .as_ref()
+            .map(|w| !w.all_released())
+            .unwrap_or(false)
+    }
+
+    /// The workflow ledger's current report (workflow mode only).
+    pub(crate) fn workflow_report(&self) -> Option<WorkflowReport> {
+        self.workflows.as_ref().map(|w| w.report())
+    }
+
+    /// Paper-level workflow id owning global task `t`.
+    fn owner_workflow(&self, t: u64) -> u64 {
+        let set = self.workflows.as_ref().expect("workflow mode").set();
+        set.workflow_of(t as usize)
+            .map(|w| set.workflows[w].id)
+            .expect("task belongs to a workflow")
+    }
+
+    #[inline]
+    fn trace_workflow(&mut self, at: Time, task: Option<TaskId>, kind: TraceKind) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent {
+                at,
+                task,
+                site: None,
+                kind,
+            });
+        }
+    }
+
+    /// Advances the workflow overlay for a member that ran to completion:
+    /// successors whose last predecessor this was are released into
+    /// negotiation (journaled as [`EcoEvent::Release`]), and a finished
+    /// workflow settles its end-to-end decayed value.
+    pub(crate) fn workflow_complete(
+        &mut self,
+        now: Time,
+        task: TaskId,
+        queue: &mut EventQueue<EcoEvent>,
+    ) {
+        let Some(wf) = self.workflows.as_mut() else {
+            return;
+        };
+        let progress = wf.on_complete(task.0, now);
+        self.apply_workflow_progress(now, progress, queue);
+    }
+
+    /// Advances the overlay for a member that terminally failed at the
+    /// market level (unfunded, unplaced after retries, abandoned after
+    /// cancellation, or orphan-abandoned): transitive waiting descendants
+    /// strand — they are never offered — and the workflow settles at zero
+    /// once its last member resolves.
+    fn workflow_fail(&mut self, now: Time, task: TaskId, queue: &mut EventQueue<EcoEvent>) {
+        let Some(wf) = self.workflows.as_mut() else {
+            return;
+        };
+        let progress = wf.on_failure(task.0, now);
+        self.apply_workflow_progress(now, progress, queue);
+    }
+
+    fn apply_workflow_progress(
+        &mut self,
+        now: Time,
+        progress: WorkflowProgress,
+        queue: &mut EventQueue<EcoEvent>,
+    ) {
+        for &r in &progress.released {
+            let workflow = self.owner_workflow(r);
+            self.trace_workflow(
+                now,
+                Some(TaskId(r)),
+                TraceKind::WorkflowReleased { workflow },
+            );
+            queue.schedule(now, EcoEvent::Release(r as usize));
+        }
+        for &s in &progress.stranded {
+            self.stranded += 1;
+            self.arrivals_left -= 1;
+            let workflow = self.owner_workflow(s);
+            self.trace_workflow(
+                now,
+                Some(TaskId(s)),
+                TraceKind::WorkflowStranded { workflow },
+            );
+        }
+        if let Some(s) = progress.settlement {
+            self.trace_workflow(
+                now,
+                None,
+                TraceKind::WorkflowSettled {
+                    workflow: s.workflow,
+                    earned: s.earned,
+                    attribution: s.attribution,
+                },
+            );
         }
     }
 
@@ -1150,6 +1341,7 @@ impl<C: SiteCluster> EcoModel<C> {
             );
         } else {
             self.orphans_abandoned += 1;
+            self.workflow_fail(now, spec.id, queue);
         }
     }
 
@@ -1171,6 +1363,7 @@ impl<C: SiteCluster> EcoModel<C> {
             let available = self.accounts[client].available(now);
             if available <= 0.0 {
                 self.unfunded += 1;
+                self.workflow_fail(now, spec.id, queue);
                 return;
             }
             spec.value = TaskBid::from_spec(&spec).capped(available).value;
@@ -1202,6 +1395,7 @@ impl<C: SiteCluster> EcoModel<C> {
             }
         }
         self.unplaced += 1;
+        self.workflow_fail(now, spec.id, queue);
     }
 
     /// Runs one round of the §6 negotiation for `spec`; returns whether a
@@ -1317,9 +1511,11 @@ impl<C: SiteCluster> EcoModel<C> {
                 self.migrations += 1;
             } else {
                 self.abandoned += 1;
+                self.workflow_fail(now, task_id, queue);
             }
         } else {
             self.abandoned += 1;
+            self.workflow_fail(now, task_id, queue);
         }
     }
 
@@ -1354,6 +1550,9 @@ impl<C: SiteCluster> EcoModel<C> {
         let (finished, tokens) = self.sites.on_completion(site, now, token);
         if let Some(outcome) = finished {
             self.settle_completion(now, site, outcome.id);
+            // Settle → releases → spawned tokens: the sharded runner's
+            // merge replay reproduces this exact scheduling order.
+            self.workflow_complete(now, outcome.id, queue);
         }
         for t in tokens {
             queue.schedule(t.at, EcoEvent::Completion { site, token: t });
@@ -1366,7 +1565,7 @@ impl<C: SiteCluster> Model for EcoModel<C> {
 
     fn handle(&mut self, now: Time, event: EcoEvent, queue: &mut EventQueue<EcoEvent>) {
         match event {
-            EcoEvent::Arrival(i) => self.handle_arrival(now, i, queue),
+            EcoEvent::Arrival(i) | EcoEvent::Release(i) => self.handle_arrival(now, i, queue),
             EcoEvent::Completion { site, token } => self.handle_completion(now, site, token, queue),
             EcoEvent::DeadlineCheck { contract } => {
                 self.handle_deadline_check(now, contract, queue)
@@ -1610,6 +1809,7 @@ mod tests {
             terms: ContractTerms::default(),
             retry: None,
             faults: None,
+            workflows: None,
             seed: 0,
         });
     }
@@ -2143,5 +2343,156 @@ mod deadline_edge_tests {
         }
         // The head task itself completes and was never cancelled.
         assert!(out.per_site[0].metrics.completed >= 1);
+    }
+}
+
+#[cfg(test)]
+mod workflow_market_tests {
+    use super::*;
+    use mbts_core::{AdmissionPolicy, Policy};
+    use mbts_workload::{generate_workflows, WorkflowConfig, WorkflowShape};
+
+    fn wf_site(procs: usize) -> SiteConfig {
+        SiteConfig::new(procs)
+            .with_policy(Policy::FirstPrice)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 })
+    }
+
+    #[test]
+    fn workflow_market_settles_every_workflow_on_ample_capacity() {
+        let set = generate_workflows(&WorkflowConfig::default_set().with_workflows(6), 42);
+        let trace = set.trace();
+        let cfg = EconomyConfig::uniform(2, wf_site(8)).with_workflows(set.clone());
+        let out = Economy::new(cfg).run_trace(&trace);
+        let report = out.workflows.as_ref().expect("workflow mode report");
+        assert_eq!(report.workflows, 6);
+        assert_eq!(report.settled + report.failed, 6);
+        // Every task was either offered to the market or stranded.
+        assert_eq!(out.offered + out.stranded, trace.tasks.len());
+        // On ample capacity (2×8 procs for a 4-proc-calibrated set) every
+        // member places and every workflow settles with positive yield.
+        assert_eq!(report.failed, 0, "no workflow should fail: {report:?}");
+        assert_eq!(out.stranded, 0);
+        assert_eq!(out.placed, trace.tasks.len());
+        assert!(report.total_earned > 0.0);
+        // Attribution is conserved per settlement (bitwise exact).
+        for s in &report.settlements {
+            let sum: f64 = s.attribution.iter().map(|(_, v)| v).sum();
+            assert_eq!(sum.to_bits(), s.earned.to_bits(), "attribution drift");
+        }
+    }
+
+    #[test]
+    fn rejected_roots_strand_their_descendants_at_market_level() {
+        let set = generate_workflows(
+            &WorkflowConfig::default_set()
+                .with_workflows(3)
+                .with_shape(WorkflowShape::Pipeline { depth: 4 }),
+            7,
+        );
+        let trace = set.trace();
+        // Admission threshold no task can meet: every root goes unplaced.
+        let cfg = EconomyConfig::uniform(
+            2,
+            wf_site(4).with_admission(AdmissionPolicy::SlackThreshold {
+                threshold: f64::INFINITY,
+            }),
+        )
+        .with_workflows(set.clone());
+        let out = Economy::new(cfg).run_trace(&trace);
+        let report = out.workflows.as_ref().expect("workflow mode report");
+        assert_eq!(report.failed, 3);
+        assert_eq!(report.settled, 3); // failed workflows settle at zero
+        assert_eq!(report.total_earned, 0.0);
+        // Only roots were ever offered; everything downstream stranded.
+        let roots = set.roots().len();
+        assert_eq!(out.offered, roots);
+        assert_eq!(out.stranded, trace.tasks.len() - roots);
+        assert_eq!(out.unplaced, roots);
+    }
+
+    #[test]
+    fn workflow_release_events_only_fire_after_predecessor_completion() {
+        let set = generate_workflows(
+            &WorkflowConfig::default_set()
+                .with_workflows(4)
+                .with_shape(WorkflowShape::Pipeline { depth: 3 }),
+            11,
+        );
+        let trace = set.trace();
+        let cfg = EconomyConfig::uniform(2, wf_site(8)).with_workflows(set.clone());
+        let (_, tracer) = Economy::new(cfg).run_trace_traced(&trace, Tracer::buffer());
+        let events = tracer.into_events().unwrap();
+        // Per edge: the successor's WorkflowReleased event must come
+        // after the predecessor's contract settlement.
+        let mut settled_at: HashMap<u64, usize> = HashMap::new();
+        let mut released_at: HashMap<u64, usize> = HashMap::new();
+        for (i, e) in events.iter().enumerate() {
+            match &e.kind {
+                TraceKind::ContractSettled { .. } => {
+                    settled_at.insert(e.task.unwrap().0, i);
+                }
+                TraceKind::WorkflowReleased { .. } => {
+                    released_at.insert(e.task.unwrap().0, i);
+                }
+                _ => {}
+            }
+        }
+        let mut checked = 0;
+        for (pred, succ) in set.edge_ids() {
+            if let Some(&r) = released_at.get(&succ) {
+                let s = settled_at.get(&pred).copied().filter(|&s| s < r).is_some();
+                // The releasing predecessor is whichever finished last;
+                // at least the released task must postdate ALL its
+                // predecessors' settlements, this edge included.
+                assert!(s, "task {succ} released before predecessor {pred} settled");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no edges exercised");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::WorkflowSettled { .. })));
+    }
+
+    #[test]
+    fn workflow_snapshot_midway_resumes_bit_identically() {
+        let set = generate_workflows(
+            &WorkflowConfig::default_set().with_workflows(5).with_shape(
+                WorkflowShape::RandomLayered {
+                    layers: 3,
+                    width: 2,
+                    edge_prob: 0.5,
+                },
+            ),
+            13,
+        );
+        let trace = set.trace();
+        let cfg = EconomyConfig::uniform(2, wf_site(8)).with_workflows(set);
+        let mut reference = EconomyRun::new(cfg.clone(), &trace, Tracer::Off);
+        reference.run_to_completion();
+        let total = reference.events_handled();
+        let (ref_out, _) = reference.finish();
+        for kill in [0, 1, total / 3, total / 2, total - 1] {
+            let mut run = EconomyRun::new(cfg.clone(), &trace, Tracer::Off);
+            for _ in 0..kill {
+                assert!(run.step(), "ran dry before kill point {kill}");
+            }
+            let json = serde_json::to_string(&run.snapshot()).unwrap();
+            let snap: EconomySnapshot = serde_json::from_str(&json).unwrap();
+            let mut resumed = EconomyRun::from_snapshot(snap);
+            resumed.run_to_completion();
+            let (out, _) = resumed.finish();
+            assert_eq!(ref_out, out, "divergence after kill at {kill}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible with drop_expired")]
+    fn drop_expired_sites_are_rejected_in_workflow_mode() {
+        let set = generate_workflows(&WorkflowConfig::default_set(), 1);
+        let trace = set.trace();
+        let cfg = EconomyConfig::uniform(1, wf_site(4).with_drop_expired(true)).with_workflows(set);
+        Economy::new(cfg).run_trace(&trace);
     }
 }

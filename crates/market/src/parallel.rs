@@ -794,6 +794,20 @@ impl ShardedEconomyRun {
             self.model.handle(at, ev, &mut self.queue);
             return true;
         }
+        // Workflow barrier: while any member is still unreleased, a
+        // completion may release successors — global negotiation events
+        // that must interleave with later completions in serial order —
+        // so windowing is unsound. Process completions one at a time,
+        // exactly as the serial engine does, until the DAG is fully
+        // released; from then on completions only settle and windows are
+        // safe again.
+        if self.model.workflow_barrier() {
+            let (at, _, ev) = self.queue.pop_entry().expect("peeked event vanished");
+            self.now = at;
+            self.handled += 1;
+            self.model.handle(at, ev, &mut self.queue);
+            return true;
+        }
         // Maximal run of completions up to the next global event.
         let mut carried: Vec<(Time, u64, SiteId, CompletionToken)> = Vec::new();
         while let Some((_, EcoEvent::Completion { .. })) = self.queue.peek() {
@@ -862,6 +876,11 @@ impl ShardedEconomyRun {
             let rec = &results[ri].records[rec_i];
             if let Some(task) = rec.finished {
                 self.model.settle_completion(at, rec.site, task);
+                // Windows only run once the DAG is fully released, so
+                // this can settle workflows but never release successors
+                // (it schedules nothing): same order as the serial
+                // settle → workflow-advance sequence.
+                self.model.workflow_complete(at, task, &mut self.queue);
             }
             for &sidx in &rec.spawned {
                 let sp = &results[ri].spawns[sidx];
@@ -909,6 +928,11 @@ impl ShardedEconomyRun {
     /// Shards in the cluster (after clamping to the site count).
     pub fn shards(&mut self) -> usize {
         self.model.cluster_mut().num_shards()
+    }
+
+    /// The workflow ledger's current report (workflow mode only).
+    pub fn workflow_report(&self) -> Option<mbts_core::WorkflowReport> {
+        self.model.workflow_report()
     }
 
     /// Captures the complete replay state — byte-identical to the serial
@@ -1156,6 +1180,82 @@ mod tests {
         assert_eq!(stats.shards.iter().map(|s| s.sites).sum::<usize>(), 4);
         assert!(stats.shards.iter().all(|s| s.ops > 0));
         assert!(stats.wall_ns > 0);
+    }
+
+    #[test]
+    fn sharded_workflow_run_matches_serial_bit_for_bit() {
+        use mbts_workload::{generate_workflows, WorkflowConfig, WorkflowShape};
+        let set = generate_workflows(
+            &WorkflowConfig::default_set().with_workflows(8).with_shape(
+                WorkflowShape::RandomLayered {
+                    layers: 3,
+                    width: 2,
+                    edge_prob: 0.5,
+                },
+            ),
+            21,
+        );
+        let t = set.trace();
+        let mut c = cfg(4);
+        c.workflows = Some(set);
+        let eco = Economy::new(c);
+        let (serial, serial_tracer) = eco.run_trace_traced(&t, Tracer::buffer());
+        let serial_events = serial_tracer.into_events().unwrap();
+        let report = serial.workflows.as_ref().expect("workflow report");
+        assert_eq!(report.settled + report.failed, 8);
+        for (shards, mode) in [
+            (1, ShardExecMode::Inline),
+            (2, ShardExecMode::Inline),
+            (4, ShardExecMode::Inline),
+            (4, ShardExecMode::Threads),
+        ] {
+            let (sharded, tracer) = eco.run_trace_sharded(&t, Tracer::buffer(), shards, mode);
+            assert_bit_identical(&serial, &sharded, &format!("workflows {mode:?} x{shards}"));
+            assert_eq!(serial.workflows, sharded.workflows, "workflow reports");
+            assert_eq!(serial.stranded, sharded.stranded);
+            assert_eq!(
+                serial_events,
+                tracer.into_events().unwrap(),
+                "workflow trace streams diverged at {mode:?} x{shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_workflow_snapshot_resumes_across_engines() {
+        use mbts_workload::{generate_workflows, WorkflowConfig, WorkflowShape};
+        let set = generate_workflows(
+            &WorkflowConfig::default_set()
+                .with_workflows(6)
+                .with_shape(WorkflowShape::Pipeline { depth: 4 }),
+            22,
+        );
+        let t = set.trace();
+        let mut c = cfg(4);
+        c.workflows = Some(set);
+        let mut reference = EconomyRun::new(c.clone(), &t, Tracer::Off);
+        reference.run_to_completion();
+        let (ref_out, _) = reference.finish();
+        // Shard to midway (inside the release cascade), resume serially.
+        let mut sharded =
+            ShardedEconomyRun::new(c.clone(), &t, Tracer::Off, 4, ShardExecMode::Inline);
+        while sharded.events_handled() < 20 && sharded.step() {}
+        let mut resumed = EconomyRun::from_snapshot(sharded.snapshot());
+        resumed.run_to_completion();
+        let (a, _) = resumed.finish();
+        assert_bit_identical(&ref_out, &a, "workflow sharded→serial resume");
+        // Serial to midway, resume sharded.
+        let mut serial = EconomyRun::new(c, &t, Tracer::Off);
+        for _ in 0..20 {
+            if !serial.step() {
+                break;
+            }
+        }
+        let mut resumed_sharded =
+            ShardedEconomyRun::from_snapshot(serial.snapshot(), 2, ShardExecMode::Inline);
+        resumed_sharded.run_to_completion();
+        let (b, _) = resumed_sharded.finish();
+        assert_bit_identical(&ref_out, &b, "workflow serial→sharded resume");
     }
 
     #[test]

@@ -450,6 +450,8 @@ impl ServiceMachine {
                         pv: TraceEvent::finite(d.present_value),
                         cost: TraceEvent::finite(d.cost),
                         slack: TraceEvent::finite(d.slack),
+                        workflow: None,
+                        critical: None,
                         chosen: true,
                     }],
                 },

@@ -1,6 +1,7 @@
 //! Site configuration.
 
 use mbts_core::{AdmissionPolicy, Policy, ScheduleMode};
+use mbts_workload::WorkflowFacets;
 use serde::{Deserialize, Serialize};
 
 fn default_true() -> bool {
@@ -100,6 +101,12 @@ pub struct SiteConfig {
     /// `mbts_core::pool`.
     #[serde(default = "default_true")]
     pub incremental: bool,
+    /// Per-task workflow facets (owning workflow, critical-path flag,
+    /// successor context for Eq. 7′/8′ successor-aware admission).
+    /// Absent for plain task workloads — and absent from serialized
+    /// configs, so pre-workflow configs round-trip byte-identically.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workflow_facets: Option<WorkflowFacets>,
 }
 
 impl SiteConfig {
@@ -121,6 +128,7 @@ impl SiteConfig {
             record_segments: false,
             drop_expired: false,
             incremental: true,
+            workflow_facets: None,
         }
     }
 
@@ -195,6 +203,14 @@ impl SiteConfig {
     /// default; `false` reverts to rebuild-per-event selection).
     pub fn with_incremental(mut self, on: bool) -> Self {
         self.incremental = on;
+        self
+    }
+
+    /// Installs per-task workflow facets: admission becomes
+    /// successor-aware (Eq. 7′/8′) and decision provenance is stamped
+    /// with workflow/critical-path membership.
+    pub fn with_workflow_facets(mut self, facets: WorkflowFacets) -> Self {
+        self.workflow_facets = Some(facets);
         self
     }
 }

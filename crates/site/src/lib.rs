@@ -51,14 +51,15 @@ pub use analysis::{class_breakdown, ClassReport};
 pub use audit::{AuditEvent, AuditKind, AuditViolation};
 pub use config::{LostWorkPolicy, PreemptionMode, SiteConfig};
 pub use gantt::{render_gantt, Segment};
-pub use metrics::{JobOutcome, SiteMetrics};
+pub use metrics::{Disposition, JobOutcome, SiteMetrics};
 pub use state::{CompletionToken, SiteSnapshot, SiteState};
 
+use mbts_core::{WorkflowReport, WorkflowRuntime};
 use mbts_sim::{
     Engine, EventQueue, FaultConfig, FaultInjector, FaultInjectorState, FaultUnit, Model, Time,
 };
-use mbts_trace::Tracer;
-use mbts_workload::{TaskSpec, Trace};
+use mbts_trace::{TraceKind, Tracer};
+use mbts_workload::{TaskId, TaskSpec, Trace, WorkflowSet};
 use serde::{Deserialize, Serialize};
 
 /// A single-site simulator: replays a trace and reports metrics.
@@ -189,6 +190,30 @@ impl Site {
             .0
     }
 
+    /// Replays a seeded workflow set to completion: roots arrive at
+    /// their workflow's arrival instant, successors release as
+    /// predecessors complete. Returns the ordinary per-task outcome plus
+    /// the workflow-level settlement report.
+    pub fn run_workflows(&self, set: &WorkflowSet) -> (SiteOutcome, WorkflowReport) {
+        let (outcome, report, _) = self.run_workflows_traced(set, Tracer::Off);
+        (outcome, report)
+    }
+
+    /// Like [`run_workflows`](Self::run_workflows) with a tracer
+    /// installed; workflow release/settle/strand events appear in the
+    /// stream alongside the per-task lifecycle.
+    pub fn run_workflows_traced(
+        &self,
+        set: &WorkflowSet,
+        tracer: Tracer,
+    ) -> (SiteOutcome, WorkflowReport, Tracer) {
+        let mut run = SiteRun::with_workflows(self.config.clone(), set, tracer);
+        run.run_to_completion();
+        let report = run.workflow_report().expect("workflow run has a report");
+        let (outcome, tracer) = run.finish();
+        (outcome, report, tracer)
+    }
+
     /// Fault-injected replay with a structured-event [`Tracer`]
     /// installed (see [`run_trace_traced`](Self::run_trace_traced)).
     pub fn run_trace_with_faults_traced(
@@ -210,6 +235,11 @@ impl Site {
 pub enum SimEvent {
     /// Task `i` of the trace arrives.
     Arrival(usize),
+    /// Workflow task `i` of the trace had its last predecessor complete
+    /// and is released into the admission path. Journaled as a
+    /// first-class event so a crash between a predecessor's completion
+    /// and its successors' release recovers bit-identically.
+    Release(usize),
     /// A running segment finishes (stale tokens are ignored).
     Completion(CompletionToken),
     /// A fault unit goes down.
@@ -228,16 +258,88 @@ struct TraceModel {
     trace: Vec<mbts_workload::TaskSpec>,
     /// Arrivals not yet delivered — lets fault handling detect the end
     /// of the workload and stop scheduling crashes once the site is
-    /// quiescent (otherwise an injector would tick forever).
+    /// quiescent (otherwise an injector would tick forever). In workflow
+    /// mode this counts *all* member tasks: releases and strandings
+    /// decrement it alongside root arrivals.
     arrivals_left: usize,
     injector: Option<FaultInjector>,
     crash_budget: u64,
+    /// The workflow overlay: releases successors as predecessors
+    /// complete and settles workflow-level yield. `None` for plain task
+    /// traces — every hook below is then a never-taken branch.
+    workflows: Option<WorkflowRuntime>,
+    /// Outcome records already fed to the workflow overlay.
+    outcome_cursor: usize,
 }
 
 impl TraceModel {
     fn drained(&self) -> bool {
         self.arrivals_left == 0 && self.state.is_quiescent()
     }
+
+    /// Feeds outcome records the last transition produced into the
+    /// workflow runtime: completions release successors (scheduled as
+    /// [`SimEvent::Release`] at `now`), failures strand waiting
+    /// descendants, and a workflow's last member settles its
+    /// end-to-end yield.
+    fn advance_workflows(&mut self, now: Time, queue: &mut EventQueue<SimEvent>) {
+        if self.workflows.is_none() {
+            return;
+        }
+        while self.outcome_cursor < self.state.outcomes().len() {
+            let out = self.state.outcomes()[self.outcome_cursor];
+            self.outcome_cursor += 1;
+            let wf = self.workflows.as_mut().expect("workflow mode");
+            let progress = match out.disposition {
+                Disposition::Completed => wf.on_complete(out.id.0, now),
+                // Stranded outcomes are recorded by this very scan; the
+                // runtime accounted them inside on_failure already.
+                Disposition::Stranded => continue,
+                _ => wf.on_failure(out.id.0, now),
+            };
+            for &r in &progress.released {
+                let i = r as usize;
+                debug_assert_eq!(self.trace[i].id.0, r, "workflow traces are dense");
+                self.state.trace_workflow(
+                    now,
+                    Some(TaskId(r)),
+                    TraceKind::WorkflowReleased {
+                        workflow: wf_of(self.workflows.as_ref(), r),
+                    },
+                );
+                queue.schedule(now, SimEvent::Release(i));
+            }
+            for &s in &progress.stranded {
+                self.arrivals_left -= 1;
+                let workflow = wf_of(self.workflows.as_ref(), s);
+                self.state.note_stranded(now, TaskId(s));
+                self.state.trace_workflow(
+                    now,
+                    Some(TaskId(s)),
+                    TraceKind::WorkflowStranded { workflow },
+                );
+            }
+            if let Some(s) = progress.settlement {
+                self.state.trace_workflow(
+                    now,
+                    None,
+                    TraceKind::WorkflowSettled {
+                        workflow: s.workflow,
+                        earned: s.earned,
+                        attribution: s.attribution.clone(),
+                    },
+                );
+            }
+        }
+    }
+}
+
+/// Owning workflow id of task `t` (workflow mode only).
+fn wf_of(workflows: Option<&WorkflowRuntime>, t: u64) -> u64 {
+    let set = workflows.expect("workflow mode").set();
+    set.workflow_of(t as usize)
+        .map(|w| set.workflows[w].id)
+        .expect("workflow task has an owner")
 }
 
 impl Model for TraceModel {
@@ -245,7 +347,7 @@ impl Model for TraceModel {
 
     fn handle(&mut self, now: Time, event: SimEvent, queue: &mut EventQueue<SimEvent>) {
         let tokens = match event {
-            SimEvent::Arrival(i) => {
+            SimEvent::Arrival(i) | SimEvent::Release(i) => {
                 self.arrivals_left -= 1;
                 self.state.submit(now, self.trace[i]).1
             }
@@ -278,6 +380,10 @@ impl Model for TraceModel {
                 tokens
             }
         };
+        // Workflow releases are scheduled before this event's spawned
+        // completion tokens — the same seq convention the sharded
+        // market's merge-replay follows.
+        self.advance_workflows(now, queue);
         for tok in tokens {
             queue.schedule(tok.at, SimEvent::Completion(tok));
         }
@@ -309,10 +415,75 @@ impl SiteRun {
             arrivals_left: trace.tasks.len(),
             injector: None,
             crash_budget: 0,
+            workflows: None,
+            outcome_cursor: 0,
         };
         let mut engine = Engine::new(model);
         for (i, spec) in trace.tasks.iter().enumerate() {
             engine.schedule(spec.arrival, SimEvent::Arrival(i));
+        }
+        SiteRun { engine }
+    }
+
+    /// A workflow replay: only root tasks are pre-scheduled as arrivals;
+    /// every other member enters the admission path via a
+    /// [`SimEvent::Release`] once its last predecessor completes. The
+    /// workflow-level settlement overlay (release/settle/strand trace
+    /// events, [`WorkflowReport`]) rides on top of the ordinary per-task
+    /// accounting.
+    pub fn with_workflows(config: SiteConfig, set: &WorkflowSet, tracer: Tracer) -> Self {
+        Self::with_workflows_and_faults(config, set, None, tracer)
+    }
+
+    /// A fault-injected workflow replay (crash evictions requeue work —
+    /// they do not fail workflows; only terminal task failures strand
+    /// successors). With `plan = None` this is [`with_workflows`](Self::with_workflows).
+    pub fn with_workflows_and_faults(
+        config: SiteConfig,
+        set: &WorkflowSet,
+        plan: Option<&FaultPlan>,
+        tracer: Tracer,
+    ) -> Self {
+        let trace = set.trace();
+        let runtime = WorkflowRuntime::new(set.clone());
+        let roots = runtime.roots();
+        let mut injector = None;
+        let mut crash_budget = 0;
+        let mut initial = Vec::new();
+        if let Some(plan) = plan {
+            if !plan.faults.is_none() {
+                let mut inj =
+                    FaultInjector::new(plan.faults.clone(), plan.seed, &[config.processors]);
+                crash_budget = plan.max_crashes;
+                for unit in inj.units() {
+                    if crash_budget == 0 {
+                        break;
+                    }
+                    if let Some(up) = inj.uptime(unit) {
+                        crash_budget -= 1;
+                        initial.push((Time::ZERO + up, unit));
+                    }
+                }
+                injector = Some(inj);
+            }
+        }
+        let mut state = SiteState::new(config);
+        state.set_tracer(tracer);
+        let model = TraceModel {
+            state,
+            trace: trace.tasks.clone(),
+            arrivals_left: trace.tasks.len(),
+            injector,
+            crash_budget,
+            workflows: Some(runtime),
+            outcome_cursor: 0,
+        };
+        let mut engine = Engine::new(model);
+        for i in roots {
+            engine.schedule(trace.tasks[i].arrival, SimEvent::Arrival(i));
+        }
+        for (at, unit) in initial {
+            engine.schedule(at, SimEvent::Crash(unit));
         }
         SiteRun { engine }
     }
@@ -351,6 +522,8 @@ impl SiteRun {
             arrivals_left: trace.tasks.len(),
             injector: Some(injector),
             crash_budget,
+            workflows: None,
+            outcome_cursor: 0,
         };
         let mut engine = Engine::new(model);
         for (i, spec) in trace.tasks.iter().enumerate() {
@@ -397,6 +570,12 @@ impl SiteRun {
         &self.engine.model().state
     }
 
+    /// The workflow overlay's aggregate report (settlements so far);
+    /// `None` for plain task replays.
+    pub fn workflow_report(&self) -> Option<WorkflowReport> {
+        self.engine.model().workflows.as_ref().map(|w| w.report())
+    }
+
     /// Captures the full replay state at the current event boundary.
     pub fn snapshot(&self) -> SiteRunSnapshot {
         let model = self.engine.model();
@@ -406,6 +585,8 @@ impl SiteRun {
             arrivals_left: model.arrivals_left,
             injector: model.injector.as_ref().map(|i| i.state()),
             crash_budget: model.crash_budget,
+            workflows: model.workflows.clone(),
+            outcome_cursor: model.outcome_cursor,
             queue: self.engine.queue().snapshot_entries(),
             next_seq: self.engine.queue().next_seq(),
             now: self.engine.now(),
@@ -422,6 +603,8 @@ impl SiteRun {
             arrivals_left: snap.arrivals_left,
             injector: snap.injector.map(FaultInjector::from_state),
             crash_budget: snap.crash_budget,
+            workflows: snap.workflows,
+            outcome_cursor: snap.outcome_cursor,
         };
         let queue = EventQueue::restore(snap.queue, snap.next_seq);
         SiteRun {
@@ -457,6 +640,14 @@ pub struct SiteRunSnapshot {
     pub injector: Option<FaultInjectorState>,
     /// Crash events still permitted.
     pub crash_budget: u64,
+    /// Workflow overlay state, when the run is a workflow replay.
+    /// Absent from pre-workflow snapshots (and from serialized plain
+    /// runs), which keep deserializing unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub workflows: Option<WorkflowRuntime>,
+    /// Outcome records already fed to the workflow overlay.
+    #[serde(default)]
+    pub outcome_cursor: usize,
     /// Pending events as `(time, seq, event)`.
     pub queue: Vec<(Time, u64, SimEvent)>,
     /// The queue's next sequence number.
@@ -650,6 +841,146 @@ mod tests {
                 "kill point {k}"
             );
         }
+    }
+
+    #[test]
+    fn workflow_replay_completes_and_settles_every_workflow() {
+        use mbts_workload::{generate_workflows, WorkflowConfig, WorkflowShape};
+        let set = generate_workflows(
+            &WorkflowConfig::default_set()
+                .with_workflows(6)
+                .with_shape(WorkflowShape::ForkJoin { width: 3 }),
+            42,
+        );
+        let config = SiteConfig::new(4)
+            .with_policy(Policy::FirstPrice)
+            .with_workflow_facets(set.facets());
+        let (outcome, report) = Site::new(config).run_workflows(&set);
+        assert_eq!(outcome.metrics.completed, set.tasks.len());
+        assert_eq!(report.workflows, 6);
+        assert_eq!(report.settled, 6);
+        assert_eq!(report.failed, 0);
+        assert!(outcome.violations.is_empty());
+        for s in &report.settlements {
+            let attributed: f64 = s.attribution.iter().map(|(_, v)| v).sum();
+            assert_eq!(attributed.to_bits(), s.earned.to_bits());
+        }
+    }
+
+    #[test]
+    fn workflow_release_order_respects_dependencies() {
+        use mbts_trace::TraceKind;
+        use mbts_workload::{generate_workflows, WorkflowConfig, WorkflowShape};
+        let set = generate_workflows(
+            &WorkflowConfig::default_set()
+                .with_workflows(4)
+                .with_shape(WorkflowShape::Pipeline { depth: 4 }),
+            9,
+        );
+        let config = SiteConfig::new(2).with_policy(Policy::first_reward(0.3, 0.01));
+        let (_, report, tracer) = Site::new(config).run_workflows_traced(&set, Tracer::buffer());
+        assert_eq!(report.settled, 4);
+        let events = tracer.into_events().unwrap();
+        // Every non-root task's arrival is preceded by its release,
+        // which is preceded by each predecessor's completion.
+        for (p, s) in set.edge_ids() {
+            let done = events
+                .iter()
+                .position(|e| {
+                    e.task == Some(mbts_workload::TaskId(p))
+                        && matches!(e.kind, TraceKind::Completed { .. })
+                })
+                .expect("predecessor completed");
+            let released = events
+                .iter()
+                .position(|e| {
+                    e.task == Some(mbts_workload::TaskId(s))
+                        && matches!(e.kind, TraceKind::WorkflowReleased { .. })
+                })
+                .expect("successor released");
+            assert!(done < released, "edge {p}->{s}");
+        }
+        let settles = events
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::WorkflowSettled { .. }))
+            .count();
+        assert_eq!(settles, 4);
+    }
+
+    #[test]
+    fn workflow_snapshot_midway_resumes_bit_identically() {
+        use mbts_workload::{generate_workflows, WorkflowConfig, WorkflowShape};
+        let set = generate_workflows(
+            &WorkflowConfig::default_set().with_workflows(5).with_shape(
+                WorkflowShape::RandomLayered {
+                    layers: 3,
+                    width: 2,
+                    edge_prob: 0.5,
+                },
+            ),
+            11,
+        );
+        let config = SiteConfig::new(3)
+            .with_policy(Policy::first_reward(0.3, 0.01))
+            .with_workflow_facets(set.facets());
+        let mut base = SiteRun::with_workflows(config.clone(), &set, Tracer::buffer());
+        base.run_to_completion();
+        let total = base.events_handled();
+        let expect_report = base.workflow_report().unwrap();
+        let (expect_outcome, expect_tracer) = base.finish();
+        let expect_events = expect_tracer.into_events().unwrap();
+        for k in [0, 1, total / 3, total / 2, total - 1, total] {
+            let mut run = SiteRun::with_workflows(config.clone(), &set, Tracer::buffer());
+            for _ in 0..k {
+                assert!(run.step());
+            }
+            let json = serde_json::to_string(&run.snapshot()).unwrap();
+            let snap: SiteRunSnapshot = serde_json::from_str(&json).unwrap();
+            let mut resumed = SiteRun::from_snapshot(snap);
+            resumed.run_to_completion();
+            assert_eq!(
+                resumed.workflow_report().unwrap(),
+                expect_report,
+                "kill {k}"
+            );
+            let (outcome, tracer) = resumed.finish();
+            assert_eq!(outcome, expect_outcome, "kill point {k}");
+            assert_eq!(
+                tracer.into_events().unwrap(),
+                expect_events,
+                "kill point {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn workflow_member_failure_strands_descendants() {
+        use mbts_workload::{generate_workflows, WorkflowConfig, WorkflowShape};
+        // An admission threshold so hostile that released members get
+        // rejected: the workflow must settle failed with zero earned and
+        // its waiting descendants must be stranded, not left hanging.
+        let set = generate_workflows(
+            &WorkflowConfig::default_set()
+                .with_workflows(3)
+                .with_shape(WorkflowShape::Pipeline { depth: 3 }),
+            5,
+        );
+        let config = SiteConfig::new(2)
+            .with_policy(Policy::FirstPrice)
+            .with_admission(mbts_core::AdmissionPolicy::SlackThreshold {
+                threshold: f64::INFINITY,
+            })
+            .with_workflow_facets(set.facets());
+        let (outcome, report) = Site::new(config).run_workflows(&set);
+        assert_eq!(report.settled, 3);
+        assert_eq!(report.failed, 3);
+        assert_eq!(report.total_earned, 0.0);
+        // Roots rejected, the rest stranded; nothing ran.
+        assert_eq!(outcome.metrics.completed, 0);
+        assert_eq!(outcome.metrics.rejected, 3);
+        assert_eq!(outcome.metrics.stranded, set.tasks.len() - 3);
+        assert_eq!(outcome.outcomes.len(), set.tasks.len());
+        assert!(outcome.violations.is_empty());
     }
 
     #[test]

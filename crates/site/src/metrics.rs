@@ -19,6 +19,10 @@ pub enum Disposition {
     /// Accepted but returned to the market un-run because the site died
     /// under it (fault injection); the client re-bids it elsewhere.
     Orphaned,
+    /// A workflow member whose predecessor failed: the task was never
+    /// released into any queue, so it neither counts as submitted nor
+    /// accepted — the workflow overlay settles its workflow at zero.
+    Stranded,
 }
 
 /// Per-task record produced by a site run.
@@ -56,6 +60,11 @@ pub struct SiteMetrics {
     pub cancelled: usize,
     /// Accepted tasks returned to the market un-run by a site outage.
     pub orphaned: usize,
+    /// Workflow members stranded by a predecessor's failure before ever
+    /// being released (never submitted, so outside the
+    /// submitted/accepted conservation identity).
+    #[serde(default)]
+    pub stranded: usize,
     /// Total preemption events (including crash evictions).
     pub preemptions: u64,
     /// Running gangs evicted by crashes (a subset of `preemptions`).

@@ -21,15 +21,15 @@ use crate::gantt::Segment;
 use crate::metrics::{Disposition, JobOutcome, SiteMetrics};
 use crate::SiteOutcome;
 use mbts_core::{
-    decompose, evaluate_admission, explain_decision, AdmissionDecision, AdmissionPolicy, CostModel,
-    Job, PendingPool, PoolCheckpoint, ScoreCtx,
+    decompose, evaluate_admission_with_successors, explain_decision, AdmissionDecision,
+    AdmissionPolicy, CostModel, Job, PendingPool, PoolCheckpoint, ScoreCtx,
 };
 use mbts_sim::{Duration, Time};
 use mbts_trace::{
     DecisionCandidate, DecisionKind, TraceEvent, TraceKind, Tracer, TracerSnapshot,
     MAX_DECISION_CANDIDATES,
 };
-use mbts_workload::TaskSpec;
+use mbts_workload::{TaskFacet, TaskSpec};
 use serde::{Deserialize, Serialize};
 
 /// Handle for a scheduled run-to-completion: fires at `at` unless the
@@ -151,6 +151,19 @@ impl SiteState {
         std::mem::take(&mut self.tracer)
     }
 
+    /// Emits a workflow-overlay event (release/settle/strand) through
+    /// this site's tracer. The overlay drives the run from outside the
+    /// site core, so it needs an emission path that shares the site's
+    /// sink and site-index stamp.
+    pub fn trace_workflow(
+        &mut self,
+        at: Time,
+        task: Option<mbts_workload::TaskId>,
+        kind: TraceKind,
+    ) {
+        self.trace(at, task, kind);
+    }
+
     #[inline]
     fn trace(&mut self, at: Time, task: Option<mbts_workload::TaskId>, kind: TraceKind) {
         if self.tracer.is_enabled() {
@@ -255,6 +268,30 @@ impl SiteState {
     /// Aggregate metrics so far.
     pub fn metrics(&self) -> &SiteMetrics {
         &self.metrics
+    }
+
+    /// Per-job outcome records so far, in push (event) order — the
+    /// workflow overlay scans these to advance its release/settle state.
+    pub fn outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// Records a workflow member stranded by a predecessor's failure: the
+    /// task was never released (so never submitted/accepted — it stays
+    /// outside the task-conservation identity) and earns nothing. The
+    /// workflow-level `WorkflowStranded` trace event is emitted by the
+    /// overlay driving the run, which knows the owning workflow.
+    pub fn note_stranded(&mut self, now: Time, id: mbts_workload::TaskId) {
+        self.metrics.stranded += 1;
+        self.outcomes.push(JobOutcome {
+            id,
+            disposition: Disposition::Stranded,
+            finished_at: Some(now),
+            earned: 0.0,
+            delay: 0.0,
+            preemptions: 0,
+        });
+        self.audit_check(now);
     }
 
     /// Number of queued (not running) tasks.
@@ -428,7 +465,7 @@ impl SiteState {
         let candidate = Job::new(spec);
         let mut queue = self.pending.jobs().to_vec();
         queue.push(candidate.clone());
-        evaluate_admission(
+        evaluate_admission_with_successors(
             &self.config.admission,
             &self.config.policy,
             self.config.schedule_mode,
@@ -437,7 +474,16 @@ impl SiteState {
             &self.free_times(now),
             &queue,
             &candidate,
+            self.facet_of(spec.id.0).map(|f| &f.succ),
         )
+    }
+
+    /// Workflow facet of a task, when the config carries a facet table.
+    fn facet_of(&self, id: u64) -> Option<&TaskFacet> {
+        self.config
+            .workflow_facets
+            .as_ref()
+            .and_then(|f| f.get(&id))
     }
 
     /// Full submission path: admission (unless `AcceptAll`), then enqueue,
@@ -857,6 +903,7 @@ impl SiteState {
         keep.into_iter()
             .map(|idx| {
                 let d = decompose(self.config.admission_discount_rate, now, competing, idx);
+                let facet = self.facet_of(competing[idx].id().0);
                 DecisionCandidate {
                     rank: ex.rank_of(idx),
                     task: Some(competing[idx].id()),
@@ -865,6 +912,8 @@ impl SiteState {
                     pv: TraceEvent::finite(d.pv),
                     cost: TraceEvent::finite(d.cost),
                     slack: TraceEvent::finite(d.slack),
+                    workflow: facet.map(|f| f.workflow),
+                    critical: facet.map(|f| f.critical),
                     chosen: chosen.contains(&idx),
                 }
             })
@@ -909,6 +958,7 @@ impl SiteState {
             // Infeasible width: no candidate schedule exists.
             None => (0.0, 0.0, 0.0, f64::NEG_INFINITY),
         };
+        let facet = self.facet_of(spec.id.0);
         TraceEvent {
             at: now,
             task: Some(spec.id),
@@ -924,6 +974,8 @@ impl SiteState {
                     pv: TraceEvent::finite(pv),
                     cost: TraceEvent::finite(cost),
                     slack: TraceEvent::finite(slack),
+                    workflow: facet.map(|f| f.workflow),
+                    critical: facet.map(|f| f.critical),
                     chosen: accept,
                 }],
             },
@@ -960,6 +1012,7 @@ impl SiteState {
             .into_iter()
             .map(|idx| {
                 let d = decompose(self.config.admission_discount_rate, now, &competing, idx);
+                let facet = self.facet_of(competing[idx].id().0);
                 DecisionCandidate {
                     rank: ex.rank_of(idx),
                     task: Some(competing[idx].id()),
@@ -968,6 +1021,8 @@ impl SiteState {
                     pv: TraceEvent::finite(d.pv),
                     cost: TraceEvent::finite(d.cost),
                     slack: TraceEvent::finite(d.slack),
+                    workflow: facet.map(|f| f.workflow),
+                    critical: facet.map(|f| f.critical),
                     chosen: chosen.contains(&idx),
                 }
             })

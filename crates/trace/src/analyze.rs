@@ -176,6 +176,24 @@ pub struct DecisionSummary {
     pub mean_considered: f64,
 }
 
+/// Workflow-level accounting (all zeros for plain task traces).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkflowSummary {
+    /// Dependency releases: tasks whose predecessors all completed.
+    pub releases: u64,
+    /// Workflows settled (complete or failed).
+    pub settled: u64,
+    /// Of those, workflows that failed (settled with no attribution).
+    pub failed: u64,
+    /// Tasks stranded by an upstream failure.
+    pub stranded_tasks: u64,
+    /// Σ workflow-level earned yield across settlements.
+    pub total_earned: f64,
+    /// Top critical-path tasks by attributed workflow yield,
+    /// descending (ties toward the smaller id), capped at 10.
+    pub top_attributed: Vec<(u64, f64)>,
+}
+
 /// The full analysis of one trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceReport {
@@ -197,6 +215,9 @@ pub struct TraceReport {
     pub utilization: Vec<SiteTimeline>,
     /// Provenance decision summary (zeros without provenance records).
     pub decisions: DecisionSummary,
+    /// Workflow overlay summary (zeros for plain task traces).
+    #[serde(default)]
+    pub workflows: WorkflowSummary,
 }
 
 #[derive(Default)]
@@ -241,6 +262,8 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
     let mut shed = 0u64;
     let mut shed_pv_lost = 0.0;
     let mut has_provenance = false;
+    let mut wf = WorkflowSummary::default();
+    let mut attributed: BTreeMap<u64, f64> = BTreeMap::new();
 
     for ev in events {
         let task = ev.task.map(|t| t.0);
@@ -289,6 +312,22 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
                 y.settled_total += amount;
             }
             TraceKind::Crashed { .. } | TraceKind::Repaired { .. } => {}
+            TraceKind::WorkflowReleased { .. } => wf.releases += 1,
+            TraceKind::WorkflowSettled {
+                earned,
+                attribution,
+                ..
+            } => {
+                wf.settled += 1;
+                wf.total_earned += earned;
+                if attribution.is_empty() {
+                    wf.failed += 1;
+                }
+                for &(t, share) in attribution {
+                    *attributed.entry(t).or_insert(0.0) += share;
+                }
+            }
+            TraceKind::WorkflowStranded { .. } => wf.stranded_tasks += 1,
             TraceKind::DecisionRecord {
                 decision,
                 considered,
@@ -497,6 +536,11 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
         })
         .collect();
 
+    let mut top: Vec<(u64, f64)> = attributed.into_iter().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    top.truncate(10);
+    wf.top_attributed = top;
+
     let admission = AdmissionReport {
         accepted: y.accepted,
         rejected: y.arrived - y.accepted,
@@ -522,6 +566,7 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
         admission,
         utilization,
         decisions,
+        workflows: wf,
     }
 }
 
@@ -634,6 +679,26 @@ pub fn render_text(r: &TraceReport) -> String {
                 tl.mean_busy,
                 tl.peak_busy,
                 sparkline.join(" ")
+            ));
+        }
+    }
+
+    let w = &r.workflows;
+    if w.settled > 0 || w.releases > 0 {
+        out.push_str("workflow overlay\n");
+        out.push_str(&format!(
+            "  releases {}  settled {} (failed {})  stranded tasks {}  workflow yield {:.3}\n",
+            w.releases, w.settled, w.failed, w.stranded_tasks, w.total_earned
+        ));
+        if !w.top_attributed.is_empty() {
+            let tops: Vec<String> = w
+                .top_attributed
+                .iter()
+                .map(|(t, v)| format!("task {t}: {v:.3}"))
+                .collect();
+            out.push_str(&format!(
+                "  critical-path attribution (top): {}\n",
+                tops.join(", ")
             ));
         }
     }
@@ -774,6 +839,8 @@ mod tests {
                         pv: 7.0,
                         cost: 1.5,
                         slack: -0.5,
+                        workflow: None,
+                        critical: None,
                         chosen: false,
                     }],
                 },

@@ -59,6 +59,15 @@ pub struct DecisionCandidate {
     pub site: Option<usize>,
     /// The score the decision ranked this candidate by.
     pub score: f64,
+    /// The workflow the candidate belongs to, when the run carries a
+    /// workflow facet table (absent — and absent from the JSONL — for
+    /// plain task workloads).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub workflow: Option<u64>,
+    /// Whether the candidate lies on its workflow's static critical
+    /// path (only meaningful when `workflow` is set).
+    #[serde(skip_serializing_if = "Option::is_none", default)]
+    pub critical: Option<bool>,
     /// Eq. 3 discounted present value at decision time.
     pub pv: f64,
     /// Eq. 8 opportunity cost charged by the competing candidates.
@@ -114,6 +123,23 @@ pub enum TraceKind {
     Repaired { procs: usize },
     /// A contract paid out (positive) or charged a breach (negative).
     ContractSettled { amount: f64 },
+    /// A workflow task's predecessors all completed and the task entered
+    /// the schedulable pool. `workflow` is the owning workflow id.
+    WorkflowReleased { workflow: u64 },
+    /// A workflow's last member task completed: the workflow-level value
+    /// function settled `earned` (a reporting overlay on the per-task
+    /// contract money flow, not a second payment), attributed along the
+    /// static critical path as `(task id, share)` pairs summing exactly
+    /// to `earned`.
+    WorkflowSettled {
+        workflow: u64,
+        earned: f64,
+        attribution: Vec<(u64, f64)>,
+    },
+    /// A workflow member failed (dropped, cancelled, orphaned, rejected
+    /// or abandoned), stranding this still-waiting descendant; the
+    /// workflow settles with zero earned.
+    WorkflowStranded { workflow: u64 },
     /// Provenance: the ranked candidate set behind one scheduling,
     /// preemption, admission, or bid-selection decision. Emitted only by
     /// provenance-level tracers ([`crate::Tracer::with_provenance`]) so
@@ -230,6 +256,8 @@ mod tests {
                             pv: 9.0,
                             cost: 4.5,
                             slack: 2.25,
+                            workflow: None,
+                            critical: None,
                             chosen: true,
                         },
                         DecisionCandidate {
@@ -240,6 +268,8 @@ mod tests {
                             pv: 3.0,
                             cost: 2.0,
                             slack: TraceEvent::finite(f64::NEG_INFINITY),
+                            workflow: None,
+                            critical: None,
                             chosen: false,
                         },
                     ],

@@ -201,6 +201,12 @@ impl PolicyMetrics {
                 self.decisions += 1;
                 self.decision_candidates += candidates.len() as u64;
             }
+            // Workflow overlay events carry no processor occupancy; the
+            // per-task records above already account for the busy
+            // integral and per-task yields.
+            TraceKind::WorkflowReleased { .. }
+            | TraceKind::WorkflowSettled { .. }
+            | TraceKind::WorkflowStranded { .. } => {}
         }
     }
 
@@ -841,6 +847,8 @@ mod tests {
                         pv: 3.0,
                         cost: 1.0,
                         slack: 2.0,
+                        workflow: None,
+                        critical: None,
                         chosen: true,
                     },
                     DecisionCandidate {
@@ -851,6 +859,8 @@ mod tests {
                         pv: 2.0,
                         cost: 1.0,
                         slack: 1.0,
+                        workflow: None,
+                        critical: None,
                         chosen: false,
                     },
                 ],

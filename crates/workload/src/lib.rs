@@ -42,6 +42,7 @@ pub mod swf;
 pub mod task;
 pub mod trace;
 pub mod validate;
+pub mod workflow;
 
 pub use config::{ArrivalProcess, BoundPolicy, MixConfig, WidthPolicy};
 pub use generator::generate_trace;
@@ -50,3 +51,7 @@ pub use swf::{load_swf, parse_swf, parse_swf_counting, ParseError, SwfError, Swf
 pub use task::{PenaltyBound, TaskId, TaskSpec};
 pub use trace::{Trace, TraceStats};
 pub use validate::{validate_trace, ValidationReport};
+pub use workflow::{
+    attribute_critical_path, generate_workflows, SuccessorContext, TaskFacet, WorkflowConfig,
+    WorkflowError, WorkflowFacets, WorkflowSet, WorkflowShape, WorkflowSpec,
+};

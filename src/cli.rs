@@ -68,7 +68,10 @@
 use mbts_core::{AdmissionPolicy, Policy};
 use mbts_market::{ClientSelection, Economy, EconomyConfig, PricingStrategy};
 use mbts_site::{class_breakdown, render_gantt, Site, SiteConfig};
-use mbts_workload::{generate_trace, BoundPolicy, MixConfig, Trace, WidthPolicy};
+use mbts_workload::{
+    generate_trace, generate_workflows, BoundPolicy, MixConfig, Trace, WidthPolicy, WorkflowConfig,
+    WorkflowSet, WorkflowShape,
+};
 use std::path::PathBuf;
 
 /// A parsed `mbts` invocation.
@@ -86,11 +89,16 @@ pub enum Command {
         seed: u64,
         /// SWF log to import instead of generating synthetically.
         swf: Option<PathBuf>,
+        /// Generate a seeded DAG workflow set instead of a flat trace.
+        workflow: Option<WorkflowConfig>,
     },
-    /// Run one site over a stored trace.
+    /// Run one site over a stored trace or workflow set.
     Run {
-        /// Input trace path.
-        trace: PathBuf,
+        /// Input trace path (`--trace`; absent for workflow replays).
+        trace: Option<PathBuf>,
+        /// Input workflow-set path (`--workflow`; successors release as
+        /// predecessors complete and admission sees DAG structure).
+        workflow: Option<PathBuf>,
         /// Site configuration.
         site: SiteConfig,
         /// Render an ASCII Gantt chart of the schedule.
@@ -109,10 +117,13 @@ pub enum Command {
         /// (JSON) to this path.
         profile: Option<PathBuf>,
     },
-    /// Run a multi-site economy over a stored trace.
+    /// Run a multi-site economy over a stored trace or workflow set.
     Market {
-        /// Input trace path.
-        trace: PathBuf,
+        /// Input trace path (`--trace`; absent for workflow replays).
+        trace: Option<PathBuf>,
+        /// Input workflow-set path (`--workflow`; only roots arrive at
+        /// the market, successors release on predecessor completion).
+        workflow: Option<PathBuf>,
         /// Economy configuration.
         economy: EconomyConfig,
         /// Journal snapshots + events to this path (crash-recoverable).
@@ -330,6 +341,49 @@ pub fn parse_selection(spec: &str) -> Result<ClientSelection, String> {
     }
 }
 
+/// Parses a DAG-shape spec: `fork-join:<width>`, `pipeline:<depth>`,
+/// `layered:<layers>:<width>:<edge_prob>`.
+pub fn parse_shape(spec: &str) -> Result<WorkflowShape, String> {
+    let bad = || format!("unknown shape '{spec}' (try: fork-join:W, pipeline:D, layered:L:W:P)");
+    let mut parts = spec.split(':');
+    let kind = parts.next().ok_or_else(bad)?;
+    let nums: Vec<&str> = parts.collect();
+    let int = |s: &str| s.parse::<usize>().map_err(|_| bad());
+    match (kind, nums.as_slice()) {
+        ("fork-join", [w]) => {
+            let width = int(w)?;
+            if width == 0 {
+                return Err("fork-join width must be at least 1".into());
+            }
+            Ok(WorkflowShape::ForkJoin { width })
+        }
+        ("pipeline", [d]) => {
+            let depth = int(d)?;
+            if depth == 0 {
+                return Err("pipeline depth must be at least 1".into());
+            }
+            Ok(WorkflowShape::Pipeline { depth })
+        }
+        ("layered", [l, w, p]) => {
+            let layers = int(l)?;
+            let width = int(w)?;
+            let edge_prob: f64 = p.parse().map_err(|_| bad())?;
+            if layers == 0 || width == 0 {
+                return Err("layered shape needs layers ≥ 1 and width ≥ 1".into());
+            }
+            if !(0.0..=1.0).contains(&edge_prob) {
+                return Err("layered edge probability must lie in [0, 1]".into());
+            }
+            Ok(WorkflowShape::RandomLayered {
+                layers,
+                width,
+                edge_prob,
+            })
+        }
+        _ => Err(bad()),
+    }
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "usage: mbts <gen|run|market|serve|flood|analyze|metrics|resume|compare|validate|policies> [options]\n\
@@ -337,10 +391,12 @@ pub fn usage() -> &'static str {
      mbts gen    --out FILE [--swf LOG] [--tasks N] [--processors P] [--load L] [--seed S]\n\
      \x20           [--value-skew R] [--decay-skew R] [--mean-decay D]\n\
      \x20           [--bound zero|unbounded|prop:F] [--widths one|uniform:LO:HI|pow2:E]\n\
-     mbts run    --trace FILE [--policy SPEC] [--admission SPEC] [--processors P]\n\
-     \x20           [--preemption] [--drop-expired] [--gantt] [--classes] [--audit FILE]\n\
-     \x20           [--journal FILE] [--trace-out FILE [--provenance]] [--profile FILE]\n\
-     mbts market --trace FILE [--sites N] [--procs-per-site P] [--policy SPEC]\n\
+     \x20           [--workflow SHAPE [--workflows N]]  (writes a DAG workflow set)\n\
+     mbts run    <--trace FILE | --workflow FILE> [--policy SPEC] [--admission SPEC]\n\
+     \x20           [--processors P] [--preemption] [--drop-expired] [--gantt] [--classes]\n\
+     \x20           [--audit FILE] [--journal FILE] [--trace-out FILE [--provenance]]\n\
+     \x20           [--profile FILE]\n\
+     mbts market <--trace FILE | --workflow FILE> [--sites N] [--procs-per-site P] [--policy SPEC]\n\
      \x20           [--admission SPEC] [--selection KIND] [--second-price] [--shards N]\n\
      \x20           [--journal FILE] [--trace-out FILE [--provenance]] [--profile FILE]\n\
      \x20           (--shards N is incompatible with --journal FILE: the durable\n\
@@ -362,7 +418,8 @@ pub fn usage() -> &'static str {
      mbts policies\n\
      \n\
      policy specs: fcfs srpt swpt first-price pv:<rate> first-reward:<alpha>:<rate>\n\
-     admission specs: all positive slack:<threshold>"
+     admission specs: all positive slack:<threshold>\n\
+     shape specs: fork-join:<width> pipeline:<depth> layered:<layers>:<width>:<edge_prob>"
 }
 
 /// Parses a full argument vector (without the program name).
@@ -407,15 +464,45 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             let seed = int("--seed", 42)? as u64;
             let swf = get("--swf").map(PathBuf::from);
+            let workflow = match get("--workflow") {
+                Some(spec) => {
+                    if swf.is_some() {
+                        return Err("--workflow and --swf are mutually exclusive".into());
+                    }
+                    let n = int("--workflows", 16)?;
+                    if n == 0 {
+                        return Err("--workflows must be at least 1".into());
+                    }
+                    let mut wf = WorkflowConfig::default_set()
+                        .with_workflows(n)
+                        .with_shape(parse_shape(spec)?)
+                        .with_processors(int("--processors", 16)?)
+                        .with_load_factor(num("--load", 1.0)?);
+                    if let Some(b) = get("--bound") {
+                        wf = wf.with_bound(parse_bound(b)?);
+                    }
+                    Some(wf)
+                }
+                None => None,
+            };
             Ok(Command::Gen {
                 out,
                 mix,
                 seed,
                 swf,
+                workflow,
             })
         }
         "run" => {
-            let trace = PathBuf::from(get("--trace").ok_or("run requires --trace FILE")?);
+            let trace = get("--trace").map(PathBuf::from);
+            let workflow = get("--workflow").map(PathBuf::from);
+            match (&trace, &workflow) {
+                (None, None) => return Err("run requires --trace FILE or --workflow FILE".into()),
+                (Some(_), Some(_)) => {
+                    return Err("--trace and --workflow are mutually exclusive".into())
+                }
+                _ => {}
+            }
             let audit = get("--audit").map(PathBuf::from);
             let mut site = SiteConfig::new(int("--processors", 16)?)
                 .with_preemption(has("--preemption"))
@@ -435,6 +522,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Run {
                 trace,
+                workflow,
                 site,
                 gantt: has("--gantt"),
                 classes: has("--classes"),
@@ -446,7 +534,17 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             })
         }
         "market" => {
-            let trace = PathBuf::from(get("--trace").ok_or("market requires --trace FILE")?);
+            let trace = get("--trace").map(PathBuf::from);
+            let workflow = get("--workflow").map(PathBuf::from);
+            match (&trace, &workflow) {
+                (None, None) => {
+                    return Err("market requires --trace FILE or --workflow FILE".into())
+                }
+                (Some(_), Some(_)) => {
+                    return Err("--trace and --workflow are mutually exclusive".into())
+                }
+                _ => {}
+            }
             let mut site = SiteConfig::new(int("--procs-per-site", 8)?);
             if let Some(p) = get("--policy") {
                 site = site.with_policy(parse_policy(p)?);
@@ -477,6 +575,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Market {
                 trace,
+                workflow,
                 economy,
                 journal,
                 trace_out,
@@ -656,6 +755,14 @@ fn market_summary(
         outcome.total_paid
     )
     .map_err(|e| e.to_string())?;
+    if let Some(r) = &outcome.workflows {
+        writeln!(
+            out,
+            "workflows {}  settled {}  failed {}  stranded tasks {}  workflow yield {:.1}",
+            r.workflows, r.settled, r.failed, outcome.stranded, r.total_earned
+        )
+        .map_err(|e| e.to_string())?;
+    }
     for (i, s) in outcome.per_site.iter().enumerate() {
         writeln!(
             out,
@@ -683,6 +790,16 @@ fn resume_banner(
         report.replayed_events, report.dropped_bytes
     )
     .map_err(|e| e.to_string())
+}
+
+/// Loads and validates a workflow set when `--workflow` was given.
+fn load_workflow_set(path: Option<&std::path::Path>) -> Result<Option<WorkflowSet>, String> {
+    match path {
+        Some(p) => WorkflowSet::load(p)
+            .map(Some)
+            .map_err(|e| format!("cannot read {}: {e}", p.display())),
+        None => Ok(None),
+    }
 }
 
 /// Builds the tracer for a `run`/`market` invocation: a buffering sink
@@ -893,7 +1010,23 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             mix,
             seed,
             swf,
+            workflow,
         } => {
+            if let Some(wf) = workflow {
+                let set = generate_workflows(&wf, seed);
+                set.save(&path)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                return writeln!(
+                    out,
+                    "wrote {} workflows ({} tasks, {} roots, {} edges) to {}",
+                    set.workflows.len(),
+                    set.tasks.len(),
+                    set.roots().len(),
+                    set.edge_ids().len(),
+                    path.display()
+                )
+                .map_err(|e| e.to_string());
+            }
             let trace = match swf {
                 Some(swf_path) => {
                     let opts = mbts_workload::SwfOptions::new(mix, seed);
@@ -917,6 +1050,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
         }
         Command::Run {
             trace,
+            workflow,
             site,
             gantt,
             classes,
@@ -926,21 +1060,41 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             provenance,
             profile,
         } => {
-            let trace =
-                Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+            let wfset = load_workflow_set(workflow.as_deref())?;
+            let trace = match (&wfset, trace) {
+                (Some(set), _) => set.trace(),
+                (None, Some(path)) => Trace::load(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
+                (None, None) => unreachable!("parse requires --trace or --workflow"),
+            };
+            // Workflow replays see DAG structure at admission time:
+            // successor-aware slack plus workflow-stamped provenance.
+            let site = match &wfset {
+                Some(set) => site.with_workflow_facets(set.facets()),
+                None => site,
+            };
             let tracer = make_tracer(trace_out.is_some(), provenance);
             let profiling = start_profiling(profile.is_some());
-            let (outcome, tracer) = match journal {
-                Some(path) => {
+            let (outcome, wf_report, tracer) = match (journal, &wfset) {
+                (Some(path), _) => {
                     let j = mbts_durable::Journal::create(&path)
                         .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
-                    let mut durable = mbts_durable::durable_site_run(
-                        site.clone(),
-                        &trace,
-                        tracer,
-                        j,
-                        JOURNAL_SNAPSHOT_EVERY,
-                    )
+                    let mut durable = match &wfset {
+                        Some(set) => mbts_durable::durable_site_workflow_run(
+                            site.clone(),
+                            set,
+                            tracer,
+                            j,
+                            JOURNAL_SNAPSHOT_EVERY,
+                        ),
+                        None => mbts_durable::durable_site_run(
+                            site.clone(),
+                            &trace,
+                            tracer,
+                            j,
+                            JOURNAL_SNAPSHOT_EVERY,
+                        ),
+                    }
                     .map_err(|e| format!("cannot journal to {}: {e}", path.display()))?;
                     durable
                         .run_to_completion()
@@ -952,9 +1106,21 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                         path.display()
                     )
                     .map_err(|e| e.to_string())?;
-                    durable.into_parts().0.finish()
+                    let run = durable.into_parts().0;
+                    let report = run.workflow_report();
+                    let (outcome, tracer) = run.finish();
+                    (outcome, report, tracer)
                 }
-                None => Site::new(site.clone()).run_trace_traced(&trace, tracer),
+                (None, Some(set)) => {
+                    let (outcome, report, tracer) =
+                        Site::new(site.clone()).run_workflows_traced(set, tracer);
+                    (outcome, Some(report), tracer)
+                }
+                (None, None) => {
+                    let (outcome, tracer) =
+                        Site::new(site.clone()).run_trace_traced(&trace, tracer);
+                    (outcome, None, tracer)
+                }
             };
             write_trace_out(trace_out.as_deref(), tracer, out)?;
             write_profile_out(profiling, profile.as_deref(), None, out)?;
@@ -994,6 +1160,15 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 outcome.delay_percentile(0.99)
             )
             .map_err(|e| e.to_string())?;
+            if let Some(r) = &wf_report {
+                writeln!(
+                    out,
+                    "workflows {}  settled {}  failed {}  stranded tasks {}  \
+                     workflow yield {:.1}",
+                    r.workflows, r.settled, r.failed, m.stranded, r.total_earned
+                )
+                .map_err(|e| e.to_string())?;
+            }
             if classes {
                 let (high, low) = class_breakdown(&trace, &outcome);
                 for c in [high, low] {
@@ -1030,15 +1205,32 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
         }
         Command::Market {
             trace,
-            economy,
+            workflow,
+            mut economy,
             journal,
             trace_out,
             provenance,
             profile,
             shards,
         } => {
-            let trace =
-                Trace::load(&trace).map_err(|e| format!("cannot read {}: {e}", trace.display()))?;
+            let wfset = load_workflow_set(workflow.as_deref())?;
+            let trace = match (&wfset, trace) {
+                (Some(set), _) => set.trace(),
+                (None, Some(path)) => Trace::load(&path)
+                    .map_err(|e| format!("cannot read {}: {e}", path.display()))?,
+                (None, None) => unreachable!("parse requires --trace or --workflow"),
+            };
+            if let Some(set) = wfset {
+                // Every site prices bids successor-aware, and the
+                // economy runs the release/settle overlay: only roots
+                // arrive, successors release as predecessors complete.
+                economy.sites = economy
+                    .sites
+                    .into_iter()
+                    .map(|s| s.with_workflow_facets(set.facets()))
+                    .collect();
+                economy.workflows = Some(set);
+            }
             let tracer = make_tracer(trace_out.is_some(), provenance);
             let profiling = start_profiling(profile.is_some());
             if shards > 1 {
@@ -1542,8 +1734,10 @@ mod tests {
                 mix,
                 seed,
                 swf,
+                workflow,
             } => {
                 assert!(swf.is_none());
+                assert!(workflow.is_none());
                 assert_eq!(out, PathBuf::from("/tmp/t.json"));
                 assert_eq!(mix.num_tasks, 100);
                 assert_eq!(mix.processors, 8);
@@ -1617,6 +1811,93 @@ mod tests {
         assert!(parse(&args("market --trace t.json --shards 1 --journal j.bin")).is_ok());
         // The incompatibility is documented, not just enforced.
         assert!(usage().contains("--shards N is incompatible with --journal FILE"));
+    }
+
+    #[test]
+    fn parse_shapes() {
+        assert_eq!(
+            parse_shape("fork-join:3").unwrap(),
+            WorkflowShape::ForkJoin { width: 3 }
+        );
+        assert_eq!(
+            parse_shape("pipeline:4").unwrap(),
+            WorkflowShape::Pipeline { depth: 4 }
+        );
+        assert_eq!(
+            parse_shape("layered:3:2:0.5").unwrap(),
+            WorkflowShape::RandomLayered {
+                layers: 3,
+                width: 2,
+                edge_prob: 0.5
+            }
+        );
+        assert!(parse_shape("fork-join").is_err());
+        assert!(parse_shape("fork-join:0").is_err());
+        assert!(parse_shape("layered:3:2").is_err());
+        assert!(parse_shape("layered:3:2:1.5").is_err());
+        assert!(parse_shape("diamond:2").is_err());
+    }
+
+    #[test]
+    fn parse_gen_workflow_flags() {
+        match parse(&args(
+            "gen --out /tmp/w.json --workflow pipeline:5 --workflows 12 \
+             --processors 8 --load 2.0 --seed 9",
+        ))
+        .unwrap()
+        {
+            Command::Gen { workflow, seed, .. } => {
+                let wf = workflow.expect("workflow config");
+                assert_eq!(wf.shape, WorkflowShape::Pipeline { depth: 5 });
+                assert_eq!(wf.workflows, 12);
+                assert_eq!(wf.processors, 8);
+                assert_eq!(wf.load_factor, 2.0);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args(
+            "gen --out o.json --workflow pipeline:5 --workflows 0"
+        ))
+        .is_err());
+        assert!(parse(&args(
+            "gen --out o.json --workflow pipeline:5 --swf log.swf"
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn parse_run_and_market_workflow_flags() {
+        match parse(&args("run --workflow w.json --policy first-price")).unwrap() {
+            Command::Run {
+                trace, workflow, ..
+            } => {
+                assert!(trace.is_none());
+                assert_eq!(workflow, Some(PathBuf::from("w.json")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&args("market --workflow w.json --sites 2 --shards 4")).unwrap() {
+            Command::Market {
+                trace,
+                workflow,
+                shards,
+                ..
+            } => {
+                assert!(trace.is_none());
+                assert_eq!(workflow, Some(PathBuf::from("w.json")));
+                assert_eq!(shards, 4);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Exactly one input source.
+        assert!(parse(&args("run")).is_err());
+        assert!(parse(&args("run --trace t.json --workflow w.json")).is_err());
+        assert!(parse(&args("market")).is_err());
+        assert!(parse(&args("market --trace t.json --workflow w.json")).is_err());
+        // Workflow market runs journal and shard like plain ones.
+        assert!(parse(&args("market --workflow w.json --journal j.bin")).is_ok());
+        assert!(parse(&args("market --workflow w.json --shards 2 --journal j.bin")).is_err());
     }
 
     #[test]

@@ -26,7 +26,10 @@ use mbts::market::{
 use mbts::sim::{FaultConfig, UpDown};
 use mbts::site::{FaultPlan, LostWorkPolicy, SiteConfig, SiteRun};
 use mbts::trace::Tracer;
-use mbts::workload::{fig67_mix, generate_trace, Trace};
+use mbts::workload::{
+    fig67_mix, generate_trace, generate_workflows, Trace, WorkflowConfig, WorkflowSet,
+    WorkflowShape,
+};
 
 /// On mismatch, dump expected/actual to `MBTS_DUMP_DIR` (if set) and
 /// return a pointer for the panic message.
@@ -277,6 +280,103 @@ fn kill_every_event_economy_smoke_with_provenance() {
     assert!(
         total > 20,
         "economy provenance sweep saw only {total} events"
+    );
+}
+
+/// A DAG workload for the workflow kill sweeps: enough edges that many
+/// kill points land *between* a predecessor's completion and the
+/// successor's `Release` event — the window where the workflow
+/// overlay's released/stranded bookkeeping lives only in the snapshot.
+fn smoke_wf_set(seed: u64) -> WorkflowSet {
+    generate_workflows(
+        &WorkflowConfig::default_set()
+            .with_workflows(6)
+            .with_shape(WorkflowShape::RandomLayered {
+                layers: 3,
+                width: 2,
+                edge_prob: 0.5,
+            })
+            .with_processors(2)
+            .with_load_factor(2.0),
+        seed,
+    )
+}
+
+#[test]
+fn kill_every_event_site_workflow_smoke() {
+    let set = smoke_wf_set(19);
+    let config = SiteConfig::new(2)
+        .with_policy(Policy::first_reward(0.3, 0.01))
+        .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 })
+        .with_workflow_facets(set.facets());
+    let total = kill_sweep_site(
+        "site-workflow-smoke",
+        |tracer| SiteRun::with_workflows(config.clone(), &set, tracer),
+        16,
+    );
+    // Arrivals + completions + deadline checks + releases: well past the
+    // flat task count, so the sweep really crossed release boundaries.
+    assert!(
+        total > set.tasks.len() as u64,
+        "workflow sweep saw only {total} events"
+    );
+}
+
+#[test]
+fn kill_every_event_economy_workflow_smoke() {
+    let set = smoke_wf_set(29);
+    let trace = set.trace();
+    let mut config = EconomyConfig::uniform(
+        2,
+        SiteConfig::new(2)
+            .with_policy(Policy::FirstPrice)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 })
+            .with_workflow_facets(set.facets()),
+    );
+    config.workflows = Some(set.clone());
+    config.migration = Some(MigrationConfig {
+        grace: 100.0,
+        max_attempts: 2,
+    });
+    config.faults = Some(
+        MarketFaultConfig::new(
+            FaultConfig {
+                processor: Some(UpDown::exponential(900.0, 90.0)),
+                site: None,
+            },
+            5,
+        )
+        .with_backoff_cap(240.0),
+    );
+    let total = kill_sweep_economy("economy-workflow-smoke", &config, &trace, 32);
+    assert!(
+        total > set.tasks.len() as u64,
+        "workflow economy sweep saw only {total} events"
+    );
+}
+
+#[test]
+fn kill_every_event_economy_workflow_smoke_with_provenance() {
+    let set = smoke_wf_set(31);
+    let trace = set.trace();
+    let mut config = EconomyConfig::uniform(
+        2,
+        SiteConfig::new(2)
+            .with_policy(Policy::first_reward(0.3, 0.01))
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 })
+            .with_workflow_facets(set.facets()),
+    );
+    config.workflows = Some(set);
+    let total = kill_sweep_economy_traced(
+        "economy-workflow-provenance",
+        &config,
+        &trace,
+        16,
+        Tracer::buffer().with_provenance(),
+    );
+    assert!(
+        total > 20,
+        "workflow provenance sweep saw only {total} events"
     );
 }
 

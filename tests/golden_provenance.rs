@@ -17,10 +17,13 @@
 //! UPDATE_GOLDEN=1 cargo test --test golden_provenance
 //! ```
 
-use mbts::core::Policy;
+use mbts::core::{AdmissionPolicy, Policy};
 use mbts::site::{Site, SiteConfig};
 use mbts::trace::{from_jsonl, to_jsonl, DecisionKind, TraceKind, Tracer};
-use mbts::workload::{generate_trace, BoundPolicy, MixConfig, WidthPolicy};
+use mbts::workload::{
+    generate_trace, generate_workflows, BoundPolicy, MixConfig, WidthPolicy, WorkflowConfig,
+    WorkflowSet, WorkflowShape,
+};
 use std::path::PathBuf;
 
 /// Two value-aware policies × two seeds: enough to pin both the
@@ -173,6 +176,151 @@ fn provenance_fixtures_cover_every_site_decision_kind() {
     assert!(backfills > 0, "no fixture records a backfill decision");
     assert!(preempts > 0, "no fixture records a preemption decision");
     assert!(admissions > 0, "no fixture records an admission decision");
+}
+
+/// A small DAG workload with facets installed, so decision records are
+/// workflow-stamped and admission sees successor structure.
+fn wf_set(shape: WorkflowShape, seed: u64) -> WorkflowSet {
+    generate_workflows(
+        &WorkflowConfig::default_set()
+            .with_workflows(4)
+            .with_shape(shape)
+            .with_processors(2)
+            .with_load_factor(2.0),
+        seed,
+    )
+}
+
+fn wf_site(policy: Policy, set: &WorkflowSet) -> Site {
+    Site::new(
+        SiteConfig::new(2)
+            .with_policy(policy)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 })
+            .with_workflow_facets(set.facets()),
+    )
+}
+
+fn wf_provenance_stream(policy: Policy, shape: WorkflowShape, seed: u64) -> String {
+    let set = wf_set(shape, seed);
+    let (_, _, tracer) =
+        wf_site(policy, &set).run_workflows_traced(&set, Tracer::buffer().with_provenance());
+    to_jsonl(&tracer.into_events().expect("buffer tracer keeps events"))
+}
+
+fn wf_grid() -> Vec<(&'static str, WorkflowShape, &'static str, Policy)> {
+    let mut grid = Vec::new();
+    for (shape_label, shape) in [
+        ("forkjoin", WorkflowShape::ForkJoin { width: 3 }),
+        ("pipeline", WorkflowShape::Pipeline { depth: 4 }),
+    ] {
+        for (label, policy) in [
+            ("first_price", Policy::FirstPrice),
+            ("first_reward", Policy::first_reward(0.3, 0.01)),
+        ] {
+            grid.push((shape_label, shape, label, policy));
+        }
+    }
+    grid
+}
+
+#[test]
+fn golden_workflow_provenance_streams_match_committed_fixtures() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for (shape_label, shape, label, policy) in wf_grid() {
+        let seed = 101u64;
+        let name = format!("provenance_wf_{shape_label}_{label}_{seed}.jsonl");
+        let fixture = golden_dir().join(&name);
+        let actual = wf_provenance_stream(policy, shape, seed);
+        if update {
+            std::fs::create_dir_all(golden_dir()).expect("create fixture dir");
+            std::fs::write(&fixture, &actual).expect("write fixture");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&fixture)
+            .unwrap_or_else(|e| panic!("missing fixture {}: {e}", fixture.display()));
+        if actual != expected {
+            std::fs::create_dir_all(diff_dir()).expect("create diff dir");
+            let diff_path = diff_dir().join(&name);
+            std::fs::write(&diff_path, &actual).expect("write actual stream");
+            failures.push(format!(
+                "{name}: diverged (actual written to {})",
+                diff_path.display()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "workflow provenance streams diverged (rerun with UPDATE_GOLDEN=1 to accept):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn workflow_decision_records_carry_workflow_stamps() {
+    // With facets installed, every candidate in every decision record
+    // must name its owning workflow and critical-path membership — and
+    // at least one stamped candidate must lie on a critical path.
+    let mut stamped = 0usize;
+    let mut critical = 0usize;
+    for (shape_label, shape, label, policy) in wf_grid() {
+        let text = wf_provenance_stream(policy, shape, 101);
+        let events = from_jsonl(&text).expect("stream parses");
+        for ev in &events {
+            let TraceKind::DecisionRecord { candidates, .. } = &ev.kind else {
+                continue;
+            };
+            for c in candidates {
+                if c.task.is_some() {
+                    assert!(
+                        c.workflow.is_some(),
+                        "{shape_label}/{label}: task candidate without a workflow stamp"
+                    );
+                    assert!(
+                        c.critical.is_some(),
+                        "{shape_label}/{label}: stamped candidate lacks critical flag"
+                    );
+                    stamped += 1;
+                    if c.critical == Some(true) {
+                        critical += 1;
+                    }
+                }
+            }
+        }
+    }
+    assert!(stamped > 0, "no workflow-stamped decision candidates");
+    assert!(critical > 0, "no candidate on a critical path");
+}
+
+#[test]
+fn filtering_workflow_decision_records_recovers_the_default_stream() {
+    // Provenance can never perturb a workflow replay: the default
+    // stream is a byte-identical subset, and the settlement reports
+    // (earned totals, attribution) agree bitwise.
+    for (shape_label, shape, label, policy) in wf_grid() {
+        let set = wf_set(shape, 101);
+        let (_, plain_report, plain) =
+            wf_site(policy, &set).run_workflows_traced(&set, Tracer::buffer());
+        let (_, prov_report, prov) =
+            wf_site(policy, &set).run_workflows_traced(&set, Tracer::buffer().with_provenance());
+        assert_eq!(
+            plain_report, prov_report,
+            "{shape_label}/{label}: provenance changed workflow settlement"
+        );
+        let plain_events = plain.into_events().expect("buffer keeps events");
+        let filtered: Vec<_> = prov
+            .into_events()
+            .expect("buffer keeps events")
+            .into_iter()
+            .filter(|e| !matches!(e.kind, TraceKind::DecisionRecord { .. }))
+            .collect();
+        assert_eq!(
+            to_jsonl(&filtered),
+            to_jsonl(&plain_events),
+            "{shape_label}/{label}: default stream is not a byte-identical \
+             subset of the provenance stream"
+        );
+    }
 }
 
 #[test]

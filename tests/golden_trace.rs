@@ -15,10 +15,13 @@
 //! `target/golden-diff/<name>.jsonl` so CI can upload the diff as an
 //! artifact.
 
-use mbts::core::Policy;
+use mbts::core::{AdmissionPolicy, Policy};
 use mbts::site::{Site, SiteConfig};
 use mbts::trace::{from_jsonl, to_jsonl, Tracer};
-use mbts::workload::{generate_trace, BoundPolicy, MixConfig, WidthPolicy};
+use mbts::workload::{
+    generate_trace, generate_workflows, BoundPolicy, MixConfig, WidthPolicy, WorkflowConfig,
+    WorkflowSet, WorkflowShape,
+};
 use std::path::PathBuf;
 
 /// The six headline policies of the paper's evaluation (Figures 3–6).
@@ -113,6 +116,129 @@ fn golden_traces_match_committed_fixtures() {
         failures.is_empty(),
         "golden traces diverged (rerun with UPDATE_GOLDEN=1 to accept):\n{}",
         failures.join("\n")
+    );
+}
+
+/// Workflow fixtures: two DAG shapes × two value-aware policies × two
+/// seeds, on an overloaded two-processor site with slack admission, so
+/// the streams exercise release ordering, stranding, and workflow
+/// settlement — not just the flat-task path.
+fn wf_roster() -> Vec<(&'static str, Policy)> {
+    vec![
+        ("first_price", Policy::FirstPrice),
+        ("first_reward", Policy::first_reward(0.3, 0.01)),
+    ]
+}
+
+fn wf_shapes() -> Vec<(&'static str, WorkflowShape)> {
+    vec![
+        ("forkjoin", WorkflowShape::ForkJoin { width: 3 }),
+        ("pipeline", WorkflowShape::Pipeline { depth: 4 }),
+    ]
+}
+
+fn wf_set(shape: WorkflowShape, seed: u64) -> WorkflowSet {
+    generate_workflows(
+        &WorkflowConfig::default_set()
+            .with_workflows(4)
+            .with_shape(shape)
+            .with_processors(2)
+            .with_load_factor(2.0),
+        seed,
+    )
+}
+
+fn wf_stream(policy: Policy, shape: WorkflowShape, seed: u64) -> String {
+    let set = wf_set(shape, seed);
+    let site = Site::new(
+        SiteConfig::new(2)
+            .with_policy(policy)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 })
+            .with_workflow_facets(set.facets()),
+    );
+    let (_, _, tracer) = site.run_workflows_traced(&set, Tracer::buffer());
+    to_jsonl(&tracer.into_events().expect("buffer tracer keeps events"))
+}
+
+#[test]
+fn golden_workflow_traces_match_committed_fixtures() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let mut failures = Vec::new();
+    for (shape_label, shape) in wf_shapes() {
+        for (label, policy) in wf_roster() {
+            for seed in [101u64, 102] {
+                let name = format!("wf_{shape_label}_{label}_{seed}.jsonl");
+                let fixture = golden_dir().join(&name);
+                let actual = wf_stream(policy, shape, seed);
+                if update {
+                    std::fs::create_dir_all(golden_dir()).expect("create fixture dir");
+                    std::fs::write(&fixture, &actual).expect("write fixture");
+                    continue;
+                }
+                let expected = std::fs::read_to_string(&fixture)
+                    .unwrap_or_else(|e| panic!("missing fixture {}: {e}", fixture.display()));
+                if actual != expected {
+                    std::fs::create_dir_all(diff_dir()).expect("create diff dir");
+                    let diff_path = diff_dir().join(&name);
+                    std::fs::write(&diff_path, &actual).expect("write actual stream");
+                    let first_diff = actual
+                        .lines()
+                        .zip(expected.lines())
+                        .position(|(a, e)| a != e)
+                        .map(|i| i + 1)
+                        .unwrap_or_else(|| {
+                            actual.lines().count().min(expected.lines().count()) + 1
+                        });
+                    failures.push(format!(
+                        "{name}: first divergence at line {first_diff} \
+                         (actual written to {})",
+                        diff_path.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden workflow traces diverged (rerun with UPDATE_GOLDEN=1 to accept):\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn golden_workflow_fixtures_exercise_the_dag_event_layer() {
+    use mbts::trace::TraceKind;
+    let mut released = 0usize;
+    let mut settled = 0usize;
+    let mut stranded = 0usize;
+    for (shape_label, _) in wf_shapes() {
+        for (label, _) in wf_roster() {
+            for seed in [101u64, 102] {
+                let path = golden_dir().join(format!("wf_{shape_label}_{label}_{seed}.jsonl"));
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+                let events = from_jsonl(&text)
+                    .unwrap_or_else(|e| panic!("fixture {} does not parse: {e:?}", path.display()));
+                assert!(
+                    events.windows(2).all(|w| w[0].at <= w[1].at),
+                    "wf_{shape_label}_{label}_{seed} is not time-ordered"
+                );
+                for ev in &events {
+                    match ev.kind {
+                        TraceKind::WorkflowReleased { .. } => released += 1,
+                        TraceKind::WorkflowSettled { .. } => settled += 1,
+                        TraceKind::WorkflowStranded { .. } => stranded += 1,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    assert!(released > 0, "no fixture exercises successor release");
+    assert!(settled > 0, "no fixture exercises workflow settlement");
+    assert!(
+        stranded > 0,
+        "no fixture exercises stranding (admission never refused a DAG member)"
     );
 }
 

@@ -15,7 +15,10 @@ use mbts::market::{
 use mbts::sim::{FaultConfig, Time, UpDown};
 use mbts::site::{FaultPlan, Site, SiteConfig};
 use mbts::trace::Tracer;
-use mbts::workload::{generate_trace, BoundPolicy, MixConfig, Trace, WidthPolicy};
+use mbts::workload::{
+    generate_trace, generate_workflows, BoundPolicy, MixConfig, Trace, WidthPolicy, WorkflowConfig,
+    WorkflowSet, WorkflowShape,
+};
 use proptest::prelude::*;
 
 /// Every dispatch policy the paper evaluates.
@@ -501,6 +504,120 @@ fn threaded_sharded_market_matches_serial_outcome_and_snapshot() {
             let snap = sharded_snapshot_json(&cfg, &trace, shards, ShardExecMode::Threads);
             assert_eq!(serial_snap, snap, "snapshot diverged: {label} x{shards}");
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workflow equivalence: DAG workloads run through the market must be an
+// overlay, not a fork of the engine. Whatever the shard count, the fault
+// plan, or the provenance level, the final snapshot — workflow ledger
+// included — must match the serial engine byte for byte.
+// ---------------------------------------------------------------------------
+
+fn equivalence_wf_set(seed: u64) -> WorkflowSet {
+    generate_workflows(
+        &WorkflowConfig::default_set()
+            .with_workflows(8)
+            .with_shape(WorkflowShape::RandomLayered {
+                layers: 3,
+                width: 2,
+                edge_prob: 0.5,
+            })
+            .with_processors(4)
+            .with_load_factor(2.0),
+        seed,
+    )
+}
+
+/// A workflow economy, optionally hostile: successor-aware sites, the
+/// release/settle overlay installed, and (when `faulted`) processor and
+/// site crashes with migration and jittered orphan rebids.
+fn wf_market_cfg(sites: usize, policy: Policy, faulted: bool, set: &WorkflowSet) -> EconomyConfig {
+    let mut c = EconomyConfig::uniform(
+        sites,
+        SiteConfig::new(2)
+            .with_policy(policy)
+            .with_admission(AdmissionPolicy::SlackThreshold { threshold: 0.0 })
+            .with_workflow_facets(set.facets()),
+    );
+    c.workflows = Some(set.clone());
+    if faulted {
+        c.migration = Some(MigrationConfig {
+            grace: 50.0,
+            max_attempts: 3,
+        });
+        let mut faults = MarketFaultConfig::new(
+            FaultConfig {
+                processor: Some(UpDown::exponential(2_500.0, 120.0)),
+                site: Some(UpDown::exponential(15_000.0, 500.0)),
+            },
+            5,
+        );
+        faults.orphan_backoff = 30.0;
+        faults.orphan_jitter = 0.25;
+        c.faults = Some(faults);
+    }
+    c
+}
+
+#[test]
+fn workflow_sharded_market_matches_serial_for_every_policy() {
+    for (label, policy) in all_policies() {
+        for faulted in [false, true] {
+            let set = equivalence_wf_set(81);
+            let trace = set.trace();
+            let cfg = wf_market_cfg(8, policy, faulted, &set);
+            let serial = serial_snapshot_json(&cfg, &trace);
+            for shards in [1, 2, 4, 8] {
+                let sharded = sharded_snapshot_json(&cfg, &trace, shards, ShardExecMode::Inline);
+                assert_eq!(
+                    serial, sharded,
+                    "workflow snapshot diverged: {label} faulted={faulted} shards {shards}"
+                );
+            }
+            // The threaded executor takes the same path once windows open.
+            let threaded = sharded_snapshot_json(&cfg, &trace, 4, ShardExecMode::Threads);
+            assert_eq!(
+                serial, threaded,
+                "workflow snapshot diverged threaded: {label} faulted={faulted}"
+            );
+        }
+    }
+}
+
+#[test]
+fn workflow_provenance_off_streams_are_byte_identical_to_default_streams() {
+    // Same additivity contract as the flat-task version, but over a DAG
+    // market: provenance must not perturb release order, settlement, or
+    // a single float in the workflow ledger.
+    use mbts::trace::{to_jsonl, TraceKind, Tracer};
+    for (label, policy) in all_policies() {
+        let set = equivalence_wf_set(82);
+        let trace = set.trace();
+        let cfg = wf_market_cfg(4, policy, false, &set);
+        let eco = Economy::new(cfg);
+        let (plain_outcome, plain) = eco.run_trace_traced(&trace, Tracer::buffer());
+        let (prov_outcome, prov) = eco.run_trace_traced(&trace, Tracer::buffer().with_provenance());
+        assert_eq!(
+            plain_outcome, prov_outcome,
+            "outcome diverged under provenance: {label}"
+        );
+        assert_eq!(
+            plain_outcome.workflows, prov_outcome.workflows,
+            "workflow ledger diverged under provenance: {label}"
+        );
+        let plain_jsonl = to_jsonl(&plain.into_events().expect("buffer keeps events"));
+        let filtered: Vec<_> = prov
+            .into_events()
+            .expect("buffer keeps events")
+            .into_iter()
+            .filter(|e| !matches!(e.kind, TraceKind::DecisionRecord { .. }))
+            .collect();
+        assert_eq!(
+            to_jsonl(&filtered),
+            plain_jsonl,
+            "provenance-off stream is not byte-identical: {label}"
+        );
     }
 }
 

@@ -308,6 +308,56 @@ impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
     }
 }
 
+// Integer-keyed maps serialize as objects with decimal-string keys
+// (matching serde_json's behavior for non-string map keys).
+impl<V: Serialize> Serialize for std::collections::BTreeMap<u64, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<u64, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| {
+                    let key: u64 = k
+                        .parse()
+                        .map_err(|_| Error::custom(format!("invalid u64 map key {k:?}")))?;
+                    Ok((key, V::from_value(v)?))
+                })
+                .collect(),
+            other => Err(Error::custom(format!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|t| t.to_value()).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::custom(format!(
+                "expected array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

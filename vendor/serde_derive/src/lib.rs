@@ -39,6 +39,9 @@ enum Fields {
 struct Field {
     name: String,
     default: Option<DefaultAttr>,
+    /// `#[serde(skip_serializing_if = "path")]`: predicate path whose
+    /// truth omits the field from the serialized object.
+    skip_if: Option<String>,
 }
 
 enum DefaultAttr {
@@ -128,12 +131,14 @@ fn serde_attr_args(attr_body: &TokenStream) -> Option<TokenStream> {
 struct SerdeArgs {
     transparent: bool,
     default: Option<DefaultAttr>,
+    skip_if: Option<String>,
 }
 
 fn parse_serde_args(args: TokenStream) -> SerdeArgs {
     let mut out = SerdeArgs {
         transparent: false,
         default: None,
+        skip_if: None,
     };
     let mut c = Cursor::new(args);
     while let Some(tt) = c.next() {
@@ -156,6 +161,17 @@ fn parse_serde_args(args: TokenStream) -> SerdeArgs {
                         out.default = Some(DefaultAttr::DefaultTrait);
                     }
                 }
+                "skip_serializing_if" => match (c.next(), c.next()) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit)))
+                        if p.as_char() == '=' =>
+                    {
+                        let s = lit.to_string();
+                        out.skip_if = Some(s.trim_matches('"').to_string());
+                    }
+                    other => {
+                        panic!("expected `= \"path\"` after `skip_serializing_if`, got {other:?}")
+                    }
+                },
                 other => panic!(
                     "vendored serde_derive does not support `#[serde({other})]`; \
                      extend vendor/serde_derive if the workspace needs it"
@@ -220,12 +236,16 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     while !c.at_end() {
         let mut default = None;
+        let mut skip_if = None;
         while matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             let attr = c.take_attr();
             if let Some(args) = serde_attr_args(&attr) {
                 let parsed = parse_serde_args(args);
                 if parsed.default.is_some() {
                     default = parsed.default;
+                }
+                if parsed.skip_if.is_some() {
+                    skip_if = parsed.skip_if;
                 }
             }
         }
@@ -242,7 +262,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             other => panic!("expected `:` after field `{name}`, got {other:?}"),
         }
         skip_type(&mut c);
-        fields.push(Field { name, default });
+        fields.push(Field {
+            name,
+            default,
+            skip_if,
+        });
     }
     fields
 }
@@ -416,16 +440,42 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 /// is prepended to each field access (`self.` for structs, empty for
 /// match-bound variant fields); `deref` optionally dereferences binds.
 fn serialize_named_fields(fields: &[Field], prefix: &str, deref: &str) -> String {
-    let items: Vec<String> = fields
-        .iter()
-        .map(|f| {
-            format!(
-                "(\"{n}\".to_string(), ::serde::Serialize::to_value({deref}&{prefix}{n}))",
-                n = f.name
-            )
-        })
-        .collect();
-    format!("::serde::Value::Object(vec![{}])", items.join(", "))
+    if fields.iter().all(|f| f.skip_if.is_none()) {
+        let items: Vec<String> = fields
+            .iter()
+            .map(|f| {
+                format!(
+                    "(\"{n}\".to_string(), ::serde::Serialize::to_value({deref}&{prefix}{n}))",
+                    n = f.name
+                )
+            })
+            .collect();
+        return format!("::serde::Value::Object(vec![{}])", items.join(", "));
+    }
+    // Conditional fields: build the object imperatively so skipped
+    // fields leave no key behind.
+    let mut body = String::from(
+        "{ let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields {
+        let n = &f.name;
+        let push = format!(
+            "__fields.push((\"{n}\".to_string(), \
+             ::serde::Serialize::to_value({deref}&{prefix}{n})));"
+        );
+        match &f.skip_if {
+            None => {
+                body.push_str(&push);
+                body.push('\n');
+            }
+            Some(pred) => {
+                body.push_str(&format!("if !{pred}({deref}&{prefix}{n}) {{ {push} }}\n"));
+            }
+        }
+    }
+    body.push_str("::serde::Value::Object(__fields) }");
+    body
 }
 
 /// `#[derive(Deserialize)]` entry point.
