@@ -56,12 +56,14 @@
 //! assert_eq!(recovered.finish().0, uninterrupted.finish().0);
 //! ```
 
+pub mod chaos;
 pub mod framing;
 pub mod journal;
 pub mod run;
 
+pub use chaos::{corrupt_image, ChaosSink, SharedImage};
 pub use framing::{FramingError, RecordTag, ScanOutcome};
-pub use journal::{load, recover_bytes, Journal, JournalSink, RecoverError, Recovered};
+pub use journal::{load, recover_bytes, Journal, JournalSink, RecoverError, Recovered, ShortWrite};
 pub use run::{
     durable_economy_run, durable_site_run, durable_site_workflow_run, DurableRun, Recoverable,
     RecoveryReport,

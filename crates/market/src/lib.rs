@@ -69,6 +69,6 @@ pub use economy::{
     EcoEvent, Economy, EconomyConfig, EconomyOutcome, EconomyRun, EconomySnapshot,
     MarketFaultConfig, MigrationConfig, RetryConfig, SiteId,
 };
-pub use parallel::{ShardExecMode, ShardStat, ShardStats, ShardedEconomyRun};
+pub use parallel::{ShardExecMode, ShardStat, ShardStats, ShardedEconomyRun, POINT_SHARD_REPLY};
 pub use pricing::PricingStrategy;
 pub use resource::{run_elastic, ElasticConfig, ElasticOutcome, ProvisioningPolicy, ResourcePool};

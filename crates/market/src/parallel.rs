@@ -41,6 +41,24 @@
 //! The result: `ShardedEconomyRun` is **bit-identical** to
 //! [`EconomyRun`] — same outcome, same trace events, same snapshots —
 //! at any shard count, threaded or inline.
+//!
+//! # Chaos: the lost-reply protocol
+//!
+//! A [`ChaosRegistry`] armed via [`ShardedEconomyRun::new_with_chaos`]
+//! injects faults on the shard **reply fabric** — failpoint instance
+//! `market.shard.reply.{i}` for shard `i` (a spec naming the bare
+//! prefix [`POINT_SHARD_REPLY`] arms every shard). Two actions apply:
+//! `delay_reply` makes the worker sleep before sending (a slow shard,
+//! booked as barrier stall) and `drop_reply` makes it **stash** the
+//! reply instead of sending it (a lost message). With chaos armed the
+//! coordinator bounds every reply wait; on timeout it sends
+//! `Op::Resend` and the worker re-delivers its stash if — and only
+//! if — the op sequence number matches. Original-send and stash are
+//! mutually exclusive and a stash is delivered at most once, so exactly
+//! one reply per op reaches the coordinator: faults perturb *timing*,
+//! never *content*, and the bit-identity contract above survives any
+//! schedule of delays and drops. Inline mode has no reply fabric, so
+//! the registry is inert there.
 
 use crate::economy::{
     EcoEvent, EcoModel, EconomyConfig, EconomyOutcome, EconomyRun, EconomySnapshot, SiteCluster,
@@ -52,10 +70,23 @@ use mbts_sim::{EventQueue, Model, Time};
 use mbts_site::{CompletionToken, JobOutcome, SiteOutcome, SiteSnapshot, SiteState};
 use mbts_trace::Tracer;
 use mbts_workload::{TaskId, TaskSpec, Trace};
+use mbts_chaos::{ChaosRegistry, FailAction};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::sync::mpsc::{Receiver, Sender};
-use std::time::Instant;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Failpoint name prefix for shard reply faults; shard `i` consults the
+/// instance `market.shard.reply.{i}`. Dot-boundary prefix matching means
+/// a spec naming this bare prefix arms every shard at once.
+pub const POINT_SHARD_REPLY: &str = "market.shard.reply";
+
+/// How long the coordinator waits for a shard reply before suspecting a
+/// dropped message and issuing an `Op::Resend`. Only applies when a
+/// chaos registry is armed; plain runs block indefinitely (no timeout
+/// syscalls on the hot path).
+const RESEND_TIMEOUT: Duration = Duration::from_millis(25);
 
 /// How a [`ShardCluster`] executes its shards.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,6 +210,11 @@ enum Op {
     Snapshot,
     Stats,
     Finish,
+    /// Chaos recovery: the coordinator timed out waiting for the reply
+    /// to the op with this transport sequence number and asks the worker
+    /// to re-deliver its stash. Handled in the worker loop, never by
+    /// [`ShardCore::exec`]; inline mode never sends it.
+    Resend,
 }
 
 enum Reply {
@@ -269,6 +305,7 @@ impl ShardCore {
                 ops: self.ops,
             },
             Op::Finish => Reply::Outcomes(self.sites.drain(..).map(|s| s.into_outcome()).collect()),
+            Op::Resend => unreachable!("Resend is intercepted by the worker loop"),
         };
         self.busy_ns += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         reply
@@ -355,10 +392,44 @@ impl ShardCore {
     }
 }
 
+/// Handle to one shard's thread. Ops and replies carry a transport
+/// sequence number so the chaos lost-reply protocol can never pair a
+/// reply with the wrong request.
 struct Worker {
-    tx: Sender<Op>,
-    rx: Receiver<Reply>,
+    tx: Sender<(u64, Op)>,
+    rx: Receiver<(u64, Reply)>,
     join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Worker {
+    /// Receives the reply for op `seq`. Without chaos the wait is
+    /// unbounded (replies cannot be lost). With chaos armed the wait is
+    /// bounded by [`RESEND_TIMEOUT`]: on expiry the coordinator suspects
+    /// a dropped reply and asks the worker to re-send its stash. The
+    /// resend is seq-matched on both sides, so a reply that was merely
+    /// delayed is never duplicated.
+    fn recv_reply(&self, seq: u64, chaos_armed: bool) -> Reply {
+        if !chaos_armed {
+            let (rseq, reply) = self.rx.recv().expect("shard worker died");
+            debug_assert_eq!(rseq, seq, "reply out of order without chaos");
+            return reply;
+        }
+        loop {
+            match self.rx.recv_timeout(RESEND_TIMEOUT) {
+                Ok((rseq, reply)) if rseq == seq => return reply,
+                // A reply the protocol already settled — impossible by
+                // construction (one outstanding op per worker, stash
+                // delivered at most once); dropped if it ever shows.
+                Ok(_) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    self.tx
+                        .send((seq, Op::Resend))
+                        .expect("shard worker hung up");
+                }
+                Err(RecvTimeoutError::Disconnected) => panic!("shard worker died"),
+            }
+        }
+    }
 }
 
 enum Exec {
@@ -379,10 +450,20 @@ pub(crate) struct ShardCluster {
     /// Σ time the coordinator spent blocked at a barrier after the first
     /// shard's reply arrived (threaded mode only).
     stall_ns: u64,
+    /// Seeded failpoint registry the workers consult before each reply
+    /// send; `None` keeps the plain unbounded-recv fast path.
+    chaos: Option<Arc<ChaosRegistry>>,
+    /// Transport-level op sequence counter (tags every request).
+    op_seq: u64,
 }
 
 impl ShardCluster {
-    fn new(sites: Vec<SiteState>, shards: usize, mode: ShardExecMode) -> Self {
+    fn new(
+        sites: Vec<SiteState>,
+        shards: usize,
+        mode: ShardExecMode,
+        chaos: Option<Arc<ChaosRegistry>>,
+    ) -> Self {
         assert!(shards >= 1, "cluster needs at least one shard");
         let shards = shards.min(sites.len()).max(1);
         let chunk = sites.len().div_ceil(shards);
@@ -406,15 +487,58 @@ impl ShardCluster {
             Exec::Threads(
                 cores
                     .into_iter()
-                    .map(|mut core| {
-                        let (op_tx, op_rx) = std::sync::mpsc::channel::<Op>();
-                        let (reply_tx, reply_rx) = std::sync::mpsc::channel::<Reply>();
+                    .enumerate()
+                    .map(|(idx, mut core)| {
+                        let (op_tx, op_rx) = std::sync::mpsc::channel::<(u64, Op)>();
+                        let (reply_tx, reply_rx) = std::sync::mpsc::channel::<(u64, Reply)>();
+                        let chaos = chaos.clone();
+                        let point = format!("{POINT_SHARD_REPLY}.{idx}");
                         let join = std::thread::Builder::new()
-                            .name(format!("mbts-shard-{}", core.base / chunk.max(1)))
+                            .name(format!("mbts-shard-{idx}"))
                             .spawn(move || {
-                                while let Ok(op) = op_rx.recv() {
-                                    let done = matches!(op, Op::Finish);
-                                    if reply_tx.send(core.exec(op)).is_err() || done {
+                                // Lost-reply protocol: a computed reply is
+                                // either sent (possibly after a delay) or
+                                // stashed — never both — and a stash is
+                                // delivered at most once, on a seq-matched
+                                // Resend. Exactly one reply per op reaches
+                                // the coordinator.
+                                let mut stash: Option<(u64, Reply, bool)> = None;
+                                while let Ok((seq, op)) = op_rx.recv() {
+                                    if matches!(op, Op::Resend) {
+                                        if let Some((sseq, reply, fin)) = stash.take() {
+                                            if sseq == seq {
+                                                if reply_tx.send((sseq, reply)).is_err() || fin {
+                                                    break;
+                                                }
+                                                continue;
+                                            }
+                                            stash = Some((sseq, reply, fin));
+                                        }
+                                        continue;
+                                    }
+                                    let fin = matches!(op, Op::Finish);
+                                    let reply = core.exec(op);
+                                    if let Some(firing) =
+                                        chaos.as_ref().and_then(|c| c.hit(&point))
+                                    {
+                                        match firing.action {
+                                            FailAction::DropReply => {
+                                                // Keep looping even after a
+                                                // Finish: the coordinator's
+                                                // Resend must still be
+                                                // answered before exiting.
+                                                stash = Some((seq, reply, fin));
+                                                continue;
+                                            }
+                                            FailAction::DelayReply { delay_ms } => {
+                                                std::thread::sleep(Duration::from_millis(
+                                                    delay_ms,
+                                                ));
+                                            }
+                                            _ => {}
+                                        }
+                                    }
+                                    if reply_tx.send((seq, reply)).is_err() || fin {
                                         break;
                                     }
                                 }
@@ -436,6 +560,8 @@ impl ShardCluster {
             chunk,
             shards,
             stall_ns: 0,
+            chaos,
+            op_seq: 0,
         }
     }
 
@@ -453,11 +579,14 @@ impl ShardCluster {
 
     /// One request to one shard, synchronously.
     fn call(&mut self, shard: usize, op: Op) -> Reply {
+        let chaos_armed = self.chaos.is_some();
         match &mut self.exec {
             Exec::Inline(cores) => cores[shard].exec(op),
             Exec::Threads(ws) => {
-                ws[shard].tx.send(op).expect("shard worker hung up");
-                ws[shard].rx.recv().expect("shard worker died")
+                let seq = self.op_seq;
+                self.op_seq += 1;
+                ws[shard].tx.send((seq, op)).expect("shard worker hung up");
+                ws[shard].recv_reply(seq, chaos_armed)
             }
         }
     }
@@ -466,17 +595,23 @@ impl ShardCluster {
     /// threaded mode the time between the first and last reply is
     /// booked as barrier stall.
     fn broadcast(&mut self, make: impl Fn() -> Op) -> Vec<Reply> {
+        let chaos_armed = self.chaos.is_some();
         match &mut self.exec {
             Exec::Inline(cores) => cores.iter_mut().map(|c| c.exec(make())).collect(),
             Exec::Threads(ws) => {
-                for w in ws.iter() {
-                    w.tx.send(make()).expect("shard worker hung up");
+                let base = self.op_seq;
+                self.op_seq += ws.len() as u64;
+                for (i, w) in ws.iter().enumerate() {
+                    w.tx
+                        .send((base + i as u64, make()))
+                        .expect("shard worker hung up");
                 }
                 let mut first: Option<Instant> = None;
                 let replies: Vec<Reply> = ws
                     .iter()
-                    .map(|w| {
-                        let r = w.rx.recv().expect("shard worker died");
+                    .enumerate()
+                    .map(|(i, w)| {
+                        let r = w.recv_reply(base + i as u64, chaos_armed);
                         first.get_or_insert_with(Instant::now);
                         r
                     })
@@ -505,6 +640,7 @@ impl ShardCluster {
             Reply::Window(w) => w,
             _ => unreachable!("window op answered with a non-window reply"),
         };
+        let chaos_armed = self.chaos.is_some();
         match &mut self.exec {
             Exec::Inline(cores) => batches
                 .into_iter()
@@ -517,22 +653,28 @@ impl ShardCluster {
                 })
                 .collect(),
             Exec::Threads(ws) => {
-                let order: Vec<usize> = batches.iter().map(|(s, _)| *s).collect();
+                let mut order: Vec<(usize, u64)> = Vec::with_capacity(batches.len());
                 for (s, events) in batches {
+                    let seq = self.op_seq;
+                    self.op_seq += 1;
+                    order.push((s, seq));
                     ws[s]
                         .tx
-                        .send(Op::Window {
-                            events,
-                            barrier,
-                            base_key,
-                        })
+                        .send((
+                            seq,
+                            Op::Window {
+                                events,
+                                barrier,
+                                base_key,
+                            },
+                        ))
                         .expect("shard worker hung up");
                 }
                 let mut first: Option<Instant> = None;
                 let results: Vec<WindowResult> = order
                     .iter()
-                    .map(|&s| {
-                        let r = ws[s].rx.recv().expect("shard worker died");
+                    .map(|&(s, seq)| {
+                        let r = ws[s].recv_reply(seq, chaos_armed);
                         first.get_or_insert_with(Instant::now);
                         unwrap(r)
                     })
@@ -597,7 +739,7 @@ impl Drop for ShardCluster {
         if let Exec::Threads(ws) = &mut self.exec {
             for w in ws.iter_mut() {
                 // Dropping the op sender ends the worker's recv loop.
-                let (dead_tx, _) = std::sync::mpsc::channel::<Op>();
+                let (dead_tx, _) = std::sync::mpsc::channel::<(u64, Op)>();
                 drop(std::mem::replace(&mut w.tx, dead_tx));
                 if let Some(join) = w.join.take() {
                     let _ = join.join();
@@ -741,12 +883,28 @@ impl ShardedEconomyRun {
         shards: usize,
         mode: ShardExecMode,
     ) -> Self {
+        Self::new_with_chaos(config, trace, tracer, shards, mode, None)
+    }
+
+    /// Like [`new`](Self::new) with a failpoint registry armed on the
+    /// shard reply fabric (`market.shard.reply.{i}`). Injected delays
+    /// and drops perturb timing only — the outcome, trace, and snapshots
+    /// stay bit-identical to the serial engine (see the module docs'
+    /// lost-reply protocol). Inert in inline mode.
+    pub fn new_with_chaos(
+        config: EconomyConfig,
+        trace: &Trace,
+        tracer: Tracer,
+        shards: usize,
+        mode: ShardExecMode,
+        chaos: Option<Arc<ChaosRegistry>>,
+    ) -> Self {
         let sites: Vec<SiteState> = config
             .sites
             .iter()
             .map(|c| SiteState::new(c.clone()))
             .collect();
-        let cluster = ShardCluster::new(sites, shards, mode);
+        let cluster = ShardCluster::new(sites, shards, mode, chaos);
         let (model, initial) = EconomyRun::build_parts(config, trace, tracer, cluster);
         let mut queue = EventQueue::new();
         for (at, ev) in initial {
@@ -764,12 +922,23 @@ impl ShardedEconomyRun {
 
     /// Resumes a run from a (serial or sharded — the format is shared)
     /// snapshot.
-    pub fn from_snapshot(mut snap: EconomySnapshot, shards: usize, mode: ShardExecMode) -> Self {
+    pub fn from_snapshot(snap: EconomySnapshot, shards: usize, mode: ShardExecMode) -> Self {
+        Self::from_snapshot_with_chaos(snap, shards, mode, None)
+    }
+
+    /// [`from_snapshot`](Self::from_snapshot) with the shard reply
+    /// fabric chaos-armed, as in [`new_with_chaos`](Self::new_with_chaos).
+    pub fn from_snapshot_with_chaos(
+        mut snap: EconomySnapshot,
+        shards: usize,
+        mode: ShardExecMode,
+        chaos: Option<Arc<ChaosRegistry>>,
+    ) -> Self {
         let sites: Vec<SiteState> = std::mem::take(&mut snap.sites)
             .into_iter()
             .map(SiteState::from_snapshot)
             .collect();
-        let cluster = ShardCluster::new(sites, shards, mode);
+        let cluster = ShardCluster::new(sites, shards, mode, chaos);
         let (model, entries, next_seq, now, handled) = EconomyRun::restore_parts(snap, cluster);
         ShardedEconomyRun {
             model,
@@ -1095,6 +1264,46 @@ mod tests {
                 eco.run_trace_sharded(&t, Tracer::Off, shards, ShardExecMode::Threads);
             assert_bit_identical(&serial, &sharded, &format!("threads x{shards}"));
         }
+    }
+
+    #[test]
+    fn chaos_dropped_and_delayed_replies_stay_bit_identical_to_serial() {
+        use mbts_chaos::FailpointSpec;
+        let t = trace(300, 18);
+        let eco = Economy::new(cfg(4));
+        let serial = eco.run_trace(&t);
+        // Drop every 9th reply cluster-wide and delay every 5th on shard
+        // 1: exercises stash+Resend and the delayed-reply/timeout race.
+        let mut drops = FailpointSpec::always(POINT_SHARD_REPLY, FailAction::DropReply);
+        drops.every = 9;
+        drops.max_fires = 25; // each drop costs one RESEND_TIMEOUT; bound the wall clock
+        let mut delays = FailpointSpec::always(
+            &format!("{POINT_SHARD_REPLY}.1"),
+            FailAction::DelayReply { delay_ms: 30 },
+        );
+        delays.every = 5;
+        delays.max_fires = 4;
+        let registry = Arc::new(ChaosRegistry::new(99, vec![drops, delays]));
+        let mut run = ShardedEconomyRun::new_with_chaos(
+            eco.config().clone(),
+            &t,
+            Tracer::Off,
+            4,
+            ShardExecMode::Threads,
+            Some(Arc::clone(&registry)),
+        );
+        run.run_to_completion();
+        let (chaotic, _) = run.finish();
+        assert!(
+            registry.fired_total() > 0,
+            "schedule must actually inject faults"
+        );
+        let by_point = registry.fired_by_point();
+        assert!(
+            by_point.keys().all(|p| p.starts_with(POINT_SHARD_REPLY)),
+            "only shard reply points may fire: {by_point:?}"
+        );
+        assert_bit_identical(&serial, &chaotic, "chaos threads x4");
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct FloodConfig {
     /// Issue a cancel for an earlier accepted task every N submissions
     /// (0 = never) — keeps the cancel path hot under load.
     pub cancel_every: u64,
+    /// Fire one protocol-garbage request (on its own connection) every N
+    /// batches per thread (0 = never): truncated request lines, bad
+    /// content-lengths, invalid UTF-8 bodies. The run fails if the
+    /// daemon ever answers garbage with a 2xx.
+    pub malformed_every: u64,
     /// Throughput floor; enforcement is the caller's call (multi-core).
     pub gate_rps: Option<f64>,
 }
@@ -61,6 +66,7 @@ impl Default for FloodConfig {
             timeout: StdDuration::from_secs(5),
             retries: 3,
             cancel_every: 0,
+            malformed_every: 0,
             gate_rps: None,
         }
     }
@@ -89,6 +95,9 @@ pub struct FloodReport {
     pub exhausted: u64,
     /// Socket-level errors (drops during chaos kills, timeouts).
     pub errors: u64,
+    /// Protocol-garbage requests fired (each answered 4xx or closed).
+    #[serde(default)]
+    pub malformed: u64,
     /// Wall-clock seconds.
     pub wall_s: f64,
     /// Completed responses per second.
@@ -179,6 +188,7 @@ struct ThreadTally {
     retries: u64,
     exhausted: u64,
     errors: u64,
+    malformed: u64,
     hist: Histogram,
 }
 
@@ -247,6 +257,7 @@ pub fn flood(cfg: &FloodConfig) -> io::Result<FloodReport> {
                 tally.retries += t.retries;
                 tally.exhausted += t.exhausted;
                 tally.errors += t.errors;
+                tally.malformed += t.malformed;
                 tally.hist.merge(&t.hist);
             }
             Ok(Err(e)) => first_err = first_err.or(Some(e)),
@@ -276,6 +287,7 @@ pub fn flood(cfg: &FloodConfig) -> io::Result<FloodReport> {
         retries: tally.retries,
         exhausted: tally.exhausted,
         errors: tally.errors,
+        malformed: tally.malformed,
         wall_s,
         rps,
         p50_us: tally.hist.quantile_ns(0.50) as f64 / 1e3,
@@ -318,6 +330,55 @@ fn connect(addr: &str, timeout: StdDuration) -> io::Result<TcpStream> {
     }
 }
 
+/// Protocol-garbage corpus for the malformed-request generator. Every
+/// entry must draw a `400` (or an immediate close) from the daemon —
+/// never a 2xx, never a hang, never a crash. Entries cover each parser
+/// layer: request line, version, headers, framing, body encoding.
+const MALFORMED_CORPUS: &[&[u8]] = &[
+    // Request line with no target or version.
+    b"GARBAGE\r\n\r\n",
+    // A version outside the HTTP/1.x subset.
+    b"POST /submit HTTP/9.9\r\nhost: mbts\r\n\r\n",
+    // Unparseable content-length.
+    b"POST /submit HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+    // Declared body far past the server's MAX_BODY cap.
+    b"POST /submit HTTP/1.1\r\ncontent-length: 99999999\r\n\r\n",
+    // Header line with no colon.
+    b"POST /submit HTTP/1.1\r\nno-colon-header\r\n\r\n",
+    // Valid framing, invalid UTF-8 where a JSON body belongs.
+    b"POST /submit HTTP/1.1\r\ncontent-length: 4\r\n\r\n\xff\xfe\xfd\xfc",
+    // Body shorter than declared: the server's read must time out into
+    // a 400, not wedge the connection worker.
+    b"POST /submit HTTP/1.1\r\ncontent-length: 64\r\n\r\n{}",
+];
+
+/// Fires one seeded corpus entry on a throwaway connection and checks
+/// the daemon survives it without ever acknowledging garbage.
+fn send_malformed(
+    addr: &str,
+    timeout: StdDuration,
+    rng: &mut Rng,
+    tally: &mut ThreadTally,
+) -> io::Result<()> {
+    let wire = MALFORMED_CORPUS[(rng.next() % MALFORMED_CORPUS.len() as u64) as usize];
+    let stream = connect(addr, timeout)?;
+    tally.malformed += 1;
+    let mut w = stream.try_clone()?;
+    if w.write_all(wire).is_err() || w.flush().is_err() {
+        return Ok(()); // daemon closed first: acceptable garbage handling
+    }
+    let mut reader = BufReader::new(stream);
+    if let Ok(Some(resp)) = http::read_response(&mut reader) {
+        if resp.status < 400 {
+            return Err(io::Error::other(format!(
+                "daemon answered protocol garbage with {}",
+                resp.status
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn submit_body(rng: &mut Rng) -> Vec<u8> {
     let runtime = rng.uniform(0.5, 4.0);
     let value = rng.uniform(1.0, 10.0);
@@ -350,7 +411,15 @@ fn flood_thread(cfg: &FloodConfig, index: usize, share: u64) -> io::Result<Threa
     let mut last_accepted: Option<u64> = None;
 
     let mut stream = connect(&cfg.addr, cfg.timeout)?;
+    let mut until_malformed = cfg.malformed_every;
     'run: while !backlog.is_empty() {
+        if cfg.malformed_every > 0 {
+            until_malformed -= 1;
+            if until_malformed == 0 {
+                until_malformed = cfg.malformed_every;
+                send_malformed(&cfg.addr, cfg.timeout, &mut rng, &mut tally)?;
+            }
+        }
         let n = backlog.len().min(pipeline);
         let mut batch: Vec<Item> = backlog.drain(..n).collect();
         // Late-bind cancel targets to the most recently accepted task.

@@ -14,6 +14,12 @@
 //! substrate), `mbts-durable` (the journal), `mbts-trace` (provenance +
 //! the serve summary surfaced by `mbts metrics`), and `mbts-sim` (time,
 //! event queue, self-profiler sections).
+//!
+//! Network paths never panic: every parse, validation, or serialization
+//! problem becomes a typed 4xx/5xx JSON reply, and the lint below keeps
+//! `unwrap()` out of production code (tests are exempt).
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod flood;
 pub mod http;
@@ -27,4 +33,7 @@ pub use machine::{
     ApplyOutcome, Command, CommandKind, MachineConfig, ServeCounters, ServiceMachine,
     ServiceSnapshot, ShedReason, TaskStatus, SERVICE_SNAPSHOT_FORMAT,
 };
-pub use server::{install_signal_handlers, ServeConfig, ServeReport, Server};
+pub use server::{
+    install_signal_handlers, ServeConfig, ServeReport, Server, POINT_ACCEPT, POINT_CONN_READ,
+    POINT_CONN_WRITE,
+};

@@ -33,6 +33,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration as StdDuration, Instant};
 
+use mbts_chaos::{ChaosRegistry, FailAction, Firing};
 use mbts_core::Job;
 use mbts_durable::Journal;
 use mbts_sim::profiler::{self, Section};
@@ -48,6 +49,17 @@ use crate::machine::{ApplyOutcome, CommandKind, MachineConfig, ShedReason, TaskS
 
 /// How many queue entries the core drains per lock acquisition.
 const CORE_BATCH: usize = 256;
+
+/// Failpoint consulted after each successful `accept(2)`: `accept_fail`
+/// closes the fresh connection before a worker is spawned.
+pub const POINT_ACCEPT: &str = "serve.accept";
+/// Failpoint consulted per request on the connection read side:
+/// `slow_read` stalls before parsing, `drop_conn` closes mid-exchange.
+pub const POINT_CONN_READ: &str = "serve.conn.read";
+/// Failpoint consulted before each response write: `partial_write`
+/// sends a response prefix then closes (a torn reply on the wire),
+/// `drop_conn` closes without writing at all.
+pub const POINT_CONN_WRITE: &str = "serve.conn.write";
 
 /// Process-global stop flag flipped by SIGTERM/SIGINT. Separate from the
 /// per-server flag so in-process test servers are not coupled to signals.
@@ -101,6 +113,10 @@ pub struct ServeConfig {
     /// Artificial per-command apply delay — a chaos/test knob that makes
     /// overload reproducible on fast machines.
     pub throttle: StdDuration,
+    /// Seeded failpoint registry armed on the socket layer
+    /// ([`POINT_ACCEPT`], [`POINT_CONN_READ`], [`POINT_CONN_WRITE`]);
+    /// `None` disables injection entirely.
+    pub chaos: Option<Arc<ChaosRegistry>>,
 }
 
 impl Default for ServeConfig {
@@ -118,6 +134,7 @@ impl Default for ServeConfig {
             status_capacity: 65_536,
             request_timeout: StdDuration::from_secs(5),
             throttle: StdDuration::ZERO,
+            chaos: None,
         }
     }
 }
@@ -272,10 +289,12 @@ impl Reply {
     }
 
     fn error(status: u16, detail: &str) -> Reply {
+        let detail = serde_json::to_string(detail)
+            .unwrap_or_else(|_| "\"unrepresentable error detail\"".to_string());
         Reply {
             status,
             extra: Vec::new(),
-            body: format!("{{\"error\":{}}}", serde_json::to_string(detail).unwrap()).into_bytes(),
+            body: format!("{{\"error\":{detail}}}").into_bytes(),
         }
     }
 
@@ -298,6 +317,8 @@ struct Shared {
     /// EMA of journal-append + apply latency, nanoseconds.
     ema_apply_ns: AtomicU64,
     request_timeout: StdDuration,
+    /// Socket-layer failpoints (accept / per-connection read / write).
+    chaos: Option<Arc<ChaosRegistry>>,
 }
 
 impl Shared {
@@ -314,10 +335,24 @@ impl Shared {
     /// `Retry-After` from queue slack: how long the backlog ahead of a
     /// retry would take at the observed apply rate.
     fn retry_after_secs(&self, depth: usize) -> u64 {
-        let ema = self.ema_apply_ns.load(Ordering::Relaxed).max(1);
-        let secs = (depth as f64 * ema as f64) / 1e9;
-        (secs.ceil() as u64).clamp(1, 60)
+        retry_after_from(self.ema_apply_ns.load(Ordering::Relaxed), depth)
     }
+
+    /// Registers one hit on a socket-layer failpoint.
+    fn chaos_hit(&self, point: &str) -> Option<Firing> {
+        self.chaos.as_ref().and_then(|c| c.hit(point))
+    }
+}
+
+/// Pure `Retry-After` computation: backlog `depth` × EMA apply latency,
+/// rounded up to whole seconds and clamped to `[1, 60]`. The floor keeps
+/// the hint meaningful when the queue has just drained (depth 0 — an
+/// instant retry would race the same overload that produced the 429) and
+/// the ceiling keeps a latency spike from parking clients for minutes.
+fn retry_after_from(ema_apply_ns: u64, depth: usize) -> u64 {
+    let ema = ema_apply_ns.max(1);
+    let secs = (depth as f64 * ema as f64) / 1e9;
+    (secs.ceil() as u64).clamp(1, 60)
 }
 
 /// A running daemon: bound address plus join handles.
@@ -380,6 +415,7 @@ impl Server {
             timeouts: AtomicU64::new(0),
             ema_apply_ns: AtomicU64::new(1_000),
             request_timeout: cfg.request_timeout,
+            chaos: cfg.chaos.clone(),
         });
 
         let core = {
@@ -428,6 +464,14 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                if let Some(firing) = shared.chaos_hit(POINT_ACCEPT) {
+                    if matches!(firing.action, FailAction::AcceptFail) {
+                        // Close before a worker exists: the client sees a
+                        // reset, exactly like an accept-queue overflow.
+                        drop(stream);
+                        continue;
+                    }
+                }
                 let shared = Arc::clone(&shared);
                 let _ = thread::Builder::new()
                     .name("mbts-serve-conn".to_string())
@@ -470,6 +514,15 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
             Err(_) => return,
         }
+        if let Some(firing) = shared.chaos_hit(POINT_CONN_READ) {
+            match firing.action {
+                FailAction::SlowRead { delay_ms } => {
+                    thread::sleep(StdDuration::from_millis(delay_ms));
+                }
+                FailAction::DropConn => return,
+                _ => {}
+            }
+        }
         let req = match profiler::time(Section::ServeParse, || http::read_request(&mut reader)) {
             Ok(Some(r)) => r,
             Ok(None) => return,
@@ -481,6 +534,26 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
         };
         let reply = route(&req, &shared);
+        if let Some(firing) = shared.chaos_hit(POINT_CONN_WRITE) {
+            match firing.action {
+                FailAction::DropConn => return,
+                FailAction::PartialWrite { max_bytes } => {
+                    // Render the full response, then put only a seeded
+                    // prefix on the wire and close: the client sees a
+                    // torn reply it must treat as a failed request.
+                    let mut wire = Vec::new();
+                    if send_reply(&mut wire, &reply).is_err() {
+                        return;
+                    }
+                    let cap = max_bytes.max(1).min(wire.len()) as u64;
+                    let n = (1 + firing.entropy % cap) as usize;
+                    let _ = writer.write_all(&wire[..n]);
+                    let _ = writer.flush();
+                    return;
+                }
+                _ => {}
+            }
+        }
         if send_reply(&mut writer, &reply).is_err() {
             return;
         }
@@ -561,7 +634,9 @@ fn route(req: &http::Request, shared: &Arc<Shared>) -> Reply {
 fn dispatch(shared: &Arc<Shared>, work: Work) -> Reply {
     let (tx, rx) = mpsc::sync_channel(1);
     {
-        let mut q = shared.queue.lock().expect("admission queue poisoned");
+        // A poisoned queue (a panicking peer mid-push) must not take the
+        // whole front-end down: recover the guard and keep serving.
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.len() >= shared.capacity {
             drop(q);
             shared.backpressured.fetch_add(1, Ordering::Relaxed);
@@ -598,12 +673,12 @@ fn core_loop(
 
     'outer: loop {
         let (victims, batch, depth) = {
-            let mut q = shared.queue.lock().expect("admission queue poisoned");
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             while q.is_empty() && !shared.stopping() {
                 let (guard, _) = shared
                     .cv
                     .wait_timeout(q, StdDuration::from_millis(50))
-                    .expect("admission queue poisoned");
+                    .unwrap_or_else(|e| e.into_inner());
                 q = guard;
             }
             if q.is_empty() {
@@ -747,7 +822,12 @@ fn shed_one(
     let ApplyOutcome::Shed { task, reason } = outcome else {
         unreachable!("shed commands produce shed outcomes");
     };
-    let secs = shared.retry_after_secs(queue_depth);
+    // The journaled `queue_depth` is the shed decision's input and must
+    // replay as recorded; the Retry-After hint instead reflects the
+    // backlog a retry would face *now* — mid-batch the two diverge (the
+    // threshold may have been crossed while earlier victims drained).
+    let live_depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    let secs = shared.retry_after_secs(live_depth);
     let reply = Reply::json(
         429,
         ShedView {
@@ -839,7 +919,7 @@ fn handle_one(run: &mut ServiceRun, shared: &Arc<Shared>, pending: Pending) -> i
         },
         Work::Stats => {
             let m = run.machine();
-            let depth = shared.queue.lock().map(|q| q.len()).unwrap_or(0);
+            let depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
             Reply::json(
                 200,
                 StatsView {
@@ -860,4 +940,57 @@ fn handle_one(run: &mut ServiceRun, shared: &Arc<Shared>, pending: Pending) -> i
     };
     let _ = pending.reply.send(reply);
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_floors_at_one_second_even_for_an_empty_queue() {
+        // Queue slack 0 (just drained / shed with nothing behind it):
+        // an instant-retry hint would race the same overload again.
+        assert_eq!(retry_after_from(1_000, 0), 1);
+        assert_eq!(retry_after_from(0, 0), 1);
+        // Sub-second backlogs round up, never down to zero.
+        assert_eq!(retry_after_from(1_000_000, 500), 1); // 0.5ms × 500 = 0.25s
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog_and_caps_at_sixty() {
+        // 2ms EMA × 5000 deep = 10s of backlog.
+        assert_eq!(retry_after_from(2_000_000, 5_000), 10);
+        // 2ms EMA × 1000 deep = 2s.
+        assert_eq!(retry_after_from(2_000_000, 1_000), 2);
+        // A latency spike must not park clients for minutes.
+        assert_eq!(retry_after_from(u64::MAX, 1), 60);
+        assert_eq!(retry_after_from(1_000_000_000, 100_000), 60);
+    }
+
+    #[test]
+    fn retry_after_survives_zero_ema() {
+        // The EMA starts life at a seed value but a zero must not panic
+        // or hint zero seconds.
+        assert_eq!(retry_after_from(0, 10_000), 1);
+    }
+
+    #[test]
+    fn error_replies_are_valid_json_even_with_quotes_in_the_detail() {
+        #[derive(Deserialize)]
+        struct ErrBody {
+            error: String,
+        }
+        let reply = Reply::error(400, "bad \"quoted\" input\r\n");
+        let e: ErrBody = serde_json::from_slice(&reply.body).expect("error body parses as JSON");
+        assert_eq!(e.error, "bad \"quoted\" input\r\n");
+        assert_eq!(reply.status, 400);
+    }
+
+    #[test]
+    fn retry_after_header_value_matches_the_computation() {
+        let reply = Reply::error(429, "backpressure").with_retry_after(retry_after_from(1_000, 0));
+        let (name, value) = &reply.extra[0];
+        assert_eq!(*name, "retry-after");
+        assert_eq!(value, "1");
+    }
 }

@@ -194,6 +194,33 @@ pub struct WorkflowSummary {
     pub top_attributed: Vec<(u64, f64)>,
 }
 
+/// Per-fault-class chaos accounting.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChaosClassReport {
+    /// Faults of this class injected.
+    pub injected: u64,
+    /// Recoveries attributed to this class.
+    pub recovered: u64,
+    /// Tasks dropped at the penalty floor while a fault of this class
+    /// was open (injected, not yet recovered).
+    pub dropped_during: u64,
+    /// Yield lost to those drops: Σ −earned (positive = value burned)
+    /// while the class was open. Attribution is per open class, so
+    /// overlapping fault classes each see the loss they were open for.
+    pub yield_lost_during: f64,
+}
+
+/// Chaos-injection accounting (all zeros for chaos-free traces).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChaosSummary {
+    /// Total [`TraceKind::ChaosInjected`] events.
+    pub injected: u64,
+    /// Total [`TraceKind::ChaosRecovered`] events.
+    pub recovered: u64,
+    /// Per fault-class (action label) breakdown.
+    pub by_action: BTreeMap<String, ChaosClassReport>,
+}
+
 /// The full analysis of one trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceReport {
@@ -218,6 +245,9 @@ pub struct TraceReport {
     /// Workflow overlay summary (zeros for plain task traces).
     #[serde(default)]
     pub workflows: WorkflowSummary,
+    /// Chaos-injection summary (zeros for chaos-free traces).
+    #[serde(default)]
+    pub chaos: ChaosSummary,
 }
 
 #[derive(Default)]
@@ -264,6 +294,12 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
     let mut has_provenance = false;
     let mut wf = WorkflowSummary::default();
     let mut attributed: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut chaos = ChaosSummary::default();
+    // Open fault windows: per-point stack of injected action labels
+    // (recovery pops its point's most recent injection) plus a per-class
+    // open count for drop attribution.
+    let mut chaos_open_stack: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut chaos_open_by_action: BTreeMap<String, u64> = BTreeMap::new();
 
     for ev in events {
         let task = ev.task.map(|t| t.0);
@@ -304,6 +340,15 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
                 if let Some(t) = task {
                     ledger.entry(t).or_default().final_earned = Some(earned);
                 }
+                // Attribute the loss to every fault class currently open
+                // — a drop during overlapping faults charges each.
+                for (action, open) in &chaos_open_by_action {
+                    if *open > 0 {
+                        let rep = chaos.by_action.entry(action.clone()).or_default();
+                        rep.dropped_during += 1;
+                        rep.yield_lost_during += (-earned).max(0.0);
+                    }
+                }
             }
             TraceKind::Cancelled => y.cancelled += 1,
             TraceKind::Orphaned => y.orphaned += 1,
@@ -328,6 +373,24 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
                 }
             }
             TraceKind::WorkflowStranded { .. } => wf.stranded_tasks += 1,
+            TraceKind::ChaosInjected { point, action } => {
+                chaos.injected += 1;
+                chaos.by_action.entry(action.clone()).or_default().injected += 1;
+                *chaos_open_by_action.entry(action.clone()).or_insert(0) += 1;
+                chaos_open_stack
+                    .entry(point.clone())
+                    .or_default()
+                    .push(action.clone());
+            }
+            TraceKind::ChaosRecovered { point, .. } => {
+                chaos.recovered += 1;
+                if let Some(action) = chaos_open_stack.get_mut(point).and_then(|s| s.pop()) {
+                    chaos.by_action.entry(action.clone()).or_default().recovered += 1;
+                    if let Some(open) = chaos_open_by_action.get_mut(&action) {
+                        *open = open.saturating_sub(1);
+                    }
+                }
+            }
             TraceKind::DecisionRecord {
                 decision,
                 considered,
@@ -567,6 +630,7 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
         utilization,
         decisions,
         workflows: wf,
+        chaos,
     }
 }
 
@@ -699,6 +763,20 @@ pub fn render_text(r: &TraceReport) -> String {
             out.push_str(&format!(
                 "  critical-path attribution (top): {}\n",
                 tops.join(", ")
+            ));
+        }
+    }
+
+    let c = &r.chaos;
+    if c.injected > 0 || c.recovered > 0 {
+        out.push_str(&format!(
+            "chaos faults: {} injected, {} recovered\n",
+            c.injected, c.recovered
+        ));
+        for (action, rep) in &c.by_action {
+            out.push_str(&format!(
+                "  {action}: injected {} recovered {}  dropped-during {} (yield lost {:.3})\n",
+                rep.injected, rep.recovered, rep.dropped_during, rep.yield_lost_during
             ));
         }
     }

@@ -140,6 +140,28 @@ pub enum TraceKind {
     /// or abandoned), stranding this still-waiting descendant; the
     /// workflow settles with zero earned.
     WorkflowStranded { workflow: u64 },
+    /// Chaos: a scheduled fault fired at a named failpoint (disk,
+    /// socket, or shard fabric). `point` is the full instance name
+    /// (e.g. `durable.sink.write`, `market.shard.reply.3`), `action`
+    /// the short fault label (`short_write`, `enospc`, `drop_reply`, …).
+    /// Emitted by the `mbts chaos` orchestrator — engine-produced traces
+    /// never contain it, so golden fixtures are unaffected.
+    ChaosInjected {
+        /// Failpoint instance that fired.
+        point: String,
+        /// Injected action label.
+        action: String,
+    },
+    /// Chaos: the run recovered from the most recent fault at `point` —
+    /// a crash-recovery replay completed, a stalled shard reply was
+    /// re-delivered, or a degraded-mode response was served. `detail`
+    /// says how (`replayed=123`, `resend`, …).
+    ChaosRecovered {
+        /// Failpoint instance recovered from.
+        point: String,
+        /// How the run recovered.
+        detail: String,
+    },
     /// Provenance: the ranked candidate set behind one scheduling,
     /// preemption, admission, or bid-selection decision. Emitted only by
     /// provenance-level tracers ([`crate::Tracer::with_provenance`]) so

@@ -207,6 +207,9 @@ impl PolicyMetrics {
             TraceKind::WorkflowReleased { .. }
             | TraceKind::WorkflowSettled { .. }
             | TraceKind::WorkflowStranded { .. } => {}
+            // Chaos markers are orchestrator annotations, not scheduler
+            // decisions — they carry no occupancy or yield.
+            TraceKind::ChaosInjected { .. } | TraceKind::ChaosRecovered { .. } => {}
         }
     }
 

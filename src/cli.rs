@@ -201,6 +201,11 @@ pub enum Command {
         throttle_us: u64,
         /// Enable the self-profiler; write its report here at drain.
         profile: Option<PathBuf>,
+        /// Failpoint schedule (JSON array of specs) arming the socket
+        /// layer (`serve.accept`, `serve.conn.read`, `serve.conn.write`).
+        chaos: Option<PathBuf>,
+        /// Seed for the armed failpoint streams.
+        chaos_seed: u64,
     },
     /// Load-test (and chaos-test) a live `mbts serve` daemon.
     Flood {
@@ -219,6 +224,10 @@ pub enum Command {
         /// Cancel an earlier accepted task every N submissions (0 =
         /// never).
         cancel_every: u64,
+        /// Interleave a malformed protocol-garbage request every N
+        /// submissions (0 = never); each must earn a 400/413 while the
+        /// daemon keeps serving.
+        malformed_every: u64,
         /// Throughput floor in req/s; enforced only on multi-core
         /// runners, always reported.
         gate_rps: Option<f64>,
@@ -235,6 +244,20 @@ pub enum Command {
         mix: MixConfig,
         /// Replications.
         seeds: u64,
+    },
+    /// Run deterministic fault-injection scenarios from JSON schedules.
+    Chaos {
+        /// Scenario files, or directories scanned for `*.json`.
+        inputs: Vec<PathBuf>,
+        /// Override every scenario's seed (determinism check still runs).
+        seed: Option<u64>,
+        /// Emit the corpus report as JSON instead of text.
+        json: bool,
+        /// Write the report here instead of stdout.
+        out: Option<PathBuf>,
+        /// Write the ChaosInjected/ChaosRecovered event stream (JSON
+        /// Lines) to this path.
+        trace_out: Option<PathBuf>,
     },
     /// Validate a stored trace.
     Validate {
@@ -386,7 +409,7 @@ pub fn parse_shape(spec: &str) -> Result<WorkflowShape, String> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage: mbts <gen|run|market|serve|flood|analyze|metrics|resume|compare|validate|policies> [options]\n\
+    "usage: mbts <gen|run|market|serve|flood|chaos|analyze|metrics|resume|compare|validate|policies> [options]\n\
      \n\
      mbts gen    --out FILE [--swf LOG] [--tasks N] [--processors P] [--load L] [--seed S]\n\
      \x20           [--value-skew R] [--decay-skew R] [--mean-decay D]\n\
@@ -405,9 +428,13 @@ pub fn usage() -> &'static str {
      \x20           [--admission SPEC] [--queue-cap N] [--shed-threshold N]\n\
      \x20           [--time-scale X] [--snapshot-every N] [--fsync-every N]\n\
      \x20           [--provenance] [--status-cap N] [--throttle-us U] [--profile FILE]\n\
+     \x20           [--chaos SCHEDULE.json [--chaos-seed S]]  (arm socket failpoints)\n\
      mbts flood  --addr HOST:PORT [--requests N] [--connections N] [--pipeline N]\n\
-     \x20           [--seed S] [--retries N] [--cancel-every N] [--gate-rps R]\n\
-     \x20           [--out FILE]\n\
+     \x20           [--seed S] [--retries N] [--cancel-every N] [--malformed-every N]\n\
+     \x20           [--gate-rps R] [--out FILE]\n\
+     mbts chaos  FILE|DIR... [--seed S] [--format text|json] [--out FILE]\n\
+     \x20           [--trace-out FILE]  (runs each scenario twice; any\n\
+     \x20            divergence between the runs fails the corpus)\n\
      mbts analyze FILE... [--format text|json] [--buckets N] [--out FILE]\n\
      mbts metrics --trace FILE [--label NAME] [--processors P] [--profile FILE]\n\
      \x20           [--prom FILE]\n\
@@ -663,6 +690,8 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 status_capacity: int("--status-cap", 65_536)?,
                 throttle_us: int("--throttle-us", 0)? as u64,
                 profile: get("--profile").map(PathBuf::from),
+                chaos: get("--chaos").map(PathBuf::from),
+                chaos_seed: int("--chaos-seed", 42)? as u64,
             })
         }
         "flood" => {
@@ -692,8 +721,48 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 seed: int("--seed", 42)? as u64,
                 retries: int("--retries", 3)? as u32,
                 cancel_every: int("--cancel-every", 0)? as u64,
+                malformed_every: int("--malformed-every", 0)? as u64,
                 gate_rps,
                 out: get("--out").map(PathBuf::from),
+            })
+        }
+        "chaos" => {
+            let json = match get("--format") {
+                None | Some("text") => false,
+                Some("json") => true,
+                Some(other) => return Err(format!("unknown format '{other}' (try: text, json)")),
+            };
+            let seed = match get("--seed") {
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| "--seed needs an integer".to_string())?,
+                ),
+                None => None,
+            };
+            // Positional inputs: everything that is neither a flag nor
+            // the value of a value-taking flag.
+            let mut inputs = Vec::new();
+            let mut skip = false;
+            for a in &rest {
+                if skip {
+                    skip = false;
+                    continue;
+                }
+                match *a {
+                    "--format" | "--seed" | "--out" | "--trace-out" => skip = true,
+                    f if f.starts_with("--") => return Err(format!("unknown flag '{f}'")),
+                    file => inputs.push(PathBuf::from(file)),
+                }
+            }
+            if inputs.is_empty() {
+                return Err("chaos requires at least one scenario file or directory".into());
+            }
+            Ok(Command::Chaos {
+                inputs,
+                seed,
+                json,
+                out: get("--out").map(PathBuf::from),
+                trace_out: get("--trace-out").map(PathBuf::from),
             })
         }
         "compare" => {
@@ -1452,9 +1521,23 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             status_capacity,
             throttle_us,
             profile,
+            chaos,
+            chaos_seed,
         } => {
             let profiling = start_profiling(profile.is_some());
             mbts_serve::install_signal_handlers();
+            let registry = match &chaos {
+                Some(path) => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+                    let specs: Vec<mbts_chaos::FailpointSpec> = serde_json::from_str(&text)
+                        .map_err(|e| format!("bad failpoint schedule {}: {e}", path.display()))?;
+                    Some(std::sync::Arc::new(mbts_chaos::ChaosRegistry::new(
+                        chaos_seed, specs,
+                    )))
+                }
+                None => None,
+            };
             let cfg = mbts_serve::ServeConfig {
                 addr,
                 site,
@@ -1467,6 +1550,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 provenance,
                 status_capacity,
                 throttle: std::time::Duration::from_micros(throttle_us),
+                chaos: registry.clone(),
                 ..mbts_serve::ServeConfig::default()
             };
             let server =
@@ -1529,6 +1613,24 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 s.wall_ns as f64 * 1e-9
             )
             .map_err(|e| e.to_string())?;
+            if let Some(reg) = &registry {
+                let by_point = reg.fired_by_point();
+                let fired: Vec<String> = by_point
+                    .iter()
+                    .map(|(point, fires)| format!("{point} x{fires}"))
+                    .collect();
+                writeln!(
+                    out,
+                    "chaos: {} fault(s) injected{}",
+                    reg.fired_total(),
+                    if fired.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" ({})", fired.join(", "))
+                    }
+                )
+                .map_err(|e| e.to_string())?;
+            }
             if report.violations > 0 {
                 return Err(format!(
                     "{} invariant violation(s) recorded",
@@ -1545,6 +1647,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             seed,
             retries,
             cancel_every,
+            malformed_every,
             gate_rps,
             out: out_path,
         } => {
@@ -1556,6 +1659,7 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                 seed,
                 retries,
                 cancel_every,
+                malformed_every,
                 gate_rps,
                 ..mbts_serve::FloodConfig::default()
             };
@@ -1586,10 +1690,12 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             .map_err(|e| e.to_string())?;
             writeln!(
                 out,
-                "retries {}  exhausted {}  errors {}  p50 {:.0}us  p99 {:.0}us  max {:.0}us",
+                "retries {}  exhausted {}  errors {}  malformed {}  p50 {:.0}us  p99 {:.0}us  \
+                 max {:.0}us",
                 report.retries,
                 report.exhausted,
                 report.errors,
+                report.malformed,
                 report.p50_us,
                 report.p99_us,
                 report.max_us
@@ -1636,6 +1742,74 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             };
             let result = mbts_experiments::compare_sites(&mix, &a, &b, &params);
             write!(out, "{}", result.render()).map_err(|e| e.to_string())
+        }
+        Command::Chaos {
+            inputs,
+            seed,
+            json,
+            out: out_path,
+            trace_out,
+        } => {
+            let mut scenarios = Vec::new();
+            for input in &inputs {
+                if input.is_dir() {
+                    let loaded = mbts_chaos::Scenario::load_dir(input)
+                        .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+                    if loaded.is_empty() {
+                        return Err(format!("no *.json scenarios in {}", input.display()));
+                    }
+                    scenarios.extend(loaded.into_iter().map(|(_, s)| s));
+                } else {
+                    scenarios.push(
+                        mbts_chaos::Scenario::load(input)
+                            .map_err(|e| format!("cannot read {}: {e}", input.display()))?,
+                    );
+                }
+            }
+            let (report, events) = crate::chaos::run_corpus(&scenarios, seed)?;
+            if json {
+                let rendered =
+                    serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                match &out_path {
+                    Some(path) => std::fs::write(path, rendered)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+                    None => writeln!(out, "{rendered}").map_err(|e| e.to_string())?,
+                }
+            } else {
+                let mut rendered = String::new();
+                for s in &report.scenarios {
+                    rendered.push_str(&format!(
+                        "{:<24} [{:>6}] seed {:<12} injected {:>4}  crashes {:>3}  \
+                         replayed {:>5}  ok: {}\n",
+                        s.name,
+                        s.class,
+                        s.seed,
+                        s.injected,
+                        s.crashes,
+                        s.replayed,
+                        s.checks.join(", ")
+                    ));
+                }
+                rendered.push_str(&format!(
+                    "chaos: {} scenario(s), {} fault(s) injected, {} crash-recovery \
+                     cycle(s), deterministic across paired runs\n",
+                    report.scenarios.len(),
+                    report.total_injected,
+                    report.total_crashes
+                ));
+                match &out_path {
+                    Some(path) => std::fs::write(path, &rendered)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+                    None => write!(out, "{rendered}").map_err(|e| e.to_string())?,
+                }
+            }
+            if let Some(path) = &trace_out {
+                std::fs::write(path, mbts_trace::to_jsonl(&events))
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                writeln!(out, "chaos trace: {} events -> {}", events.len(), path.display())
+                    .map_err(|e| e.to_string())?;
+            }
+            Ok(())
         }
         Command::Validate { trace } => {
             let trace =
@@ -1924,7 +2098,8 @@ mod tests {
         match parse(&args(
             "serve --addr 0.0.0.0:9000 --journal svc.mbtsj --processors 8 --policy pv:0.01 \
              --queue-cap 64 --shed-threshold 8 --time-scale 60 --snapshot-every 100 \
-             --fsync-every 1 --provenance --status-cap 512 --throttle-us 250 --profile p.json",
+             --fsync-every 1 --provenance --status-cap 512 --throttle-us 250 --profile p.json \
+             --chaos sched.json --chaos-seed 7",
         ))
         .unwrap()
         {
@@ -1941,6 +2116,8 @@ mod tests {
                 status_capacity,
                 throttle_us,
                 profile,
+                chaos,
+                chaos_seed,
             } => {
                 assert_eq!(addr, "0.0.0.0:9000");
                 assert_eq!(site.processors, 8);
@@ -1954,6 +2131,8 @@ mod tests {
                 assert_eq!(status_capacity, 512);
                 assert_eq!(throttle_us, 250);
                 assert_eq!(profile, Some(PathBuf::from("p.json")));
+                assert_eq!(chaos, Some(PathBuf::from("sched.json")));
+                assert_eq!(chaos_seed, 7);
             }
             other => panic!("wrong command: {other:?}"),
         }
@@ -1967,7 +2146,8 @@ mod tests {
         assert!(parse(&args("flood")).is_err());
         match parse(&args(
             "flood --addr 127.0.0.1:7741 --requests 500 --connections 2 --pipeline 8 \
-             --seed 7 --retries 1 --cancel-every 10 --gate-rps 100000 --out BENCH_serve.json",
+             --seed 7 --retries 1 --cancel-every 10 --malformed-every 25 --gate-rps 100000 \
+             --out BENCH_serve.json",
         ))
         .unwrap()
         {
@@ -1979,6 +2159,7 @@ mod tests {
                 seed,
                 retries,
                 cancel_every,
+                malformed_every,
                 gate_rps,
                 out,
             } => {
@@ -1989,6 +2170,7 @@ mod tests {
                 assert_eq!(seed, 7);
                 assert_eq!(retries, 1);
                 assert_eq!(cancel_every, 10);
+                assert_eq!(malformed_every, 25);
                 assert_eq!(gate_rps, Some(100_000.0));
                 assert_eq!(out, Some(PathBuf::from("BENCH_serve.json")));
             }
@@ -1997,6 +2179,38 @@ mod tests {
         assert!(parse(&args("flood --addr a:1 --connections 0")).is_err());
         assert!(parse(&args("flood --addr a:1 --pipeline 0")).is_err());
         assert!(parse(&args("flood --addr a:1 --gate-rps fast")).is_err());
+    }
+
+    #[test]
+    fn parse_chaos_command() {
+        assert!(parse(&args("chaos")).is_err());
+        assert!(parse(&args("chaos s.json --format yaml")).is_err());
+        assert!(parse(&args("chaos s.json --seed many")).is_err());
+        assert!(parse(&args("chaos s.json --frobnicate")).is_err());
+        match parse(&args(
+            "chaos tests/chaos a.json --seed 99 --format json --out report.json \
+             --trace-out chaos.jsonl",
+        ))
+        .unwrap()
+        {
+            Command::Chaos {
+                inputs,
+                seed,
+                json,
+                out,
+                trace_out,
+            } => {
+                assert_eq!(
+                    inputs,
+                    vec![PathBuf::from("tests/chaos"), PathBuf::from("a.json")]
+                );
+                assert_eq!(seed, Some(99));
+                assert!(json);
+                assert_eq!(out, Some(PathBuf::from("report.json")));
+                assert_eq!(trace_out, Some(PathBuf::from("chaos.jsonl")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
     }
 
     #[test]

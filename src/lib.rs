@@ -26,6 +26,10 @@
 //!   the `mbts flood` load/chaos client.
 //! * [`experiments`] — the harness that regenerates every figure of the
 //!   paper's evaluation (Figures 3–7) plus ablations.
+//! * [`chaos`] — the `mbts chaos` scenario orchestrator: deterministic
+//!   fault-injection schedules (disk, network, shard fabric) replayed
+//!   against journaled runs, with recovery bit-identity, acked-prefix
+//!   durability, and clean-auditor invariants checked after every fault.
 //!
 //! ## Quickstart
 //!
@@ -50,8 +54,10 @@
 //! assert!(outcome.metrics.total_yield.is_finite());
 //! ```
 
+pub mod chaos;
 pub mod cli;
 
+pub use mbts_chaos as chaos_core;
 pub use mbts_core as core;
 pub use mbts_durable as durable;
 pub use mbts_experiments as experiments;
