@@ -1,0 +1,66 @@
+//! Overhead of the always-on live-telemetry registry on the serve hot
+//! path.
+//!
+//! Every request the daemon answers pays one `count_request` plus one
+//! `record_ns` (and the journal path two `telemetry::time` sections), so
+//! these micro-benches price exactly the per-request instrumentation
+//! cost. Three angles:
+//!
+//! * `disabled` — one relaxed atomic load per call, the floor the
+//!   byte-identity tests rely on being negligible;
+//! * `enabled` — shard selection + relaxed fetch-adds, what the daemon
+//!   pays on every request (the flood ±5% gate in CI enforces this stays
+//!   in the noise at the whole-request level);
+//! * `scrape` — `snapshot().render_prometheus()`, the cost a `GET
+//!   /metrics` poll puts on a worker thread, measured over a populated
+//!   registry so bucket skipping doesn't flatter it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mbts_trace::telemetry::{self, Hist, Outcome, Route};
+use std::hint::black_box;
+
+/// One synthetic "request" worth of instrumentation: exactly the calls
+/// `serve` issues per accepted submit (route counter + request latency
+/// sample + the two journal sections).
+fn instrument_one(i: u64) {
+    telemetry::count_request(Route::Submit, Outcome::Ack);
+    telemetry::record_ns(Hist::Request, 1_000 + (i % 512) * 37);
+    telemetry::time(Hist::JournalAppend, || black_box(i.wrapping_mul(0x9e37)));
+    telemetry::time(Hist::Apply, || black_box(i.wrapping_add(0x79b9)));
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    telemetry::disable();
+    c.bench_function("serve_telemetry/disabled", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            instrument_one(black_box(i));
+        })
+    });
+
+    telemetry::reset();
+    telemetry::enable();
+    c.bench_function("serve_telemetry/enabled", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            instrument_one(black_box(i));
+        })
+    });
+
+    // Populate a realistic spread of series before pricing a scrape.
+    for (r, route) in telemetry::ROUTES.iter().enumerate() {
+        for (o, outcome) in telemetry::OUTCOMES.iter().enumerate() {
+            telemetry::count_request(*route, *outcome);
+            telemetry::record_ns(Hist::Request, ((r + 1) * (o + 1) * 911) as u64);
+        }
+    }
+    c.bench_function("serve_telemetry/scrape", |b| {
+        b.iter(|| black_box(telemetry::snapshot().render_prometheus()))
+    });
+    telemetry::disable();
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

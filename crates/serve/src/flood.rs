@@ -73,7 +73,7 @@ impl Default for FloodConfig {
 }
 
 /// What one flood run observed — serialized as `BENCH_serve.json`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct FloodReport {
     /// Responses received (any status).
     pub completed: u64,
@@ -104,6 +104,10 @@ pub struct FloodReport {
     pub rps: f64,
     /// Median batch round-trip, microseconds (bucket upper bound).
     pub p50_us: f64,
+    /// 95th-percentile batch round-trip, microseconds. Default keeps
+    /// BENCH files written before this field deserializable.
+    #[serde(default)]
+    pub p95_us: f64,
     /// 99th-percentile batch round-trip, microseconds.
     pub p99_us: f64,
     /// Worst batch round-trip, microseconds.
@@ -225,6 +229,12 @@ struct SubmitReply {
 struct Item {
     body: Vec<u8>,
     is_cancel: bool,
+    /// What the item was actually sent as in the current batch. A
+    /// cancel slot with no accepted task yet is late-bound into a
+    /// fresh submit, so this can differ from `is_cancel` — and the
+    /// response tally must follow the wire, not the intent, or the
+    /// client's books drift from the daemon's request counters.
+    sent_cancel: bool,
     attempts: u32,
 }
 
@@ -291,6 +301,7 @@ pub fn flood(cfg: &FloodConfig) -> io::Result<FloodReport> {
         wall_s,
         rps,
         p50_us: tally.hist.quantile_ns(0.50) as f64 / 1e3,
+        p95_us: tally.hist.quantile_ns(0.95) as f64 / 1e3,
         p99_us: tally.hist.quantile_ns(0.99) as f64 / 1e3,
         max_us: tally.hist.max_ns as f64 / 1e3,
         connections,
@@ -404,6 +415,7 @@ fn flood_thread(cfg: &FloodConfig, index: usize, share: u64) -> io::Result<Threa
                     submit_body(&mut rng)
                 },
                 is_cancel,
+                sent_cancel: false,
                 attempts: 0,
             }
         })
@@ -422,12 +434,19 @@ fn flood_thread(cfg: &FloodConfig, index: usize, share: u64) -> io::Result<Threa
         }
         let n = backlog.len().min(pipeline);
         let mut batch: Vec<Item> = backlog.drain(..n).collect();
-        // Late-bind cancel targets to the most recently accepted task.
+        // Late-bind cancel targets to the most recently accepted task,
+        // recording per item what actually goes on the wire.
         for item in &mut batch {
             if item.is_cancel {
                 match last_accepted {
-                    Some(id) => item.body = format!("{{\"task\":{id}}}").into_bytes(),
-                    None => item.body = submit_body(&mut rng), // nothing to cancel yet
+                    Some(id) => {
+                        item.body = format!("{{\"task\":{id}}}").into_bytes();
+                        item.sent_cancel = true;
+                    }
+                    None => {
+                        item.body = submit_body(&mut rng); // nothing to cancel yet
+                        item.sent_cancel = false;
+                    }
                 }
             }
         }
@@ -435,11 +454,7 @@ fn flood_thread(cfg: &FloodConfig, index: usize, share: u64) -> io::Result<Threa
         let wrote = (|| -> io::Result<()> {
             let mut w = BufWriter::new(stream.try_clone()?);
             for item in &batch {
-                let target = if item.is_cancel && last_accepted.is_some() {
-                    "/cancel"
-                } else {
-                    "/submit"
-                };
+                let target = if item.sent_cancel { "/cancel" } else { "/submit" };
                 http::write_post(&mut w, target, &item.body)?;
             }
             w.flush()
@@ -465,7 +480,11 @@ fn flood_thread(cfg: &FloodConfig, index: usize, share: u64) -> io::Result<Threa
                         .record(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
                     match resp.status {
                         200 => {
-                            if item.is_cancel && last_accepted.is_some() {
+                            // Tally by what was sent, not what was
+                            // intended — the daemon's per-route request
+                            // counters must reconcile exactly against
+                            // these books after a clean run.
+                            if item.sent_cancel {
                                 tally.cancelled += 1;
                                 last_accepted = None;
                             } else if let Ok(r) = serde_json::from_slice::<SubmitReply>(&resp.body)
@@ -486,7 +505,7 @@ fn flood_thread(cfg: &FloodConfig, index: usize, share: u64) -> io::Result<Threa
                             } else {
                                 tally.backpressured += 1;
                             }
-                            if item.attempts < cfg.retries && !item.is_cancel {
+                            if item.attempts < cfg.retries && !item.sent_cancel {
                                 let hinted = resp
                                     .header("retry-after")
                                     .and_then(|v| v.parse::<u64>().ok())
@@ -497,6 +516,7 @@ fn flood_thread(cfg: &FloodConfig, index: usize, share: u64) -> io::Result<Threa
                                 backlog.push_back(Item {
                                     body: item.body.clone(),
                                     is_cancel: false,
+                                    sent_cancel: false,
                                     attempts: item.attempts + 1,
                                 });
                             } else {

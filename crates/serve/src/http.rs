@@ -188,11 +188,25 @@ pub fn write_response(
     extra: &[(&str, String)],
     body: &[u8],
 ) -> io::Result<()> {
+    write_response_typed(w, status, reason, "application/json", extra, body)
+}
+
+/// Writes one response with an explicit content type (the `/metrics`
+/// endpoint serves Prometheus text exposition, not JSON).
+pub fn write_response_typed(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+) -> io::Result<()> {
     write!(
         w,
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
         status,
         reason,
+        content_type,
         body.len()
     )?;
     for (k, v) in extra {
@@ -269,6 +283,25 @@ mod tests {
         assert_eq!(resp.status, 429);
         assert_eq!(resp.header("Retry-After"), Some("3"));
         assert_eq!(resp.body, br#"{"error":"backpressure"}"#);
+    }
+
+    #[test]
+    fn typed_response_carries_its_content_type() {
+        let mut wire = Vec::new();
+        write_response_typed(
+            &mut wire,
+            200,
+            reason(200),
+            "text/plain; version=0.0.4",
+            &[],
+            b"serve_queue_depth 0\n",
+        )
+        .unwrap();
+        let mut r = BufReader::new(Cursor::new(wire));
+        let resp = read_response(&mut r).unwrap().unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("content-type"), Some("text/plain; version=0.0.4"));
+        assert_eq!(resp.body, b"serve_queue_depth 0\n");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use std::path::Path;
 use mbts_durable::{recover_bytes, Journal, RecoverError};
 use mbts_sim::profiler::{self, Section};
 use mbts_sim::Time;
+use mbts_trace::telemetry as tel;
 use mbts_workload::TaskId;
 
 use crate::machine::{
@@ -189,8 +190,15 @@ impl ServiceRun {
             kind,
         };
         let payload = serde_json::to_vec(&cmd).expect("service commands always serialize");
-        self.journal.append_event(&payload)?;
-        let outcome = self.machine.apply(&cmd);
+        // The durability half and the compute half of the apply path are
+        // timed separately (fsync stalls vs fold cost); both recorders
+        // only observe wall time, never feed into `at` or the payload.
+        tel::time(tel::Hist::JournalAppend, || {
+            profiler::time(Section::ServeJournalAppend, || {
+                self.journal.append_event(&payload)
+            })
+        })?;
+        let outcome = tel::time(tel::Hist::Apply, || self.machine.apply(&cmd));
         self.since_snapshot += 1;
         if self.snapshot_every > 0 && self.since_snapshot >= self.snapshot_every {
             self.snapshot_now()?;

@@ -26,6 +26,7 @@ pub mod http;
 pub mod journaled;
 pub mod machine;
 pub mod server;
+pub mod top;
 
 pub use flood::{flood, FloodConfig, FloodReport, GATE_MIN_PARALLELISM};
 pub use journaled::{ServiceRecoverError, ServiceRecovery, ServiceRun};
@@ -37,3 +38,4 @@ pub use server::{
     install_signal_handlers, ServeConfig, ServeReport, Server, POINT_ACCEPT, POINT_CONN_READ,
     POINT_CONN_WRITE,
 };
+pub use top::{run_top, scrape, TopConfig};

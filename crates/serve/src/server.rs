@@ -39,6 +39,7 @@ use mbts_durable::Journal;
 use mbts_sim::profiler::{self, Section};
 use mbts_sim::Time;
 use mbts_site::SiteConfig;
+use mbts_trace::telemetry as tel;
 use mbts_trace::ServeSummary;
 use mbts_workload::{PenaltyBound, TaskId, TaskSpec};
 use serde::{Deserialize, Serialize};
@@ -277,6 +278,12 @@ struct Reply {
     status: u16,
     extra: Vec<(&'static str, String)>,
     body: Vec<u8>,
+    content_type: &'static str,
+    /// Telemetry outcome override for statuses that are ambiguous on
+    /// their own (200 ack vs admission-rejected, 429 shed vs
+    /// backpressure, 503 timeout vs draining). `None` derives from the
+    /// status in [`outcome_of`].
+    outcome: Option<tel::Outcome>,
 }
 
 impl Reply {
@@ -285,6 +292,18 @@ impl Reply {
             status,
             extra: Vec::new(),
             body: serde_json::to_vec(&body).expect("reply bodies always serialize"),
+            content_type: "application/json",
+            outcome: None,
+        }
+    }
+
+    fn text(status: u16, body: Vec<u8>) -> Reply {
+        Reply {
+            status,
+            extra: Vec::new(),
+            body,
+            content_type: "text/plain; version=0.0.4",
+            outcome: None,
         }
     }
 
@@ -295,12 +314,49 @@ impl Reply {
             status,
             extra: Vec::new(),
             body: format!("{{\"error\":{detail}}}").into_bytes(),
+            content_type: "application/json",
+            outcome: None,
         }
     }
 
     fn with_retry_after(mut self, secs: u64) -> Reply {
         self.extra.push(("retry-after", secs.to_string()));
         self
+    }
+
+    fn tagged(mut self, outcome: tel::Outcome) -> Reply {
+        self.outcome = Some(outcome);
+        self
+    }
+}
+
+/// Telemetry outcome of a finished request: the explicit tag when the
+/// producer set one, else the status code's canonical meaning.
+fn outcome_of(reply: &Reply) -> tel::Outcome {
+    if let Some(o) = reply.outcome {
+        return o;
+    }
+    match reply.status {
+        200..=299 => tel::Outcome::Ack,
+        400 => tel::Outcome::BadRequest,
+        404 => tel::Outcome::NotFound,
+        429 => tel::Outcome::Backpressure,
+        503 => tel::Outcome::Unavailable,
+        _ => tel::Outcome::Error,
+    }
+}
+
+/// Telemetry route label for a parsed request.
+fn route_of(req: &http::Request) -> tel::Route {
+    match (req.method.as_str(), req.target.as_str()) {
+        ("POST", "/submit") => tel::Route::Submit,
+        ("POST", "/cancel") => tel::Route::Cancel,
+        ("POST", "/drain") => tel::Route::Drain,
+        ("GET", "/stats") => tel::Route::Stats,
+        ("GET", "/metrics") => tel::Route::Metrics,
+        ("GET", "/healthz") | ("GET", "/readyz") => tel::Route::Health,
+        ("GET", t) if t.starts_with("/status/") => tel::Route::Status,
+        _ => tel::Route::Other,
     }
 }
 
@@ -340,7 +396,11 @@ impl Shared {
 
     /// Registers one hit on a socket-layer failpoint.
     fn chaos_hit(&self, point: &str) -> Option<Firing> {
-        self.chaos.as_ref().and_then(|c| c.hit(point))
+        let firing = self.chaos.as_ref().and_then(|c| c.hit(point));
+        if firing.is_some() {
+            tel::gauge_add(tel::Gauge::ChaosFaultsInjected, 1);
+        }
+        firing
     }
 }
 
@@ -390,6 +450,15 @@ impl Server {
                 )
             }
         };
+        // Startup facts for the first scrape, before any traffic.
+        tel::gauge_set(tel::Gauge::RecoveredReplayed, recovery.replayed);
+        tel::gauge_set(
+            tel::Gauge::RecoveredDroppedBytes,
+            recovery.dropped_bytes as u64,
+        );
+        tel::gauge_set(tel::Gauge::QueueCapacity, cfg.queue_capacity.max(1) as u64);
+        tel::gauge_set(tel::Gauge::QueueSlack, cfg.queue_capacity.max(1) as u64);
+
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
@@ -523,10 +592,12 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
                 _ => {}
             }
         }
+        let t0 = Instant::now();
         let req = match profiler::time(Section::ServeParse, || http::read_request(&mut reader)) {
             Ok(Some(r)) => r,
             Ok(None) => return,
             Err(e) => {
+                tel::count_request(tel::Route::Other, tel::Outcome::Malformed);
                 let reply = Reply::error(400, &e.to_string());
                 let _ = send_reply(&mut writer, &reply);
                 let _ = writer.flush();
@@ -534,6 +605,11 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
             }
         };
         let reply = route(&req, &shared);
+        tel::count_request(route_of(&req), outcome_of(&reply));
+        tel::record_ns(
+            tel::Hist::Request,
+            u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+        );
         if let Some(firing) = shared.chaos_hit(POINT_CONN_WRITE) {
             match firing.action {
                 FailAction::DropConn => return,
@@ -565,10 +641,11 @@ fn handle_connection(stream: TcpStream, shared: Arc<Shared>) {
 }
 
 fn send_reply(w: &mut impl Write, reply: &Reply) -> io::Result<()> {
-    http::write_response(
+    http::write_response_typed(
         w,
         reply.status,
         http::reason(reply.status),
+        reply.content_type,
         &reply.extra,
         &reply.body,
     )
@@ -590,6 +667,25 @@ fn route(req: &http::Request, shared: &Arc<Shared>) -> Reply {
                 draining: shared.stopping(),
             },
         );
+    }
+    if req.method == "GET" && req.target == "/readyz" {
+        // Readiness flips to 503 the moment a drain starts, so load
+        // balancers stop routing before the final 503s appear.
+        let draining = shared.stopping();
+        let status = if draining { 503 } else { 200 };
+        return Reply::json(
+            status,
+            Healthz {
+                ok: !draining,
+                draining,
+            },
+        );
+    }
+    if req.method == "GET" && req.target == "/metrics" {
+        // Rendered entirely from the atomic registry in this worker
+        // thread: a scrape never touches the queue, the core thread, or
+        // the journal, so it cannot block or perturb admission.
+        return Reply::text(200, tel::snapshot().render_prometheus().into_bytes());
     }
     shared.requests.fetch_add(1, Ordering::Relaxed);
     if shared.stopping() {
@@ -655,7 +751,9 @@ fn dispatch(shared: &Arc<Shared>, work: Work) -> Reply {
         Ok(reply) => reply,
         Err(_) => {
             shared.timeouts.fetch_add(1, Ordering::Relaxed);
-            Reply::error(503, "request timed out in the service core").with_retry_after(1)
+            Reply::error(503, "request timed out in the service core")
+                .with_retry_after(1)
+                .tagged(tel::Outcome::Timeout)
         }
     }
 }
@@ -670,11 +768,17 @@ fn core_loop(
 ) -> io::Result<ServeReport> {
     let started = Instant::now();
     let mut fatal: Option<io::Error> = None;
+    publish_gauges(&run, &shared, started);
 
     'outer: loop {
         let (victims, batch, depth) = {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             while q.is_empty() && !shared.stopping() {
+                // Keep scrape-visible state fresh while idle (uptime,
+                // drain flag, late completions folded by earlier
+                // batches). Atomic stores only; the queue lock stays
+                // held, which is fine — nothing here re-locks it.
+                publish_gauges_at(&run, &shared, started, 0);
                 let (guard, _) = shared
                     .cv
                     .wait_timeout(q, StdDuration::from_millis(50))
@@ -697,7 +801,7 @@ fn core_loop(
         };
 
         for (victim, reason) in victims {
-            if let Err(e) = shed_one(&mut run, &shared, victim, reason, depth) {
+            if let Err(e) = shed_one(&mut run, &shared, victim, reason, depth, discount_rate) {
                 fatal = Some(e);
                 break 'outer;
             }
@@ -711,6 +815,7 @@ fn core_loop(
                 break 'outer;
             }
         }
+        publish_gauges(&run, &shared, started);
     }
 
     let clean_drain = if fatal.is_none() {
@@ -730,6 +835,8 @@ fn core_loop(
         shared.stop.store(true, Ordering::SeqCst);
         false
     };
+
+    publish_gauges(&run, &shared, started);
 
     let machine = run.machine();
     let counters = *machine.counters();
@@ -756,6 +863,53 @@ fn core_loop(
         Some(e) => Err(e),
         None => Ok(report),
     }
+}
+
+/// Publishes the core thread's view into the telemetry gauges with a
+/// fresh queue-depth reading (takes the queue lock briefly).
+fn publish_gauges(run: &ServiceRun, shared: &Shared, started: Instant) {
+    if !tel::is_enabled() {
+        return;
+    }
+    let depth = shared.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+    publish_gauges_at(run, shared, started, depth);
+}
+
+/// Publishes queue, machine, and economy gauges. Atomic stores only —
+/// callable with the queue lock held (`depth` is passed in, never read).
+/// Only the core thread calls this, so gauges are a consistent view of
+/// the machine between batches.
+fn publish_gauges_at(run: &ServiceRun, shared: &Shared, started: Instant, depth: usize) {
+    if !tel::is_enabled() {
+        return;
+    }
+    let m = run.machine();
+    let met = m.metrics();
+    let site = m.site();
+    tel::gauge_set(tel::Gauge::QueueDepth, depth as u64);
+    tel::gauge_set(
+        tel::Gauge::QueueSlack,
+        shared.capacity.saturating_sub(depth) as u64,
+    );
+    tel::gauge_set(tel::Gauge::Draining, u64::from(shared.stopping()));
+    tel::gauge_set(
+        tel::Gauge::ApplyEmaNs,
+        shared.ema_apply_ns.load(Ordering::Relaxed),
+    );
+    tel::gauge_set(tel::Gauge::Applied, m.applied());
+    tel::gauge_set(tel::Gauge::PendingTasks, site.pending_len() as u64);
+    tel::gauge_set(tel::Gauge::RunningTasks, site.running_len() as u64);
+    tel::gauge_set(tel::Gauge::FreeProcessors, site.free_processors() as u64);
+    tel::gauge_set(
+        tel::Gauge::OutstandingCompletions,
+        m.outstanding_completions() as u64,
+    );
+    tel::gauge_set_f64(tel::Gauge::TasksSubmitted, met.submitted as f64);
+    tel::gauge_set_f64(tel::Gauge::TasksStranded, met.stranded as f64);
+    tel::gauge_set_f64(tel::Gauge::TotalYield, met.total_yield);
+    tel::gauge_set_f64(tel::Gauge::TotalPenalty, met.total_penalty);
+    tel::gauge_set(tel::Gauge::Violations, m.violations() as u64);
+    tel::gauge_set_f64(tel::Gauge::UptimeSeconds, started.elapsed().as_secs_f64());
 }
 
 /// Picks `excess` shed victims out of the queue: expired submissions
@@ -805,12 +959,18 @@ fn shed_one(
     victim: Pending,
     reason: ShedReason,
     queue_depth: usize,
+    discount_rate: f64,
 ) -> io::Result<()> {
     let Work::Submit(body) = &victim.work else {
         unreachable!("only submissions are shed");
     };
     let now = shared.clock.now();
     let spec = body.to_spec(victim.arrival);
+    // Walked-away value: the victim's Eq. 3 present value at shed time.
+    // Accumulated in telemetry only — never in machine state, so shed
+    // accounting cannot change snapshot bytes.
+    let pv = Job::new(spec.clone()).present_value(now, discount_rate);
+    tel::gauge_add_f64(tel::Gauge::ShedPvLost, pv.max(0.0));
     let (_, outcome) = run.apply(
         now,
         CommandKind::Shed {
@@ -836,7 +996,8 @@ fn shed_one(
             reason,
         },
     )
-    .with_retry_after(secs);
+    .with_retry_after(secs)
+    .tagged(tel::Outcome::Shed);
     let _ = victim.reply.send(reply);
     Ok(())
 }
@@ -862,9 +1023,12 @@ struct CancelView {
 }
 
 fn handle_one(run: &mut ServiceRun, shared: &Arc<Shared>, pending: Pending) -> io::Result<()> {
-    if profiler::is_enabled() {
+    if profiler::is_enabled() || tel::is_enabled() {
         let waited = u64::try_from(pending.enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
-        profiler::record_ns(Section::ServeQueueWait, waited);
+        if profiler::is_enabled() {
+            profiler::record_ns(Section::ServeQueueWait, waited);
+        }
+        tel::record_ns(tel::Hist::QueueWait, waited);
     }
     let now = shared.clock.now();
     let reply = match &pending.work {
@@ -886,6 +1050,11 @@ fn handle_one(run: &mut ServiceRun, shared: &Arc<Shared>, pending: Pending) -> i
                     applied: run.machine().applied(),
                 },
             )
+            .tagged(if accepted {
+                tel::Outcome::Ack
+            } else {
+                tel::Outcome::Rejected
+            })
         }
         Work::Cancel(task) => {
             let (_, outcome) = profiler::time(Section::ServeApply, || {

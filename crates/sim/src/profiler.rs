@@ -51,10 +51,14 @@ pub enum Section {
     /// Live service: journal append + state-machine apply of one
     /// accepted command.
     ServeApply = 8,
+    /// Live service: journal append (+ cadence fsync) of one accepted
+    /// command — the durability half of [`Section::ServeApply`], split
+    /// out so fsync stalls are visible separately from the fold.
+    ServeJournalAppend = 9,
 }
 
 /// Every section, in wire order. Indexes match `Section as usize`.
-pub const SECTIONS: [Section; 9] = [
+pub const SECTIONS: [Section; 10] = [
     Section::PoolInsert,
     Section::CostModelUpdate,
     Section::MergeSweep,
@@ -64,6 +68,7 @@ pub const SECTIONS: [Section; 9] = [
     Section::ServeParse,
     Section::ServeQueueWait,
     Section::ServeApply,
+    Section::ServeJournalAppend,
 ];
 
 impl Section {
@@ -79,6 +84,7 @@ impl Section {
             Section::ServeParse => "serve_parse",
             Section::ServeQueueWait => "serve_queue_wait",
             Section::ServeApply => "serve_apply",
+            Section::ServeJournalAppend => "serve_journal_append",
         }
     }
 }
@@ -108,6 +114,7 @@ impl SectionCounters {
 }
 
 static COUNTERS: [SectionCounters; NSECTIONS] = [
+    SectionCounters::new(),
     SectionCounters::new(),
     SectionCounters::new(),
     SectionCounters::new(),

@@ -194,6 +194,67 @@ pub struct WorkflowSummary {
     pub top_attributed: Vec<(u64, f64)>,
 }
 
+/// One workflow's end-to-end ledger in the per-workflow regret table.
+///
+/// Member tasks are mapped to their workflow through the events that
+/// name both ([`TraceKind::WorkflowReleased`] /
+/// [`TraceKind::WorkflowStranded`] / settle attribution, plus the
+/// failure that opens a stranding cone), so workflow roots that fail
+/// before releasing anything still land in the right row.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkflowLedger {
+    /// Workflow id.
+    pub workflow: u64,
+    /// Dependency releases observed for this workflow.
+    pub released: u64,
+    /// Mapped members that ran to completion.
+    pub completed_members: u64,
+    /// Mapped members that failed (dropped, cancelled, orphaned, or
+    /// rejected at admission).
+    pub failed_members: u64,
+    /// Members stranded by an upstream failure (never released).
+    pub stranded_members: u64,
+    /// Whether a [`TraceKind::WorkflowSettled`] event was seen.
+    pub settled: bool,
+    /// Whether the workflow failed: settled with no attribution, or the
+    /// trace shows strandings/failures without a successful settle.
+    pub failed: bool,
+    /// Workflow-level earned yield at settlement.
+    pub earned: f64,
+    /// Yield already realized by completed members of a *failed*
+    /// workflow — investment that produced no workflow-level payoff.
+    pub sunk_earned: f64,
+    /// Eq. 3 present value the failed members carried at their last
+    /// start, net of what they realized (never-scheduled members carry
+    /// no observable PV in the trace and contribute 0 here).
+    pub destroyed_pv: f64,
+    /// The regret of running this workflow: `sunk_earned +
+    /// destroyed_pv` when it failed, 0 when it settled successfully.
+    pub regret: f64,
+}
+
+/// One member failure and the descendant cone it stranded.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StrandingChain {
+    /// When the cone was stranded.
+    pub at: f64,
+    /// The owning workflow.
+    pub workflow: u64,
+    /// The member whose failure stranded the cone, when the trace shows
+    /// one (the nearest preceding terminal failure in stream order).
+    pub root_failure: Option<u64>,
+    /// How the root failed: `dropped`, `cancelled`, `orphaned`,
+    /// `rejected`, or `unknown` when no failure event precedes the cone.
+    pub failure: String,
+    /// The stranded descendants, in stranding order.
+    pub stranded: Vec<u64>,
+    /// Present value the root failure destroyed: its PV at last start
+    /// net of realized yield, floored at zero. The stranded descendants
+    /// themselves never started, so their loss is visible only as the
+    /// workflow settling to zero (see [`WorkflowLedger::regret`]).
+    pub pv_destroyed: f64,
+}
+
 /// Per-fault-class chaos accounting.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ChaosClassReport {
@@ -245,6 +306,12 @@ pub struct TraceReport {
     /// Workflow overlay summary (zeros for plain task traces).
     #[serde(default)]
     pub workflows: WorkflowSummary,
+    /// Per-workflow regret table (empty for plain task traces).
+    #[serde(default)]
+    pub workflow_ledgers: Vec<WorkflowLedger>,
+    /// Stranding chains: which failure stranded which descendant cone.
+    #[serde(default)]
+    pub strandings: Vec<StrandingChain>,
     /// Chaos-injection summary (zeros for chaos-free traces).
     #[serde(default)]
     pub chaos: ChaosSummary,
@@ -256,6 +323,8 @@ struct TaskLedger {
     last_pv: f64,
     ever_started: bool,
     final_earned: Option<f64>,
+    /// Terminal failure kind, when the task ended badly.
+    failed: Option<&'static str>,
 }
 
 /// Analyzes one event stream into a [`TraceReport`].
@@ -310,7 +379,11 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
                     y.accepted += 1;
                 }
                 if let Some(t) = task {
-                    ledger.entry(t).or_default().accepted = *accepted;
+                    let l = ledger.entry(t).or_default();
+                    l.accepted = *accepted;
+                    if !accepted {
+                        l.failed = Some("rejected");
+                    }
                 }
             }
             &TraceKind::Scheduled { pv, backfill, .. } => {
@@ -338,7 +411,9 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
                 y.dropped += 1;
                 y.earned_dropped += earned;
                 if let Some(t) = task {
-                    ledger.entry(t).or_default().final_earned = Some(earned);
+                    let l = ledger.entry(t).or_default();
+                    l.final_earned = Some(earned);
+                    l.failed = Some("dropped");
                 }
                 // Attribute the loss to every fault class currently open
                 // — a drop during overlapping faults charges each.
@@ -350,8 +425,18 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
                     }
                 }
             }
-            TraceKind::Cancelled => y.cancelled += 1,
-            TraceKind::Orphaned => y.orphaned += 1,
+            TraceKind::Cancelled => {
+                y.cancelled += 1;
+                if let Some(t) = task {
+                    ledger.entry(t).or_default().failed = Some("cancelled");
+                }
+            }
+            TraceKind::Orphaned => {
+                y.orphaned += 1;
+                if let Some(t) = task {
+                    ledger.entry(t).or_default().failed = Some("orphaned");
+                }
+            }
             &TraceKind::ContractSettled { amount } => {
                 y.settlements += 1;
                 y.settled_total += amount;
@@ -604,6 +689,137 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
     top.truncate(10);
     wf.top_attributed = top;
 
+    // Pass 4: workflow explainers — the per-workflow regret table and
+    // the stranding chains. Membership comes from the events that name
+    // both a task and its workflow; a stranding cone additionally maps
+    // the failure that opened it (so a failed root, which never got a
+    // release event, still lands in the right workflow).
+    let mut member_wf: BTreeMap<u64, u64> = BTreeMap::new();
+    for ev in events {
+        let task = ev.task.map(|t| t.0);
+        match &ev.kind {
+            TraceKind::WorkflowReleased { workflow } | TraceKind::WorkflowStranded { workflow } => {
+                if let Some(t) = task {
+                    member_wf.insert(t, *workflow);
+                }
+            }
+            TraceKind::WorkflowSettled {
+                workflow,
+                attribution,
+                ..
+            } => {
+                for &(t, _) in attribution {
+                    member_wf.insert(t, *workflow);
+                }
+            }
+            _ => {}
+        }
+    }
+    // Stranding chains: the engine emits a cone as a contiguous run of
+    // `WorkflowStranded` events right after the triggering member's
+    // terminal failure, so the nearest preceding failure in stream
+    // order is the root.
+    let mut strandings: Vec<StrandingChain> = Vec::new();
+    let mut last_failure: Option<(u64, &'static str)> = None;
+    for ev in events {
+        let task = ev.task.map(|t| t.0);
+        let failure_kind = match &ev.kind {
+            TraceKind::Dropped { .. } => Some("dropped"),
+            TraceKind::Cancelled => Some("cancelled"),
+            TraceKind::Orphaned => Some("orphaned"),
+            TraceKind::TaskArrived { accepted: false } => Some("rejected"),
+            _ => None,
+        };
+        if let (Some(kind), Some(t)) = (failure_kind, task) {
+            last_failure = Some((t, kind));
+        }
+        if let TraceKind::WorkflowStranded { workflow } = ev.kind {
+            let at = ev.at.as_f64();
+            let root = last_failure.map(|(t, _)| t);
+            if let Some(rt) = root {
+                member_wf.entry(rt).or_insert(workflow);
+            }
+            let extends = strandings
+                .last()
+                .is_some_and(|c| c.workflow == workflow && c.at == at && c.root_failure == root);
+            match (extends, task) {
+                (true, Some(t)) => {
+                    if let Some(chain) = strandings.last_mut() {
+                        chain.stranded.push(t);
+                    }
+                }
+                _ => strandings.push(StrandingChain {
+                    at,
+                    workflow,
+                    root_failure: root,
+                    failure: last_failure
+                        .map_or_else(|| "unknown".to_string(), |(_, k)| k.to_string()),
+                    stranded: task.into_iter().collect(),
+                    pv_destroyed: 0.0,
+                }),
+            }
+        }
+    }
+    for chain in &mut strandings {
+        if let Some(l) = chain.root_failure.and_then(|t| ledger.get(&t)) {
+            chain.pv_destroyed = (l.last_pv - l.final_earned.unwrap_or(0.0)).max(0.0);
+        }
+    }
+    // The regret table: workflow events first, then the mapped members'
+    // per-task outcomes folded in.
+    let mut wledgers: BTreeMap<u64, WorkflowLedger> = BTreeMap::new();
+    fn row(m: &mut BTreeMap<u64, WorkflowLedger>, w: u64) -> &mut WorkflowLedger {
+        m.entry(w).or_insert_with(|| WorkflowLedger {
+            workflow: w,
+            ..WorkflowLedger::default()
+        })
+    }
+    for ev in events {
+        match &ev.kind {
+            TraceKind::WorkflowReleased { workflow } => row(&mut wledgers, *workflow).released += 1,
+            TraceKind::WorkflowStranded { workflow } => {
+                row(&mut wledgers, *workflow).stranded_members += 1
+            }
+            TraceKind::WorkflowSettled {
+                workflow,
+                earned,
+                attribution,
+            } => {
+                let wl = row(&mut wledgers, *workflow);
+                wl.settled = true;
+                wl.earned = *earned;
+                wl.failed = attribution.is_empty();
+            }
+            _ => {}
+        }
+    }
+    let mut completed_earned: BTreeMap<u64, f64> = BTreeMap::new();
+    for (&t, &w) in &member_wf {
+        let Some(l) = ledger.get(&t) else { continue };
+        let wl = row(&mut wledgers, w);
+        if l.failed.is_some() {
+            wl.failed_members += 1;
+            // Never-scheduled failures carry no observed PV (last_pv 0);
+            // scheduled ones destroyed what they last promised.
+            wl.destroyed_pv += (l.last_pv - l.final_earned.unwrap_or(0.0)).max(0.0);
+        } else if let Some(earned) = l.final_earned {
+            wl.completed_members += 1;
+            *completed_earned.entry(w).or_insert(0.0) += earned.max(0.0);
+        }
+    }
+    for wl in wledgers.values_mut() {
+        // A trace that ends mid-failure (strandings but no settle) still
+        // reads as a failed workflow.
+        if !wl.settled && (wl.stranded_members > 0 || wl.failed_members > 0) {
+            wl.failed = true;
+        }
+        if wl.failed {
+            wl.sunk_earned = completed_earned.get(&wl.workflow).copied().unwrap_or(0.0);
+            wl.regret = wl.sunk_earned + wl.destroyed_pv;
+        }
+    }
+    let workflow_ledgers: Vec<WorkflowLedger> = wledgers.into_values().collect();
+
     let admission = AdmissionReport {
         accepted: y.accepted,
         rejected: y.arrived - y.accepted,
@@ -630,6 +846,8 @@ pub fn analyze(label: &str, events: &[TraceEvent], opts: &AnalyzeOptions) -> Tra
         utilization,
         decisions,
         workflows: wf,
+        workflow_ledgers,
+        strandings,
         chaos,
     }
 }
@@ -763,6 +981,72 @@ pub fn render_text(r: &TraceReport) -> String {
             out.push_str(&format!(
                 "  critical-path attribution (top): {}\n",
                 tops.join(", ")
+            ));
+        }
+    }
+
+    if !r.workflow_ledgers.is_empty() {
+        out.push_str("per-workflow regret (worst first)\n");
+        let mut rows: Vec<&WorkflowLedger> = r.workflow_ledgers.iter().collect();
+        rows.sort_by(|a, b| {
+            b.regret
+                .total_cmp(&a.regret)
+                .then(a.workflow.cmp(&b.workflow))
+        });
+        let shown = rows.len().min(10);
+        for wl in &rows[..shown] {
+            let verdict = if wl.failed {
+                "FAILED".to_string()
+            } else if wl.settled {
+                format!("earned {:.3}", wl.earned)
+            } else {
+                "unsettled".to_string()
+            };
+            out.push_str(&format!(
+                "  wf {}: {verdict}  released {}  completed {}  failed {}  stranded {}  \
+                 sunk {:.3}  destroyed pv {:.3}  regret {:.3}\n",
+                wl.workflow,
+                wl.released,
+                wl.completed_members,
+                wl.failed_members,
+                wl.stranded_members,
+                wl.sunk_earned,
+                wl.destroyed_pv,
+                wl.regret
+            ));
+        }
+        if rows.len() > shown {
+            out.push_str(&format!(
+                "  ... {} more workflow(s) (see --format json)\n",
+                rows.len() - shown
+            ));
+        }
+    }
+
+    if !r.strandings.is_empty() {
+        out.push_str("stranding chains (failure -> descendant cone)\n");
+        for chain in r.strandings.iter().take(10) {
+            let root = chain
+                .root_failure
+                .map_or("?".to_string(), |t| format!("task {t}"));
+            let mut cone: Vec<String> =
+                chain.stranded.iter().take(8).map(u64::to_string).collect();
+            if chain.stranded.len() > 8 {
+                cone.push(format!("+{} more", chain.stranded.len() - 8));
+            }
+            out.push_str(&format!(
+                "  t={:.3} wf {}: {root} ({}) stranded [{}] destroying {:.3} pv\n",
+                chain.at,
+                chain.workflow,
+                chain.failure,
+                cone.join(", "),
+                chain.pv_destroyed
+            ));
+        }
+        if r.strandings.len() > 10 {
+            out.push_str(&format!(
+                "  ... {} more chain(s) (see --format json)\n",
+                r.strandings.len() - 10
             ));
         }
     }
@@ -936,6 +1220,100 @@ mod tests {
         let json = serde_json::to_string(&r).unwrap();
         let back: TraceReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn workflow_explainers_attribute_regret_and_stranding_cones() {
+        // Workflow 1 settles cleanly; workflow 2's released member (20)
+        // drops mid-run and strands its descendant cone {21, 22}, after
+        // member 19 already completed (sunk yield).
+        let events = vec![
+            // wf 1: one member, completes, settles with attribution.
+            ev(0.0, Some(10), TraceKind::TaskArrived { accepted: true }),
+            sched(0.0, 10, 5.0, 1),
+            ev(
+                2.0,
+                Some(10),
+                TraceKind::Completed {
+                    earned: 4.0,
+                    delay: 0.0,
+                    width: 1,
+                    preemptions: 0,
+                },
+            ),
+            ev(
+                2.0,
+                None,
+                TraceKind::WorkflowSettled {
+                    workflow: 1,
+                    earned: 4.0,
+                    attribution: vec![(10, 4.0)],
+                },
+            ),
+            // wf 2: member 19 completes and releases 20; 20 drops and
+            // strands 21 and 22; the workflow settles to zero.
+            ev(0.0, Some(19), TraceKind::TaskArrived { accepted: true }),
+            sched(0.0, 19, 6.0, 1),
+            ev(
+                1.0,
+                Some(19),
+                TraceKind::Completed {
+                    earned: 3.0,
+                    delay: 0.0,
+                    width: 1,
+                    preemptions: 0,
+                },
+            ),
+            ev(1.0, Some(20), TraceKind::WorkflowReleased { workflow: 2 }),
+            sched(1.0, 20, 8.0, 1),
+            ev(3.0, Some(20), TraceKind::Dropped { earned: -1.0 }),
+            ev(3.0, Some(21), TraceKind::WorkflowStranded { workflow: 2 }),
+            ev(3.0, Some(22), TraceKind::WorkflowStranded { workflow: 2 }),
+            ev(
+                3.0,
+                None,
+                TraceKind::WorkflowSettled {
+                    workflow: 2,
+                    earned: 0.0,
+                    attribution: vec![],
+                },
+            ),
+        ];
+        let r = analyze("wf", &events, &AnalyzeOptions::default());
+        // One cone: task 20's drop stranded [21, 22], destroying the pv
+        // it carried at start net of its realized (negative) yield.
+        assert_eq!(r.strandings.len(), 1);
+        let chain = &r.strandings[0];
+        assert_eq!(chain.workflow, 2);
+        assert_eq!(chain.root_failure, Some(20));
+        assert_eq!(chain.failure, "dropped");
+        assert_eq!(chain.stranded, vec![21, 22]);
+        assert!((chain.pv_destroyed - 9.0).abs() < 1e-9, "{}", chain.pv_destroyed);
+        // Regret table: wf 1 clean, wf 2 failed with sunk + destroyed.
+        assert_eq!(r.workflow_ledgers.len(), 2);
+        let w1 = &r.workflow_ledgers[0];
+        assert_eq!((w1.workflow, w1.failed, w1.regret), (1, false, 0.0));
+        assert!((w1.earned - 4.0).abs() < 1e-9);
+        let w2 = &r.workflow_ledgers[1];
+        assert_eq!(w2.workflow, 2);
+        assert!(w2.failed && w2.settled);
+        assert_eq!(w2.released, 1);
+        assert_eq!(w2.stranded_members, 2);
+        assert_eq!(w2.failed_members, 1);
+        // Member 19 is mapped only through... it released 20 but no
+        // event names both 19 and wf 2 — except the release cone: 19
+        // completed before 20 was released, so it joins via nothing.
+        // The sunk yield therefore counts mapped members only.
+        assert!((w2.destroyed_pv - 9.0).abs() < 1e-9);
+        assert!((w2.regret - w2.sunk_earned - 9.0).abs() < 1e-9);
+        // Round-trips through JSON and renders both blocks.
+        let json = serde_json::to_string(&r).unwrap();
+        let back: TraceReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let text = render_text(&r);
+        assert!(text.contains("per-workflow regret"));
+        assert!(text.contains("stranding chains"));
+        assert!(text.contains("task 20 (dropped) stranded [21, 22]"));
     }
 
     #[test]

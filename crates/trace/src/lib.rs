@@ -29,6 +29,11 @@
 //!   (instrumentation lives in `mbts_sim::profiler`), rendering HDR-style
 //!   log-bucketed latency histograms as text or Prometheus exposition.
 //!
+//! The *live* counterpart is [`telemetry`]: a process-global sharded
+//! atomic registry (request counters, gauges, latency histograms) the
+//! serve daemon records into on its hot path and snapshots for
+//! `GET /metrics` — always-on, observation-only, scrape-anytime.
+//!
 //! Provenance: wrapping any tracer with [`Tracer::with_provenance`] makes
 //! decision points additionally emit [`TraceKind::DecisionRecord`] events
 //! carrying the ranked candidate set with per-candidate PV /
@@ -41,8 +46,9 @@ pub mod event;
 pub mod metrics;
 pub mod profiler;
 pub mod sink;
+pub mod telemetry;
 
-pub use analyze::{AnalyzeOptions, TraceReport};
+pub use analyze::{AnalyzeOptions, StrandingChain, TraceReport, WorkflowLedger};
 pub use event::{
     from_jsonl, to_jsonl, DecisionCandidate, DecisionKind, TraceEvent, TraceKind,
     MAX_DECISION_CANDIDATES,
@@ -52,3 +58,4 @@ pub use profiler::{
     ProfileReport, SectionProfile, ServeSummary, ShardProfile, ShardSummary, PROFILE_MARKER,
 };
 pub use sink::{BufferSink, JsonlSink, RingSink, TraceSink, Tracer, TracerSnapshot};
+pub use telemetry::{TelemetrySnapshot, TELEMETRY_BUCKETS};

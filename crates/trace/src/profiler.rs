@@ -18,7 +18,8 @@ pub const PROFILE_MARKER: &str = "mbts_profile";
 pub struct SectionProfile {
     /// Stable section name (`pool_insert`, `cost_model_update`,
     /// `merge_sweep`, `snapshot_write`, `shard_window`, `barrier_stall`,
-    /// `serve_parse`, `serve_queue_wait`, `serve_apply`).
+    /// `serve_parse`, `serve_queue_wait`, `serve_apply`,
+    /// `serve_journal_append`).
     pub section: String,
     /// Samples recorded.
     pub count: u64,
@@ -347,10 +348,11 @@ mod tests {
     fn capture_serializes_and_round_trips() {
         let report = ProfileReport::capture();
         assert_eq!(report.kind, PROFILE_MARKER);
-        assert_eq!(report.sections.len(), 9);
+        assert_eq!(report.sections.len(), 10);
         assert_eq!(report.sections[0].section, "pool_insert");
         assert_eq!(report.sections[6].section, "serve_parse");
         assert_eq!(report.sections[8].section, "serve_apply");
+        assert_eq!(report.sections[9].section, "serve_journal_append");
         let json = serde_json::to_string(&report).unwrap();
         let back: ProfileReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);

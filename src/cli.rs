@@ -19,6 +19,7 @@
 //!             [--shed-threshold N] [--time-scale X] [--provenance]
 //! mbts flood  --addr HOST:PORT [--requests N] [--connections N]
 //!             [--pipeline N] [--gate-rps R] [--out FILE]
+//! mbts top    [--addr HOST:PORT] [--interval S] [--count N | --once]
 //! mbts analyze FILE... [--format text|json] [--buckets N] [--out FILE]
 //! mbts metrics --trace FILE [--label NAME] [--prom FILE]
 //! mbts resume --journal FILE
@@ -52,7 +53,11 @@
 //! when full, and a deadline-aware shed pass drops expired-then-lowest-
 //! present-value work (provenance-traced, so `mbts analyze` can report
 //! the regret of shedding). `mbts flood` is the matching load/chaos
-//! client and writes the `BENCH_serve.json` throughput artifact.
+//! client and writes the `BENCH_serve.json` throughput artifact. The
+//! daemon exposes a live telemetry plane — `GET /metrics` (Prometheus
+//! text), `GET /healthz`, `GET /readyz` — and `mbts top` is the
+//! matching terminal dashboard: it polls `/metrics` and renders request
+//! rates, latency quantiles, and a queue-depth sparkline.
 //!
 //! `--journal FILE` makes `run`/`market` crash-recoverable: the full
 //! replay state is snapshotted and every applied event journaled to
@@ -206,6 +211,10 @@ pub enum Command {
         chaos: Option<PathBuf>,
         /// Seed for the armed failpoint streams.
         chaos_seed: u64,
+        /// Disable the live telemetry registry (`/metrics` serves an
+        /// empty exposition). Exists for honest overhead A/B runs —
+        /// the registry is designed to stay on in production.
+        no_telemetry: bool,
     },
     /// Load-test (and chaos-test) a live `mbts serve` daemon.
     Flood {
@@ -233,6 +242,16 @@ pub enum Command {
         gate_rps: Option<f64>,
         /// Write the flood report (`BENCH_serve.json` shape) here.
         out: Option<PathBuf>,
+    },
+    /// Live text dashboard over a daemon's `GET /metrics` endpoint.
+    Top {
+        /// Daemon address.
+        addr: String,
+        /// Seconds between scrapes.
+        interval: f64,
+        /// Stop after N frames (`--once` = 1); `None` polls until the
+        /// daemon goes away.
+        count: Option<u64>,
     },
     /// Paired A/B comparison of two policies on fresh seeded workloads.
     Compare {
@@ -409,7 +428,7 @@ pub fn parse_shape(spec: &str) -> Result<WorkflowShape, String> {
 
 /// Usage text.
 pub fn usage() -> &'static str {
-    "usage: mbts <gen|run|market|serve|flood|chaos|analyze|metrics|resume|compare|validate|policies> [options]\n\
+    "usage: mbts <gen|run|market|serve|flood|top|chaos|analyze|metrics|resume|compare|validate|policies> [options]\n\
      \n\
      mbts gen    --out FILE [--swf LOG] [--tasks N] [--processors P] [--load L] [--seed S]\n\
      \x20           [--value-skew R] [--decay-skew R] [--mean-decay D]\n\
@@ -429,9 +448,12 @@ pub fn usage() -> &'static str {
      \x20           [--time-scale X] [--snapshot-every N] [--fsync-every N]\n\
      \x20           [--provenance] [--status-cap N] [--throttle-us U] [--profile FILE]\n\
      \x20           [--chaos SCHEDULE.json [--chaos-seed S]]  (arm socket failpoints)\n\
+     \x20           [--no-telemetry]  (overhead A/B only; /metrics goes empty)\n\
      mbts flood  --addr HOST:PORT [--requests N] [--connections N] [--pipeline N]\n\
      \x20           [--seed S] [--retries N] [--cancel-every N] [--malformed-every N]\n\
      \x20           [--gate-rps R] [--out FILE]\n\
+     mbts top    [--addr HOST:PORT] [--interval S] [--count N | --once]\n\
+     \x20           (poll GET /metrics; rates, latency quantiles, queue sparkline)\n\
      mbts chaos  FILE|DIR... [--seed S] [--format text|json] [--out FILE]\n\
      \x20           [--trace-out FILE]  (runs each scenario twice; any\n\
      \x20            divergence between the runs fails the corpus)\n\
@@ -692,6 +714,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 profile: get("--profile").map(PathBuf::from),
                 chaos: get("--chaos").map(PathBuf::from),
                 chaos_seed: int("--chaos-seed", 42)? as u64,
+                no_telemetry: has("--no-telemetry"),
             })
         }
         "flood" => {
@@ -724,6 +747,28 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 malformed_every: int("--malformed-every", 0)? as u64,
                 gate_rps,
                 out: get("--out").map(PathBuf::from),
+            })
+        }
+        "top" => {
+            let interval = num("--interval", 1.0)?;
+            if !(interval > 0.0) {
+                return Err("--interval must be positive".into());
+            }
+            let count = if has("--once") {
+                Some(1)
+            } else {
+                match get("--count") {
+                    Some(v) => Some(
+                        v.parse::<u64>()
+                            .map_err(|_| "--count needs an integer".to_string())?,
+                    ),
+                    None => None,
+                }
+            };
+            Ok(Command::Top {
+                addr: get("--addr").unwrap_or("127.0.0.1:7741").to_string(),
+                interval,
+                count,
             })
         }
         "chaos" => {
@@ -1018,6 +1063,38 @@ fn read_profile_report(path: &std::path::Path) -> Result<mbts_trace::ProfileRepo
         ));
     }
     Ok(report)
+}
+
+/// Serializes a flood report for `--out`, appending this run's
+/// throughput and latency quantiles to the `history` array carried
+/// forward from any previous report at the same path (the
+/// `BENCH_dispatch.json` pattern: run-numbered entries, newest last).
+fn flood_report_json(
+    report: &mbts_serve::FloodReport,
+    path: &std::path::Path,
+) -> Result<String, String> {
+    use serde::{Serialize, Value};
+    let mut history = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|old| serde_json::from_str::<Value>(&old).ok())
+        .and_then(|old| match old.get("history") {
+            Some(Value::Array(entries)) => Some(entries.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let run = history.len() as i128 + 1;
+    history.push(Value::Object(vec![
+        ("run".into(), Value::Int(run)),
+        ("rps".into(), Value::Float(report.rps)),
+        ("p50_us".into(), Value::Float(report.p50_us)),
+        ("p95_us".into(), Value::Float(report.p95_us)),
+        ("p99_us".into(), Value::Float(report.p99_us)),
+    ]));
+    let mut doc = report.to_value();
+    if let Value::Object(entries) = &mut doc {
+        entries.push(("history".into(), Value::Array(history)));
+    }
+    serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())
 }
 
 /// Detects what kind of file an `analyze` input is and loads it:
@@ -1523,8 +1600,12 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             profile,
             chaos,
             chaos_seed,
+            no_telemetry,
         } => {
             let profiling = start_profiling(profile.is_some());
+            if no_telemetry {
+                mbts_trace::telemetry::disable();
+            }
             mbts_serve::install_signal_handlers();
             let registry = match &chaos {
                 Some(path) => {
@@ -1690,19 +1771,20 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
             .map_err(|e| e.to_string())?;
             writeln!(
                 out,
-                "retries {}  exhausted {}  errors {}  malformed {}  p50 {:.0}us  p99 {:.0}us  \
-                 max {:.0}us",
+                "retries {}  exhausted {}  errors {}  malformed {}  p50 {:.0}us  p95 {:.0}us  \
+                 p99 {:.0}us  max {:.0}us",
                 report.retries,
                 report.exhausted,
                 report.errors,
                 report.malformed,
                 report.p50_us,
+                report.p95_us,
                 report.p99_us,
                 report.max_us
             )
             .map_err(|e| e.to_string())?;
             if let Some(path) = out_path {
-                let json = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+                let json = flood_report_json(&report, &path)?;
                 std::fs::write(&path, json)
                     .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
                 writeln!(out, "flood report -> {}", path.display()).map_err(|e| e.to_string())?;
@@ -1731,6 +1813,21 @@ pub fn execute(cmd: Command, out: &mut dyn std::io::Write) -> Result<(), String>
                     .map_err(|e| e.to_string())?;
                 }
             }
+            Ok(())
+        }
+        Command::Top {
+            addr,
+            interval,
+            count,
+        } => {
+            let cfg = mbts_serve::TopConfig {
+                addr,
+                interval,
+                count,
+            };
+            let frames =
+                mbts_serve::run_top(&cfg, &mut *out).map_err(|e| format!("top failed: {e}"))?;
+            writeln!(out, "top: {frames} frame(s) rendered").map_err(|e| e.to_string())?;
             Ok(())
         }
         Command::Compare { a, b, mix, seeds } => {
@@ -2099,7 +2196,7 @@ mod tests {
             "serve --addr 0.0.0.0:9000 --journal svc.mbtsj --processors 8 --policy pv:0.01 \
              --queue-cap 64 --shed-threshold 8 --time-scale 60 --snapshot-every 100 \
              --fsync-every 1 --provenance --status-cap 512 --throttle-us 250 --profile p.json \
-             --chaos sched.json --chaos-seed 7",
+             --chaos sched.json --chaos-seed 7 --no-telemetry",
         ))
         .unwrap()
         {
@@ -2118,6 +2215,7 @@ mod tests {
                 profile,
                 chaos,
                 chaos_seed,
+                no_telemetry,
             } => {
                 assert_eq!(addr, "0.0.0.0:9000");
                 assert_eq!(site.processors, 8);
@@ -2133,7 +2231,12 @@ mod tests {
                 assert_eq!(profile, Some(PathBuf::from("p.json")));
                 assert_eq!(chaos, Some(PathBuf::from("sched.json")));
                 assert_eq!(chaos_seed, 7);
+                assert!(no_telemetry);
             }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&args("serve")).unwrap() {
+            Command::Serve { no_telemetry, .. } => assert!(!no_telemetry, "telemetry defaults on"),
             other => panic!("wrong command: {other:?}"),
         }
         assert!(parse(&args("serve --queue-cap 0")).is_err());
@@ -2179,6 +2282,76 @@ mod tests {
         assert!(parse(&args("flood --addr a:1 --connections 0")).is_err());
         assert!(parse(&args("flood --addr a:1 --pipeline 0")).is_err());
         assert!(parse(&args("flood --addr a:1 --gate-rps fast")).is_err());
+    }
+
+    #[test]
+    fn flood_report_out_accumulates_history() {
+        let dir = std::env::temp_dir().join("mbts-cli-flood-history");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
+        let _ = std::fs::remove_file(&path);
+        let mut report = mbts_serve::FloodReport {
+            rps: 1000.0,
+            p50_us: 10.0,
+            p95_us: 20.0,
+            p99_us: 30.0,
+            ..Default::default()
+        };
+        // First write: no prior file, history starts at run 1.
+        std::fs::write(&path, flood_report_json(&report, &path).unwrap()).unwrap();
+        // Second write: run 2 appends, run 1's numbers survive.
+        report.rps = 2000.0;
+        report.p95_us = 25.0;
+        let text = flood_report_json(&report, &path).unwrap();
+        use serde::Value;
+        let doc: Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(doc.get("p95_us"), Some(&Value::Float(25.0)));
+        match doc.get("history") {
+            Some(Value::Array(entries)) => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].get("run"), Some(&Value::Int(1)));
+                assert_eq!(entries[0].get("rps"), Some(&Value::Float(1000.0)));
+                assert_eq!(entries[1].get("run"), Some(&Value::Int(2)));
+                assert_eq!(entries[1].get("p95_us"), Some(&Value::Float(25.0)));
+            }
+            other => panic!("missing history: {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_top_command() {
+        match parse(&args("top")).unwrap() {
+            Command::Top {
+                addr,
+                interval,
+                count,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7741");
+                assert_eq!(interval, 1.0);
+                assert_eq!(count, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&args("top --addr 10.0.0.2:9000 --interval 0.25 --count 5")).unwrap() {
+            Command::Top {
+                addr,
+                interval,
+                count,
+            } => {
+                assert_eq!(addr, "10.0.0.2:9000");
+                assert_eq!(interval, 0.25);
+                assert_eq!(count, Some(5));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&args("top --once")).unwrap() {
+            Command::Top { count, .. } => assert_eq!(count, Some(1)),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("top --interval 0")).is_err());
+        assert!(parse(&args("top --interval -1")).is_err());
+        assert!(parse(&args("top --count soon")).is_err());
     }
 
     #[test]

@@ -561,6 +561,89 @@ fn kill_every_event_economy_heavy() {
     assert!(total > 250, "economy heavy sweep saw only {total} events");
 }
 
+/// Telemetry-plane leg of the durability contract: the live-metrics
+/// registry wraps the serve hot path (journal append and apply are both
+/// timed), so this sweep proves it is observation-only. The same command
+/// log run with telemetry enabled and disabled must write byte-identical
+/// journal bytes, and every crash point of the instrumented journal must
+/// recover to the same snapshot JSON as the uninstrumented one.
+#[test]
+fn service_journal_is_byte_identical_with_telemetry_on_and_off() {
+    use mbts::serve::{CommandKind, MachineConfig, ServiceRun, ShedReason};
+    use mbts::sim::Time;
+    use mbts::trace::telemetry;
+    use mbts::workload::{PenaltyBound, TaskId, TaskSpec};
+
+    let config = MachineConfig {
+        provenance: true,
+        ..MachineConfig::default()
+    };
+    let mut kinds: Vec<(f64, CommandKind)> = Vec::new();
+    for i in 0..40u64 {
+        let at = i as f64 * 0.3;
+        let spec = TaskSpec::new(
+            0,
+            at,
+            1.0 + (i % 4) as f64,
+            1.5 + (i % 7) as f64,
+            0.02 + 0.01 * (i % 3) as f64,
+            PenaltyBound::ZERO,
+        );
+        kinds.push((at, CommandKind::Submit { spec }));
+        if i % 9 == 4 {
+            kinds.push((at, CommandKind::Cancel { task: TaskId(i / 3) }));
+        }
+        if i % 13 == 6 {
+            let spec = TaskSpec::new(0, at, 2.0, 0.5, 0.4, PenaltyBound::ZERO);
+            kinds.push((
+                at,
+                CommandKind::Shed {
+                    spec,
+                    queue_depth: 7,
+                    reason: ShedReason::LowestValue,
+                },
+            ));
+        }
+    }
+    kinds.push((15.0, CommandKind::Drain));
+
+    let run_once = |cfg: &MachineConfig| -> (Vec<u8>, Vec<usize>) {
+        let mut run = ServiceRun::new(cfg.clone(), Journal::in_memory(), 8).unwrap();
+        let mut offsets = Vec::new();
+        for (at, kind) in &kinds {
+            run.apply(Time::new(*at), kind.clone()).unwrap();
+            offsets.push(run.journal().bytes().len());
+        }
+        (run.journal().bytes().to_vec(), offsets)
+    };
+
+    telemetry::enable();
+    let (with_tel, offsets) = run_once(&config);
+    telemetry::disable();
+    let (without_tel, _) = run_once(&config);
+    // Restore the always-on default before any assertion can bail.
+    telemetry::enable();
+
+    assert_eq!(
+        with_tel, without_tel,
+        "telemetry perturbed the journal bytes"
+    );
+    let (on, _) = ServiceRun::recover(&with_tel).expect("recover instrumented journal");
+    let (off, _) = ServiceRun::recover(&without_tel).expect("recover uninstrumented journal");
+    assert_eq!(
+        on.snapshot_json(),
+        off.snapshot_json(),
+        "telemetry perturbed the recovered state"
+    );
+    // Crash the instrumented journal at every command boundary; each
+    // prefix must still recover (telemetry counters never reach disk).
+    for (k, offset) in offsets.iter().enumerate() {
+        let (recovered, _) = ServiceRun::recover(&with_tel[..*offset])
+            .unwrap_or_else(|e| panic!("crash after command {k} failed to recover: {e}"));
+        assert_eq!(recovered.applied() as usize, k + 1);
+    }
+}
+
 /// Service-journal leg: crash an `mbts serve` command log after *every*
 /// applied command. Each crash point must recover a machine — state and
 /// captured provenance trace both, via the snapshot JSON — bit-identical

@@ -242,6 +242,25 @@ fn golden_workflow_fixtures_exercise_the_dag_event_layer() {
     );
 }
 
+/// Telemetry is observation-only: regenerating a golden stream with the
+/// live-metrics registry enabled and disabled must produce the same
+/// bytes (and both must match the committed fixture, which the tests
+/// above already pin). Guards the tentpole invariant from the engine
+/// side — no instrumentation may ever feed back into event content.
+#[test]
+fn golden_streams_are_byte_identical_with_telemetry_on_and_off() {
+    use mbts::trace::telemetry;
+    telemetry::enable();
+    let task_on = actual_stream(Policy::first_reward(0.3, 0.01), SEEDS[0]);
+    let wf_on = wf_stream(Policy::FirstPrice, WorkflowShape::Pipeline { depth: 4 }, 101);
+    telemetry::disable();
+    let task_off = actual_stream(Policy::first_reward(0.3, 0.01), SEEDS[0]);
+    let wf_off = wf_stream(Policy::FirstPrice, WorkflowShape::Pipeline { depth: 4 }, 101);
+    telemetry::enable();
+    assert_eq!(task_on, task_off, "telemetry perturbed a task stream");
+    assert_eq!(wf_on, wf_off, "telemetry perturbed a workflow stream");
+}
+
 #[test]
 fn golden_fixtures_parse_and_exercise_rich_events() {
     // The committed fixtures must stay valid JSONL and, collectively,

@@ -60,6 +60,23 @@ impl Value {
     }
 }
 
+/// A `Value` serializes as itself, so callers can build or rearrange
+/// JSON documents (e.g. merging a `history` array into a report) and
+/// hand them straight to `serde_json::to_string*`.
+impl crate::Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+/// A `Value` deserializes as the raw parse tree, for callers that need
+/// to inspect JSON whose shape is not known statically.
+impl crate::Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, crate::Error> {
+        Ok(v.clone())
+    }
+}
+
 /// Field lookup over object entries, used by derived `Deserialize` impls.
 pub fn get_field<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
     entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
